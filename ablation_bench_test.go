@@ -1,0 +1,45 @@
+package loopfrog
+
+import (
+	"testing"
+
+	"loopfrog/internal/experiments"
+)
+
+// Ablation benchmarks for the design choices DESIGN.md calls out, beyond
+// the paper's own studies.
+
+func BenchmarkAblationBloomFilter(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.BloomAblation(quickSuite(), []int{4096, 512})
+		if err != nil {
+			b.Fatal(err)
+		}
+		// exact vs the paper-sized 4096-bit filter: should be ~equal.
+		b.ReportMetric(100*(rows[0].Geomean-rows[1].Geomean), "exact-vs-4096b-pp")
+		// tiny 512-bit filters alias heavily and lose speedup.
+		b.ReportMetric(100*(rows[0].Geomean-rows[2].Geomean), "exact-vs-512b-pp")
+	}
+}
+
+func BenchmarkAblationWidthScaling(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.WidthScaling(quickSuite(), []int{4, 8})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(100*(rows[0].Geomean-1), "4wide-speedup-%")
+		b.ReportMetric(100*(rows[1].Geomean-1), "8wide-speedup-%")
+	}
+}
+
+func BenchmarkAblationThreadlets(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.ThreadletScaling(quickSuite(), []int{2, 4})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(100*(rows[0].Geomean-1), "2t-speedup-%")
+		b.ReportMetric(100*(rows[1].Geomean-1), "4t-speedup-%")
+	}
+}

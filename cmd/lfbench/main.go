@@ -1,0 +1,161 @@
+// Command lfbench regenerates the paper's tables and figures (§6) on the
+// simulator. With no flags it runs everything; individual experiments can be
+// selected.
+//
+// Usage:
+//
+//	lfbench [-fig 1|6|7|8|9|10] [-table 1|2|3] [-packing] [-assoc]
+//	        [-generality] [-area] [-quick]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"loopfrog/internal/cpu"
+	"loopfrog/internal/experiments"
+	"loopfrog/internal/sim"
+	"loopfrog/internal/workloads"
+)
+
+func main() {
+	fig := flag.Int("fig", 0, "run one figure (1, 6, 7, 8, 9, 10)")
+	table := flag.Int("table", 0, "run one table (1, 2, 3)")
+	packing := flag.Bool("packing", false, "run the §6.5 packing study")
+	assoc := flag.Bool("assoc", false, "run the §6.6 associativity study")
+	generality := flag.Bool("generality", false, "run the §6.7 generality study")
+	areaFlag := flag.Bool("area", false, "print the §6.8 overhead report")
+	quick := flag.Bool("quick", false, "use a reduced benchmark subset for sweeps")
+	flag.Parse()
+
+	all := *fig == 0 && *table == 0 && !*packing && !*assoc && !*generality && !*areaFlag
+	suite17 := workloads.CPU2017()
+	suite06 := workloads.CPU2006()
+	sweepSuite := suite17
+	if *quick {
+		sweepSuite = quickSubset(suite17)
+	}
+
+	die := func(err error) {
+		fmt.Fprintln(os.Stderr, "lfbench:", err)
+		os.Exit(1)
+	}
+
+	var results17 []*sim.Result
+	need17 := all || *fig == 6 || *fig == 7 || *fig == 8 || *table == 2 || *table == 3 || *generality
+	if need17 {
+		var err error
+		results17, err = sim.RunSuite(cpu.DefaultConfig(), suite17)
+		if err != nil {
+			die(err)
+		}
+	}
+
+	if all || *table == 1 {
+		printTable1()
+	}
+	if all || *fig == 1 {
+		rows, err := experiments.Figure1(sweepSuite, []int{4, 6, 8, 10})
+		if err != nil {
+			die(err)
+		}
+		fmt.Println(experiments.FormatFigure1(rows))
+	}
+	if all || *fig == 6 {
+		rows, geo, err := experiments.Figure6(cpu.DefaultConfig(), suite17, suite06)
+		if err != nil {
+			die(err)
+		}
+		fmt.Println(experiments.FormatFigure6(rows, geo))
+	}
+	if all || *fig == 7 {
+		fmt.Println(experiments.FormatFigure7(experiments.Figure7(results17, true)))
+	}
+	if all || *fig == 8 {
+		fmt.Println(experiments.FormatFigure8(experiments.Figure8(results17, true)))
+	}
+	if all || *table == 2 {
+		fmt.Println(experiments.FormatTable2(experiments.Table2(results17)))
+	}
+	if all || *packing {
+		p, err := experiments.Packing(sweepSuite)
+		if err != nil {
+			die(err)
+		}
+		fmt.Println(experiments.FormatPacking(p))
+	}
+	if all || *fig == 9 {
+		rows, err := experiments.Figure9(sweepSuite, []int{512, 2 << 10, 8 << 10, 32 << 10})
+		if err != nil {
+			die(err)
+		}
+		fmt.Println(experiments.FormatSweep("Figure 9: sensitivity to SSB size (default 8KiB total)", rows))
+	}
+	if all || *fig == 10 {
+		rows, err := experiments.Figure10(sweepSuite, []int{1, 2, 4, 8, 16, 32})
+		if err != nil {
+			die(err)
+		}
+		fmt.Println(experiments.FormatSweep("Figure 10: sensitivity to granule size (default 4B)", rows))
+	}
+	if all || *assoc {
+		rows, err := experiments.Associativity(sweepSuite)
+		if err != nil {
+			die(err)
+		}
+		fmt.Println(experiments.FormatSweep("SSB associativity study (§6.6)", rows))
+	}
+	if all || *generality {
+		allGeo, nonOMP := experiments.Generality(results17)
+		fmt.Printf("Generality (§6.7)\nall loops geomean:            %+.1f%%\nnon-OpenMP-region loops only: %+.1f%%\n\n",
+			100*(allGeo-1), 100*(nonOMP-1))
+	}
+	if all || *areaFlag {
+		fmt.Println(experiments.AreaReport())
+	}
+	if all || *table == 3 {
+		var xs []float64
+		for _, r := range results17 {
+			xs = append(xs, r.Speedup())
+		}
+		fmt.Println(experiments.Table3(sim.Geomean(xs)))
+	}
+}
+
+func quickSubset(suite []*workloads.Benchmark) []*workloads.Benchmark {
+	keep := map[string]bool{"mcf": true, "omnetpp": true, "x264": true, "leela": true, "imagick": true, "gcc": true}
+	var out []*workloads.Benchmark
+	for _, b := range suite {
+		if keep[b.Name] {
+			out = append(out, b)
+		}
+	}
+	return out
+}
+
+func printTable1() {
+	cfg := cpu.DefaultConfig()
+	fmt.Printf(`Table 1: simulation parameters
+pipeline        %d-wide, %d threadlet contexts, front-end depth %d
+windows         ROB %d, IQ %d, LQ %d, SQ %d (dynamically shared)
+registers       %d int + %d fp physical
+FUs             %d ALU pipes (%d branch-capable), %d mul/div, %d FP (%d div/sqrt), %d load, %d store
+branch pred     TAGE %d tables + loop predictor, %d-entry BTB, %d-entry RAS
+SSB             %d slices x %d B, %d B lines, %d B granules, read %d cyc / write %d cyc
+conflict check  %d-cycle latency, exact sets (idealised Bloom filter)
+L1I/L1D         %d KiB / %d KiB, L2 %d MiB, DRAM %d cycles
+packing         target %d insts, max factor %d
+
+`,
+		cfg.Width, cfg.Threadlets, cfg.FrontendDepth,
+		cfg.ROBSize, cfg.IQSize, cfg.LQSize, cfg.SQSize,
+		cfg.IntRegs, cfg.FPRegs,
+		cfg.ALUs, cfg.Branches, cfg.MulDivs, cfg.FPs, cfg.FPDivs, cfg.LoadPipes, cfg.StorePipes,
+		len(cfg.BPred.Histories), cfg.BPred.BTBEntries, cfg.BPred.RASEntries,
+		cfg.Threadlets, cfg.SSB.SliceBytes, cfg.SSB.LineBytes, cfg.SSB.GranuleBytes,
+		cfg.SSB.ReadLatency, cfg.SSB.WriteLatency,
+		cfg.ConflictCheckLatency,
+		cfg.Hier.L1I.SizeBytes>>10, cfg.Hier.L1D.SizeBytes>>10, cfg.Hier.L2.SizeBytes>>20, cfg.Hier.DRAMLatency,
+		cfg.Pack.TargetSize, cfg.Pack.MaxFactor)
+}

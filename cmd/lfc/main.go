@@ -1,0 +1,49 @@
+// Command lfc is the LoopLang compiler driver: it compiles a .ll source
+// file to LFISA and prints the disassembly (or the IR with -ir). Loops
+// annotated @loopfrog get detach/reattach/sync hints inserted automatically
+// (§5); de-selected loops are reported on stderr.
+//
+// Usage:
+//
+//	lfc [-ir] file.ll
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"loopfrog/internal/compiler"
+)
+
+func main() {
+	ir := flag.Bool("ir", false, "dump the intermediate representation instead of assembly")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: lfc [-ir] file.ll")
+		os.Exit(2)
+	}
+	src, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lfc:", err)
+		os.Exit(1)
+	}
+	if *ir {
+		out, err := compiler.DumpIR(string(src))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "lfc:", err)
+			os.Exit(1)
+		}
+		fmt.Print(out)
+		return
+	}
+	prog, diags, err := compiler.Compile(flag.Arg(0), string(src))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lfc:", err)
+		os.Exit(1)
+	}
+	for _, d := range diags {
+		fmt.Fprintln(os.Stderr, "lfc: note:", d)
+	}
+	fmt.Print(prog.Disassemble())
+}

@@ -1,0 +1,117 @@
+// Command lfsim runs one program on the simulated core and prints run
+// statistics. Inputs are LoopLang (.ll) or LFISA assembly (.s) files, or a
+// named benchmark from the built-in suites with -bench.
+//
+// Usage:
+//
+//	lfsim [-baseline] [-threadlets N] [-nopack] [-ab] (-bench name | file)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"loopfrog/internal/asm"
+	"loopfrog/internal/compiler"
+	"loopfrog/internal/cpu"
+	"loopfrog/internal/sim"
+	"loopfrog/internal/workloads"
+)
+
+func main() {
+	baseline := flag.Bool("baseline", false, "treat hints as NOPs (sequential baseline)")
+	threadlets := flag.Int("threadlets", 4, "threadlet contexts")
+	nopack := flag.Bool("nopack", false, "disable iteration packing")
+	ab := flag.Bool("ab", false, "run baseline and LoopFrog, print the speedup")
+	bench := flag.String("bench", "", "run a named built-in benchmark instead of a file")
+	flag.Parse()
+
+	prog, err := loadProgram(*bench, flag.Args())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lfsim:", err)
+		os.Exit(1)
+	}
+
+	cfg := cpu.DefaultConfig()
+	cfg.Threadlets = *threadlets
+	if *nopack {
+		cfg.Pack.Enabled = false
+	}
+	if *baseline {
+		cfg = sim.BaselineOf(cfg)
+	}
+
+	if *ab {
+		base, err := sim.Run(sim.BaselineOf(cfg), prog)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "lfsim:", err)
+			os.Exit(1)
+		}
+		lf, err := sim.Run(cfg, prog)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "lfsim:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("baseline: %8d cycles  IPC %.2f\n", base.Cycles, base.IPC())
+		fmt.Printf("loopfrog: %8d cycles  IPC %.2f\n", lf.Cycles, lf.IPC())
+		fmt.Printf("speedup:  %.3fx\n", float64(base.Cycles)/float64(lf.Cycles))
+		return
+	}
+
+	st, err := sim.Run(cfg, prog)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lfsim:", err)
+		os.Exit(1)
+	}
+	printStats(st)
+}
+
+func loadProgram(bench string, args []string) (*asm.Program, error) {
+	if bench != "" {
+		for _, suite := range [][]*workloads.Benchmark{workloads.CPU2017(), workloads.CPU2006()} {
+			if b := workloads.ByName(suite, bench); b != nil {
+				return b.Program()
+			}
+		}
+		return nil, fmt.Errorf("unknown benchmark %q", bench)
+	}
+	if len(args) != 1 {
+		return nil, fmt.Errorf("usage: lfsim [flags] (-bench name | file.ll | file.s)")
+	}
+	src, err := os.ReadFile(args[0])
+	if err != nil {
+		return nil, err
+	}
+	if strings.HasSuffix(args[0], ".s") {
+		return asm.Assemble(args[0], string(src))
+	}
+	prog, diags, err := compiler.Compile(args[0], string(src))
+	for _, d := range diags {
+		fmt.Fprintln(os.Stderr, "lfsim: note:", d)
+	}
+	return prog, err
+}
+
+func printStats(st *cpu.Stats) {
+	fmt.Printf("cycles            %d\n", st.Cycles)
+	fmt.Printf("instructions      %d (IPC %.2f)\n", st.ArchInsts, st.IPC())
+	fmt.Printf("branches          %d (%.2f%% mispredicted)\n", st.Branches, 100*st.MispredictRate())
+	fmt.Printf("loads/stores      %d/%d\n", st.Loads, st.Stores)
+	fmt.Printf("detaches          %d (spawns %d, packed %d, no-context %d)\n",
+		st.Detaches, st.Spawns, st.PackedSpawns, st.DetachNoContext)
+	fmt.Printf("threadlet retires %d\n", st.Retires)
+	fmt.Printf("squashes          conflict=%d overflow=%d sync=%d pack=%d wrongpath=%d external=%d\n",
+		st.Squashes[0], st.Squashes[1], st.Squashes[2], st.Squashes[3], st.Squashes[4], st.Squashes[5])
+	fmt.Printf("failed spec insts %d\n", st.SpecCommitted)
+	total := uint64(0)
+	for _, c := range st.LiveCycles {
+		total += c
+	}
+	if total > 0 {
+		fmt.Printf("occupancy         1:%d%% 2:%d%% 3:%d%% 4:%d%%\n",
+			100*st.LiveCycles[0]/total, 100*st.LiveCycles[1]/total,
+			100*st.LiveCycles[2]/total, 100*st.LiveCycles[3]/total)
+	}
+}

@@ -1,0 +1,78 @@
+// Command lftrace runs a program on the LoopFrog machine and prints the
+// threadlet lifecycle timeline — the dynamic view of figure 2: epochs
+// spawning ahead of the architectural thread, leapfrogging the window,
+// retiring in order, and being squashed on conflicts or loop exits.
+//
+// Usage:
+//
+//	lftrace [-max N] (-bench name | file.ll | file.s)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"loopfrog/internal/asm"
+	"loopfrog/internal/compiler"
+	"loopfrog/internal/cpu"
+	"loopfrog/internal/workloads"
+)
+
+func main() {
+	maxEvents := flag.Int("max", 200, "maximum number of events to print")
+	bench := flag.String("bench", "", "run a named built-in benchmark")
+	flag.Parse()
+
+	prog, err := load(*bench, flag.Args())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lftrace:", err)
+		os.Exit(1)
+	}
+	m, err := cpu.NewMachine(cpu.DefaultConfig(), prog)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lftrace:", err)
+		os.Exit(1)
+	}
+	printed := 0
+	m.SetEventHook(func(e cpu.Event) {
+		if printed < *maxEvents {
+			fmt.Println(e)
+			printed++
+			if printed == *maxEvents {
+				fmt.Println("... (further events suppressed)")
+			}
+		}
+	})
+	st, err := m.Run()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lftrace:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("\n%d cycles, %d instructions, %d spawns, %d retires\n",
+		st.Cycles, st.ArchInsts, st.Spawns, st.Retires)
+}
+
+func load(bench string, args []string) (*asm.Program, error) {
+	if bench != "" {
+		for _, suite := range [][]*workloads.Benchmark{workloads.CPU2017(), workloads.CPU2006()} {
+			if b := workloads.ByName(suite, bench); b != nil {
+				return b.Program()
+			}
+		}
+		return nil, fmt.Errorf("unknown benchmark %q", bench)
+	}
+	if len(args) != 1 {
+		return nil, fmt.Errorf("usage: lftrace [-max N] (-bench name | file)")
+	}
+	src, err := os.ReadFile(args[0])
+	if err != nil {
+		return nil, err
+	}
+	if strings.HasSuffix(args[0], ".s") {
+		return asm.Assemble(args[0], string(src))
+	}
+	prog, _, err := compiler.Compile(args[0], string(src))
+	return prog, err
+}

@@ -1,0 +1,11 @@
+// Package loopfrog is a from-scratch Go reproduction of
+// "LoopFrog: In-Core Hint-Based Loop Parallelization" (MICRO 2025): an
+// in-core thread-level-speculation scheme where compiler hints let a wide
+// out-of-order core execute future loop iterations as speculative
+// threadlets.
+//
+// See README.md for a tour, DESIGN.md for the system inventory and
+// paper-to-implementation substitutions, and EXPERIMENTS.md for the
+// paper-vs-measured record. The benchmarks in bench_test.go regenerate the
+// paper's tables and figures; cmd/lfbench runs the full versions.
+package loopfrog

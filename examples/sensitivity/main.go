@@ -1,0 +1,47 @@
+// Sensitivity: sweep the SSB size and granule size for a single kernel,
+// the per-workload view behind figures 9 and 10.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"loopfrog/internal/cpu"
+	"loopfrog/internal/sim"
+	"loopfrog/internal/workloads"
+)
+
+func main() {
+	b := workloads.ByName(workloads.CPU2017(), "mcf")
+	if b == nil {
+		log.Fatal("mcf stand-in missing")
+	}
+	prog, err := b.Program()
+	if err != nil {
+		log.Fatal(err)
+	}
+	base, err := sim.Run(cpu.BaselineConfig(), prog)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("baseline: %d cycles\n\nSSB total size sweep (4 slices):\n", base.Cycles)
+	for _, total := range []int{512, 2 << 10, 8 << 10, 32 << 10} {
+		cfg := cpu.DefaultConfig()
+		cfg.SSB.SliceBytes = total / cfg.Threadlets
+		lf, err := sim.Run(cfg, prog)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %6dB: %d cycles (%.2fx)\n", total, lf.Cycles, float64(base.Cycles)/float64(lf.Cycles))
+	}
+	fmt.Println("\ngranule size sweep:")
+	for _, g := range []int{1, 2, 4, 8, 16, 32} {
+		cfg := cpu.DefaultConfig()
+		cfg.SSB.GranuleBytes = g
+		lf, err := sim.Run(cfg, prog)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %2dB: %d cycles (%.2fx)\n", g, lf.Cycles, float64(base.Cycles)/float64(lf.Cycles))
+	}
+}

@@ -1,0 +1,3 @@
+module loopfrog
+
+go 1.22

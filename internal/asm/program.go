@@ -1,0 +1,111 @@
+// Package asm provides the LFISA program image and a two-pass assembler.
+//
+// A program image holds the instruction stream, the initial data segment and
+// its symbols, and the entry point. Images are produced either by assembling
+// text (Assemble) or programmatically via Builder, and are consumed by the
+// reference interpreter, the out-of-order core model, and the LoopFrog
+// engine.
+package asm
+
+import (
+	"fmt"
+	"strings"
+
+	"loopfrog/internal/isa"
+)
+
+// DefaultDataBase is the byte address where the data segment is placed unless
+// the source overrides it with a .base directive.
+const DefaultDataBase uint64 = 0x100000
+
+// DefaultStackTop is the initial stack pointer handed to programs by the
+// simulator's loader. The stack grows downwards and is far away from the
+// data segment.
+const DefaultStackTop uint64 = 0x8000000
+
+// Program is an assembled LFISA program image.
+type Program struct {
+	// Name identifies the program in reports.
+	Name string
+	// Insts is the instruction stream; the PC indexes this slice.
+	Insts []isa.Inst
+	// Entry is the instruction index where execution starts.
+	Entry int
+	// Labels maps code labels to instruction indices.
+	Labels map[string]int
+	// Data is the initial data segment, loaded at DataBase.
+	Data []byte
+	// DataBase is the byte address of Data[0].
+	DataBase uint64
+	// Symbols maps data labels to byte addresses.
+	Symbols map[string]uint64
+}
+
+// Label returns the instruction index of a code label.
+func (p *Program) Label(name string) (int, bool) {
+	idx, ok := p.Labels[name]
+	return idx, ok
+}
+
+// MustLabel returns the instruction index of a code label, panicking if the
+// label is unknown. Intended for tests and examples.
+func (p *Program) MustLabel(name string) int {
+	idx, ok := p.Labels[name]
+	if !ok {
+		panic(fmt.Sprintf("asm: unknown label %q", name))
+	}
+	return idx
+}
+
+// Symbol returns the byte address of a data symbol.
+func (p *Program) Symbol(name string) (uint64, bool) {
+	addr, ok := p.Symbols[name]
+	return addr, ok
+}
+
+// MustSymbol returns the byte address of a data symbol, panicking if unknown.
+func (p *Program) MustSymbol(name string) uint64 {
+	addr, ok := p.Symbols[name]
+	if !ok {
+		panic(fmt.Sprintf("asm: unknown symbol %q", name))
+	}
+	return addr
+}
+
+// Disassemble renders the instruction stream with indices and labels,
+// primarily for debugging and golden tests.
+func (p *Program) Disassemble() string {
+	byIndex := make(map[int][]string)
+	for name, idx := range p.Labels {
+		byIndex[idx] = append(byIndex[idx], name)
+	}
+	var b strings.Builder
+	for i, inst := range p.Insts {
+		for _, name := range byIndex[i] {
+			fmt.Fprintf(&b, "%s:\n", name)
+		}
+		fmt.Fprintf(&b, "%5d: %s\n", i, inst)
+	}
+	return b.String()
+}
+
+// Validate checks structural well-formedness: targets in range, registers in
+// range, x0 never written by a load, and hints carrying valid region IDs.
+func (p *Program) Validate() error {
+	n := len(p.Insts)
+	if p.Entry < 0 || p.Entry >= n {
+		return fmt.Errorf("asm: entry %d out of range [0,%d)", p.Entry, n)
+	}
+	for idx, inst := range p.Insts {
+		m := isa.OpMeta(inst.Op)
+		if inst.Rd >= isa.NumRegs || inst.Rs1 >= isa.NumRegs || inst.Rs2 >= isa.NumRegs {
+			return fmt.Errorf("asm: inst %d (%s): register out of range", idx, inst)
+		}
+		if m.IsBranch || inst.Op == isa.JAL || m.IsHint {
+			if inst.Imm < 0 || inst.Imm >= int64(n) {
+				return fmt.Errorf("asm: inst %d (%s): target %d out of range [0,%d)", idx, inst, inst.Imm, n)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,234 @@
+package bpred
+
+import (
+	"math/rand"
+	"testing"
+
+	"loopfrog/internal/isa"
+)
+
+// drive feeds a deterministic outcome stream for one branch PC and returns
+// the accuracy over the final half of the stream (after warmup).
+func drive(t *testing.T, p *Predictor, pc int, outcomes []bool) float64 {
+	t.Helper()
+	correct, counted := 0, 0
+	for i, taken := range outcomes {
+		st := p.PredictBranch(0, pc)
+		if i >= len(outcomes)/2 {
+			counted++
+			if st.Taken == taken {
+				correct++
+			}
+		}
+		p.UpdateBranch(0, pc, taken, st)
+		if st.Taken != taken {
+			p.OnSquash(0, st.Hist, taken)
+		}
+	}
+	if counted == 0 {
+		return 0
+	}
+	return float64(correct) / float64(counted)
+}
+
+func TestAlwaysTakenLearned(t *testing.T) {
+	p := New(DefaultConfig(), 1)
+	outcomes := make([]bool, 200)
+	for i := range outcomes {
+		outcomes[i] = true
+	}
+	if acc := drive(t, p, 100, outcomes); acc < 0.99 {
+		t.Errorf("always-taken accuracy = %.2f, want ~1.0", acc)
+	}
+}
+
+func TestAlternatingPatternLearned(t *testing.T) {
+	p := New(DefaultConfig(), 1)
+	outcomes := make([]bool, 400)
+	for i := range outcomes {
+		outcomes[i] = i%2 == 0
+	}
+	if acc := drive(t, p, 100, outcomes); acc < 0.95 {
+		t.Errorf("alternating accuracy = %.2f, want > 0.95", acc)
+	}
+}
+
+func TestShortPeriodicPatternLearned(t *testing.T) {
+	// TTNTTN... requires history; bimodal alone cannot learn it.
+	p := New(DefaultConfig(), 1)
+	outcomes := make([]bool, 600)
+	for i := range outcomes {
+		outcomes[i] = i%3 != 2
+	}
+	if acc := drive(t, p, 100, outcomes); acc < 0.95 {
+		t.Errorf("periodic accuracy = %.2f, want > 0.95", acc)
+	}
+}
+
+func TestLoopPredictorCatchesTripCount(t *testing.T) {
+	// A backedge taken exactly 19 times then not taken, repeatedly. TAGE with
+	// 64-bit history cannot see the full period; the loop predictor can.
+	p := New(DefaultConfig(), 1)
+	var outcomes []bool
+	for rep := 0; rep < 40; rep++ {
+		for i := 0; i < 19; i++ {
+			outcomes = append(outcomes, true)
+		}
+		outcomes = append(outcomes, false)
+	}
+	if acc := drive(t, p, 12345, outcomes); acc < 0.98 {
+		t.Errorf("loop trip accuracy = %.2f, want > 0.98", acc)
+	}
+	if p.LoopUses == 0 {
+		t.Error("loop predictor never used")
+	}
+}
+
+func TestLoopPredictorUnlearnsOnTripChange(t *testing.T) {
+	p := New(DefaultConfig(), 1)
+	feed := func(trip, reps int) {
+		for r := 0; r < reps; r++ {
+			for i := 0; i < trip; i++ {
+				st := p.PredictBranch(0, 7)
+				p.UpdateBranch(0, 7, true, st)
+			}
+			st := p.PredictBranch(0, 7)
+			p.UpdateBranch(0, 7, false, st)
+		}
+	}
+	feed(10, 10)
+	e := p.loopLookup(7)
+	if e == nil || e.trip != 10 || e.conf < uint8(p.cfg.LoopConfidence) {
+		t.Fatalf("loop entry not trained: %+v", e)
+	}
+	feed(25, 2)
+	e = p.loopLookup(7)
+	if e.trip == 10 && e.conf >= uint8(p.cfg.LoopConfidence) {
+		t.Errorf("loop entry kept stale trip count confidently: %+v", e)
+	}
+}
+
+func TestRandomOutcomesDoNotCrash(t *testing.T) {
+	p := New(DefaultConfig(), 2)
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 5000; i++ {
+		tid := i % 2
+		pc := rng.Intn(64)
+		st := p.PredictBranch(tid, pc)
+		taken := rng.Intn(2) == 0
+		p.UpdateBranch(tid, pc, taken, st)
+		if st.Taken != taken {
+			p.OnSquash(tid, st.Hist, taken)
+		}
+	}
+	if p.Lookups != 5000 {
+		t.Errorf("lookups = %d, want 5000", p.Lookups)
+	}
+}
+
+func TestPerThreadletHistoryIsolated(t *testing.T) {
+	p := New(DefaultConfig(), 2)
+	h0 := p.History(0)
+	p.PredictBranch(0, 1)
+	if p.History(0) == h0 {
+		t.Error("prediction did not update threadlet 0 history")
+	}
+	if p.History(1) != 0 {
+		t.Error("threadlet 1 history polluted by threadlet 0 prediction")
+	}
+	p.SetHistory(1, 0xdead)
+	if p.History(1) != 0xdead {
+		t.Error("SetHistory failed")
+	}
+}
+
+func TestOnSquashRestoresHistory(t *testing.T) {
+	p := New(DefaultConfig(), 1)
+	p.SetHistory(0, 0b1010)
+	st := p.PredictBranch(0, 5)
+	// Suppose the branch was actually taken and the prediction was wrong.
+	p.OnSquash(0, st.Hist, true)
+	if got := p.History(0); got != 0b10101 {
+		t.Errorf("history after squash = %b, want 10101", got)
+	}
+}
+
+func TestBTB(t *testing.T) {
+	p := New(DefaultConfig(), 1)
+	if _, ok := p.PredictIndirect(40); ok {
+		t.Error("cold BTB hit")
+	}
+	p.UpdateIndirect(40, 999)
+	tgt, ok := p.PredictIndirect(40)
+	if !ok || tgt != 999 {
+		t.Errorf("BTB = (%d,%v), want (999,true)", tgt, ok)
+	}
+	// Aliasing entry replaces.
+	p.UpdateIndirect(40+p.cfg.BTBEntries, 111)
+	if _, ok := p.PredictIndirect(40); ok {
+		t.Error("stale BTB entry survived aliasing")
+	}
+}
+
+func TestRASLIFOPerThreadlet(t *testing.T) {
+	p := New(DefaultConfig(), 2)
+	p.PushRAS(0, 10)
+	p.PushRAS(0, 20)
+	p.PushRAS(1, 99)
+	if got := p.PopRAS(0); got != 20 {
+		t.Errorf("pop = %d, want 20", got)
+	}
+	if got := p.PopRAS(1); got != 99 {
+		t.Errorf("tid1 pop = %d, want 99", got)
+	}
+	if got := p.PopRAS(0); got != 10 {
+		t.Errorf("pop = %d, want 10", got)
+	}
+}
+
+func TestRASOverflowWraps(t *testing.T) {
+	p := New(Config{TableBits: 4, BimodalBits: 4, Histories: []int{2}, LoopEntries: 4, LoopConfidence: 3, BTBEntries: 4, RASEntries: 2}, 1)
+	p.PushRAS(0, 1)
+	p.PushRAS(0, 2)
+	p.PushRAS(0, 3) // overwrites 1
+	if got := p.PopRAS(0); got != 3 {
+		t.Errorf("pop = %d, want 3", got)
+	}
+	if got := p.PopRAS(0); got != 2 {
+		t.Errorf("pop = %d, want 2", got)
+	}
+}
+
+func TestIsCallIsReturn(t *testing.T) {
+	call := isa.Inst{Op: isa.JAL, Rd: isa.X(1), Imm: 5}
+	callInd := isa.Inst{Op: isa.JALR, Rd: isa.X(1), Rs1: isa.X(5)}
+	ret := isa.Inst{Op: isa.JALR, Rd: isa.X0, Rs1: isa.X(1)}
+	tail := isa.Inst{Op: isa.JAL, Rd: isa.X0, Imm: 5}
+	if !IsCall(call) || !IsCall(callInd) {
+		t.Error("IsCall missed a call")
+	}
+	if IsCall(ret) || IsCall(tail) {
+		t.Error("IsCall flagged a non-call")
+	}
+	if !IsReturn(ret) {
+		t.Error("IsReturn missed a return")
+	}
+	if IsReturn(call) || IsReturn(callInd) || IsReturn(tail) {
+		t.Error("IsReturn flagged a non-return")
+	}
+}
+
+func TestHardRandomBranchAccuracyIsMediocre(t *testing.T) {
+	// Sanity check that the predictor is not an oracle: on i.i.d. random
+	// outcomes accuracy must hover near chance.
+	p := New(DefaultConfig(), 1)
+	rng := rand.New(rand.NewSource(42))
+	outcomes := make([]bool, 4000)
+	for i := range outcomes {
+		outcomes[i] = rng.Intn(2) == 0
+	}
+	acc := drive(t, p, 9, outcomes)
+	if acc > 0.65 {
+		t.Errorf("random-outcome accuracy = %.2f; predictor is cheating", acc)
+	}
+}

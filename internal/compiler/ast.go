@@ -1,0 +1,215 @@
+package compiler
+
+// LoopLang abstract syntax.
+
+// Type is a LoopLang type.
+type Type int
+
+// LoopLang types.
+const (
+	TypeVoid Type = iota
+	TypeInt
+	TypeFloat
+	TypeIntArray
+	TypeFloatArray
+)
+
+// String names the type.
+func (t Type) String() string {
+	switch t {
+	case TypeVoid:
+		return "void"
+	case TypeInt:
+		return "int"
+	case TypeFloat:
+		return "float"
+	case TypeIntArray:
+		return "[]int"
+	case TypeFloatArray:
+		return "[]float"
+	}
+	return "?"
+}
+
+func (t Type) elem() Type {
+	switch t {
+	case TypeIntArray:
+		return TypeInt
+	case TypeFloatArray:
+		return TypeFloat
+	}
+	return TypeVoid
+}
+
+func (t Type) isArray() bool { return t == TypeIntArray || t == TypeFloatArray }
+
+// File is a parsed source file.
+type File struct {
+	Funcs   []*FuncDecl
+	Globals []*VarDecl
+}
+
+// FuncDecl is a function declaration.
+type FuncDecl struct {
+	Name   string
+	Params []Param
+	Ret    Type
+	Body   *Block
+	Line   int
+}
+
+// Param is a function parameter (scalars and arrays; arrays pass by
+// reference).
+type Param struct {
+	Name string
+	Type Type
+}
+
+// VarDecl declares a scalar or array variable. Arrays take a constant
+// length; initialisation is optional for scalars.
+type VarDecl struct {
+	Name   string
+	Type   Type
+	Len    int64 // array length, 0 for scalars
+	Init   Expr  // optional scalar initialiser
+	Line   int
+	global bool
+}
+
+// Block is a statement list with its own scope.
+type Block struct {
+	Stmts []Stmt
+}
+
+// Stmt is a statement node.
+type Stmt interface{ stmtNode() }
+
+// AssignStmt is "lvalue = expr".
+type AssignStmt struct {
+	LHS  Expr // VarRef or IndexExpr
+	RHS  Expr
+	Line int
+}
+
+// IfStmt is if/else.
+type IfStmt struct {
+	Cond Expr
+	Then *Block
+	Else *Block // may be nil
+	Line int
+}
+
+// WhileStmt is a while loop.
+type WhileStmt struct {
+	Cond     Expr
+	Body     *Block
+	LoopFrog bool // @loopfrog annotation (rejected during checking)
+	Line     int
+}
+
+// ForStmt is "for i in lo..hi { }" — i iterates [lo, hi).
+type ForStmt struct {
+	Var      string
+	Lo, Hi   Expr
+	Body     *Block
+	LoopFrog bool // @loopfrog annotation selects the loop (§5.1)
+	Line     int
+}
+
+// ReturnStmt returns from a function.
+type ReturnStmt struct {
+	Value Expr // may be nil
+	Line  int
+}
+
+// BreakStmt exits the innermost loop.
+type BreakStmt struct{ Line int }
+
+// ContinueStmt skips to the next iteration.
+type ContinueStmt struct{ Line int }
+
+// ExprStmt evaluates an expression for effect (calls).
+type ExprStmt struct {
+	X    Expr
+	Line int
+}
+
+func (*VarDecl) stmtNode()      {}
+func (*AssignStmt) stmtNode()   {}
+func (*IfStmt) stmtNode()       {}
+func (*WhileStmt) stmtNode()    {}
+func (*ForStmt) stmtNode()      {}
+func (*ReturnStmt) stmtNode()   {}
+func (*BreakStmt) stmtNode()    {}
+func (*ContinueStmt) stmtNode() {}
+func (*ExprStmt) stmtNode()     {}
+
+// Expr is an expression node.
+type Expr interface {
+	exprNode()
+	// typ is filled in by the checker.
+	typ() Type
+}
+
+type exprBase struct{ t Type }
+
+func (e *exprBase) typ() Type { return e.t }
+
+// IntLit is an integer literal.
+type IntLit struct {
+	exprBase
+	Value int64
+}
+
+// FloatLit is a floating-point literal.
+type FloatLit struct {
+	exprBase
+	Value float64
+}
+
+// VarRef references a variable.
+type VarRef struct {
+	exprBase
+	Name string
+	Line int
+}
+
+// IndexExpr is arr[idx].
+type IndexExpr struct {
+	exprBase
+	Arr  Expr
+	Idx  Expr
+	Line int
+}
+
+// BinExpr is a binary operation: + - * / % < <= > >= == != && ||.
+type BinExpr struct {
+	exprBase
+	Op   string
+	L, R Expr
+	Line int
+}
+
+// UnExpr is a unary operation: - !.
+type UnExpr struct {
+	exprBase
+	Op   string
+	X    Expr
+	Line int
+}
+
+// CallExpr calls a function. The builtins float(x) and int(x) convert.
+type CallExpr struct {
+	exprBase
+	Name string
+	Args []Expr
+	Line int
+}
+
+func (*IntLit) exprNode()    {}
+func (*FloatLit) exprNode()  {}
+func (*VarRef) exprNode()    {}
+func (*IndexExpr) exprNode() {}
+func (*BinExpr) exprNode()   {}
+func (*UnExpr) exprNode()    {}
+func (*CallExpr) exprNode()  {}

@@ -1,0 +1,378 @@
+package compiler
+
+import "fmt"
+
+// The checker resolves names, infers and validates types, and records the
+// symbol table used by lowering.
+
+type symbol struct {
+	name   string
+	typ    Type
+	length int64 // array length
+	global bool
+	// vreg is assigned during lowering for scalars.
+	vreg int
+	// dataSym is the data-segment symbol for global/local arrays.
+	dataSym string
+}
+
+type scope struct {
+	parent *scope
+	syms   map[string]*symbol
+}
+
+func (s *scope) lookup(name string) *symbol {
+	for sc := s; sc != nil; sc = sc.parent {
+		if sym, ok := sc.syms[name]; ok {
+			return sym
+		}
+	}
+	return nil
+}
+
+func (s *scope) define(sym *symbol) bool {
+	if _, dup := s.syms[sym.name]; dup {
+		return false
+	}
+	s.syms[sym.name] = sym
+	return true
+}
+
+type checker struct {
+	file    *File
+	funcs   map[string]*FuncDecl
+	globals *scope
+	// symOf maps every resolved VarRef/VarDecl to its symbol.
+	symOf map[interface{}]*symbol
+	fn    *FuncDecl
+	loops int
+}
+
+func check(file *File) (*checker, error) {
+	c := &checker{
+		file:    file,
+		funcs:   make(map[string]*FuncDecl),
+		globals: &scope{syms: make(map[string]*symbol)},
+		symOf:   make(map[interface{}]*symbol),
+	}
+	for _, fn := range file.Funcs {
+		if _, dup := c.funcs[fn.Name]; dup {
+			return nil, fmt.Errorf("looplang:%d: duplicate function %q", fn.Line, fn.Name)
+		}
+		if fn.Name == "int" || fn.Name == "float" {
+			return nil, fmt.Errorf("looplang:%d: %q is a builtin", fn.Line, fn.Name)
+		}
+		c.funcs[fn.Name] = fn
+	}
+	if _, ok := c.funcs["main"]; !ok {
+		return nil, fmt.Errorf("looplang: no main function")
+	}
+	for _, g := range file.Globals {
+		if !g.Type.isArray() {
+			return nil, fmt.Errorf("looplang:%d: global %q must be an array (scalar globals are not supported)", g.Line, g.Name)
+		}
+		sym := &symbol{name: g.Name, typ: g.Type, length: g.Len, global: true}
+		if !c.globals.define(sym) {
+			return nil, fmt.Errorf("looplang:%d: duplicate global %q", g.Line, g.Name)
+		}
+		c.symOf[g] = sym
+		if g.Init != nil {
+			return nil, fmt.Errorf("looplang:%d: global initialisers are not supported", g.Line)
+		}
+	}
+	for _, fn := range file.Funcs {
+		if err := c.checkFunc(fn); err != nil {
+			return nil, err
+		}
+	}
+	return c, nil
+}
+
+func (c *checker) checkFunc(fn *FuncDecl) error {
+	c.fn = fn
+	sc := &scope{parent: c.globals, syms: make(map[string]*symbol)}
+	for i := range fn.Params {
+		p := &fn.Params[i]
+		sym := &symbol{name: p.Name, typ: p.Type}
+		if !sc.define(sym) {
+			return fmt.Errorf("looplang:%d: duplicate parameter %q", fn.Line, p.Name)
+		}
+		c.symOf[p] = sym
+	}
+	return c.checkBlock(fn.Body, sc)
+}
+
+func (c *checker) checkBlock(b *Block, parent *scope) error {
+	sc := &scope{parent: parent, syms: make(map[string]*symbol)}
+	for _, s := range b.Stmts {
+		if err := c.checkStmt(s, sc); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (c *checker) checkStmt(s Stmt, sc *scope) error {
+	switch st := s.(type) {
+	case *VarDecl:
+		if st.Init != nil {
+			it, err := c.checkExpr(st.Init, sc)
+			if err != nil {
+				return err
+			}
+			if it != st.Type {
+				return fmt.Errorf("looplang:%d: cannot initialise %s with %s", st.Line, st.Type, it)
+			}
+		}
+		sym := &symbol{name: st.Name, typ: st.Type, length: st.Len}
+		if !sc.define(sym) {
+			return fmt.Errorf("looplang:%d: duplicate variable %q", st.Line, st.Name)
+		}
+		c.symOf[st] = sym
+		return nil
+	case *AssignStmt:
+		lt, err := c.checkLValue(st.LHS, sc)
+		if err != nil {
+			return err
+		}
+		rt, err := c.checkExpr(st.RHS, sc)
+		if err != nil {
+			return err
+		}
+		if lt != rt {
+			return fmt.Errorf("looplang:%d: cannot assign %s to %s", st.Line, rt, lt)
+		}
+		return nil
+	case *IfStmt:
+		ct, err := c.checkExpr(st.Cond, sc)
+		if err != nil {
+			return err
+		}
+		if ct != TypeInt {
+			return fmt.Errorf("looplang:%d: if condition must be int, got %s", st.Line, ct)
+		}
+		if err := c.checkBlock(st.Then, sc); err != nil {
+			return err
+		}
+		if st.Else != nil {
+			return c.checkBlock(st.Else, sc)
+		}
+		return nil
+	case *WhileStmt:
+		if st.LoopFrog {
+			return fmt.Errorf("looplang:%d: @loopfrog supports only counted for loops", st.Line)
+		}
+		ct, err := c.checkExpr(st.Cond, sc)
+		if err != nil {
+			return err
+		}
+		if ct != TypeInt {
+			return fmt.Errorf("looplang:%d: while condition must be int, got %s", st.Line, ct)
+		}
+		c.loops++
+		err = c.checkBlock(st.Body, sc)
+		c.loops--
+		return err
+	case *ForStmt:
+		lot, err := c.checkExpr(st.Lo, sc)
+		if err != nil {
+			return err
+		}
+		hit, err := c.checkExpr(st.Hi, sc)
+		if err != nil {
+			return err
+		}
+		if lot != TypeInt || hit != TypeInt {
+			return fmt.Errorf("looplang:%d: for bounds must be int", st.Line)
+		}
+		inner := &scope{parent: sc, syms: make(map[string]*symbol)}
+		ivar := &symbol{name: st.Var, typ: TypeInt}
+		inner.define(ivar)
+		c.symOf[st] = ivar
+		c.loops++
+		err = c.checkBlock(st.Body, inner)
+		c.loops--
+		return err
+	case *ReturnStmt:
+		if st.Value == nil {
+			if c.fn.Ret != TypeVoid {
+				return fmt.Errorf("looplang:%d: missing return value", st.Line)
+			}
+			return nil
+		}
+		vt, err := c.checkExpr(st.Value, sc)
+		if err != nil {
+			return err
+		}
+		if vt != c.fn.Ret {
+			return fmt.Errorf("looplang:%d: return type %s, want %s", st.Line, vt, c.fn.Ret)
+		}
+		return nil
+	case *BreakStmt:
+		if c.loops == 0 {
+			return fmt.Errorf("looplang:%d: break outside loop", st.Line)
+		}
+		return nil
+	case *ContinueStmt:
+		if c.loops == 0 {
+			return fmt.Errorf("looplang:%d: continue outside loop", st.Line)
+		}
+		return nil
+	case *ExprStmt:
+		_, err := c.checkExpr(st.X, sc)
+		return err
+	}
+	return fmt.Errorf("looplang: unknown statement %T", s)
+}
+
+func (c *checker) checkLValue(e Expr, sc *scope) (Type, error) {
+	switch x := e.(type) {
+	case *VarRef:
+		t, err := c.checkExpr(e, sc)
+		if err != nil {
+			return t, err
+		}
+		if t.isArray() {
+			return t, fmt.Errorf("looplang:%d: cannot assign whole array %q", x.Line, x.Name)
+		}
+		return t, nil
+	case *IndexExpr:
+		return c.checkExpr(e, sc)
+	}
+	return TypeVoid, fmt.Errorf("looplang: expression is not assignable")
+}
+
+func (c *checker) checkExpr(e Expr, sc *scope) (Type, error) {
+	switch x := e.(type) {
+	case *IntLit:
+		x.t = TypeInt
+	case *FloatLit:
+		x.t = TypeFloat
+	case *VarRef:
+		sym := sc.lookup(x.Name)
+		if sym == nil {
+			return TypeVoid, fmt.Errorf("looplang:%d: undefined variable %q", x.Line, x.Name)
+		}
+		c.symOf[x] = sym
+		x.t = sym.typ
+	case *IndexExpr:
+		at, err := c.checkExpr(x.Arr, sc)
+		if err != nil {
+			return TypeVoid, err
+		}
+		if !at.isArray() {
+			return TypeVoid, fmt.Errorf("looplang:%d: indexing non-array %s", x.Line, at)
+		}
+		it, err := c.checkExpr(x.Idx, sc)
+		if err != nil {
+			return TypeVoid, err
+		}
+		if it != TypeInt {
+			return TypeVoid, fmt.Errorf("looplang:%d: index must be int", x.Line)
+		}
+		x.t = at.elem()
+	case *UnExpr:
+		xt, err := c.checkExpr(x.X, sc)
+		if err != nil {
+			return TypeVoid, err
+		}
+		if x.Op == "!" && xt != TypeInt {
+			return TypeVoid, fmt.Errorf("looplang:%d: ! wants int", x.Line)
+		}
+		x.t = xt
+	case *BinExpr:
+		lt, err := c.checkExpr(x.L, sc)
+		if err != nil {
+			return TypeVoid, err
+		}
+		rt, err := c.checkExpr(x.R, sc)
+		if err != nil {
+			return TypeVoid, err
+		}
+		if lt != rt || lt.isArray() {
+			return TypeVoid, fmt.Errorf("looplang:%d: operand types differ or are not scalar: %s %s %s", x.Line, lt, x.Op, rt)
+		}
+		switch x.Op {
+		case "==", "!=", "<", "<=", ">", ">=":
+			x.t = TypeInt
+		case "&&", "||":
+			if lt != TypeInt {
+				return TypeVoid, fmt.Errorf("looplang:%d: logical op wants int", x.Line)
+			}
+			x.t = TypeInt
+		case "%":
+			if lt != TypeInt {
+				return TypeVoid, fmt.Errorf("looplang:%d: %% wants int", x.Line)
+			}
+			x.t = TypeInt
+		default:
+			if lt.isArray() {
+				return TypeVoid, fmt.Errorf("looplang:%d: arithmetic on arrays", x.Line)
+			}
+			x.t = lt
+		}
+	case *CallExpr:
+		switch x.Name {
+		case "int", "float":
+			at, err := c.checkExpr(x.Args[0], sc)
+			if err != nil {
+				return TypeVoid, err
+			}
+			if at.isArray() {
+				return TypeVoid, fmt.Errorf("looplang:%d: cannot convert array", x.Line)
+			}
+			if x.Name == "int" {
+				x.t = TypeInt
+			} else {
+				x.t = TypeFloat
+			}
+		case "sqrt", "abs", "fmin", "fmax":
+			want := 1
+			if x.Name == "fmin" || x.Name == "fmax" {
+				want = 2
+			}
+			if len(x.Args) != want {
+				return TypeVoid, fmt.Errorf("looplang:%d: %s wants %d args", x.Line, x.Name, want)
+			}
+			for _, a := range x.Args {
+				at, err := c.checkExpr(a, sc)
+				if err != nil {
+					return TypeVoid, err
+				}
+				if x.Name == "abs" {
+					if at.isArray() {
+						return TypeVoid, fmt.Errorf("looplang:%d: abs wants a scalar", x.Line)
+					}
+				} else if at != TypeFloat {
+					return TypeVoid, fmt.Errorf("looplang:%d: %s wants float", x.Line, x.Name)
+				}
+			}
+			if x.Name == "abs" {
+				x.t = x.Args[0].typ()
+			} else {
+				x.t = TypeFloat
+			}
+		default:
+			fn, ok := c.funcs[x.Name]
+			if !ok {
+				return TypeVoid, fmt.Errorf("looplang:%d: undefined function %q", x.Line, x.Name)
+			}
+			if len(x.Args) != len(fn.Params) {
+				return TypeVoid, fmt.Errorf("looplang:%d: %s wants %d args, got %d", x.Line, x.Name, len(fn.Params), len(x.Args))
+			}
+			for i, a := range x.Args {
+				at, err := c.checkExpr(a, sc)
+				if err != nil {
+					return TypeVoid, err
+				}
+				if at != fn.Params[i].Type {
+					return TypeVoid, fmt.Errorf("looplang:%d: arg %d of %s: got %s, want %s", x.Line, i+1, x.Name, at, fn.Params[i].Type)
+				}
+			}
+			x.t = fn.Ret
+		}
+	default:
+		return TypeVoid, fmt.Errorf("looplang: unknown expression %T", e)
+	}
+	return e.typ(), nil
+}

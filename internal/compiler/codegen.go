@@ -1,0 +1,279 @@
+package compiler
+
+import (
+	"fmt"
+
+	"loopfrog/internal/asm"
+	"loopfrog/internal/isa"
+)
+
+// Codegen emits allocated IR into an asm.Builder. Spilled vregs are accessed
+// through reserved scratch registers (x3/x4 and f28/f29); block labels are
+// "<fn>.b<N>", and hints target the continuation block's label, so the
+// assembled instruction index of the continuation becomes the region ID.
+
+var (
+	intScratch = [2]isa.Reg{isa.X(3), isa.X(4)}
+	fpScratch  = [2]isa.Reg{isa.F(28), isa.F(29)}
+	intArgs    = []isa.Reg{isa.X(10), isa.X(11), isa.X(12), isa.X(13), isa.X(14), isa.X(15), isa.X(16), isa.X(17)}
+	fpArgs     = []isa.Reg{isa.F(10), isa.F(11), isa.F(12), isa.F(13), isa.F(14), isa.F(15), isa.F(16), isa.F(17)}
+)
+
+type codegen struct {
+	f     *irFunc
+	al    *allocation
+	b     *asm.Builder
+	frame int64
+	raOff int64
+	csOff map[isa.Reg]int64
+}
+
+func genFunc(f *irFunc, al *allocation, b *asm.Builder) error {
+	g := &codegen{f: f, al: al, b: b, csOff: make(map[isa.Reg]int64)}
+	slots := int64(al.spillSlots)
+	off := slots * 8
+	for _, r := range al.usedCallee {
+		g.csOff[r] = off
+		off += 8
+	}
+	if f.callsOut {
+		g.raOff = off
+		off += 8
+	}
+	g.frame = off
+
+	b.Label(f.name)
+	// Prologue.
+	if g.frame > 0 {
+		b.OpImm(isa.ADDI, isa.X(2), isa.X(2), -g.frame)
+	}
+	if f.callsOut {
+		b.Store(isa.SD, isa.X(1), isa.X(2), g.raOff)
+	}
+	for _, r := range al.usedCallee {
+		if r.IsFP() {
+			b.Store(isa.FSD, r, isa.X(2), g.csOff[r])
+		} else {
+			b.Store(isa.SD, r, isa.X(2), g.csOff[r])
+		}
+	}
+	// Move ABI arguments into parameter homes.
+	ni, nf := 0, 0
+	for i, p := range f.params {
+		v := f.paramVR[i]
+		if p.Type == TypeFloat {
+			if nf >= len(fpArgs) {
+				return fmt.Errorf("compiler: %s: too many float parameters", f.name)
+			}
+			g.storeTo(v, fpArgs[nf])
+			nf++
+		} else {
+			if ni >= len(intArgs) {
+				return fmt.Errorf("compiler: %s: too many int parameters", f.name)
+			}
+			g.storeTo(v, intArgs[ni])
+			ni++
+		}
+	}
+
+	for bi, blk := range f.blocks {
+		b.Label(g.blockLabel(bi))
+		for _, in := range blk.insts {
+			if err := g.inst(in); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func (g *codegen) blockLabel(bi int) string { return fmt.Sprintf("%s.b%d", g.f.name, bi) }
+
+// srcReg returns a physical register holding vreg v, loading spills into
+// scratch slot si.
+func (g *codegen) srcReg(v vreg, si int) isa.Reg {
+	loc := g.al.loc[v]
+	if !loc.spilled {
+		return loc.reg
+	}
+	var r isa.Reg
+	if g.f.vregKind[v] == vFloat {
+		r = fpScratch[si]
+		g.b.Load(isa.FLD, r, isa.X(2), int64(loc.slot)*8)
+	} else {
+		r = intScratch[si]
+		g.b.Load(isa.LD, r, isa.X(2), int64(loc.slot)*8)
+	}
+	return r
+}
+
+// dstReg returns the register an instruction should write; spilled
+// destinations use scratch 0 and must be flushed with flushDst.
+func (g *codegen) dstReg(v vreg) isa.Reg {
+	loc := g.al.loc[v]
+	if !loc.spilled {
+		return loc.reg
+	}
+	if g.f.vregKind[v] == vFloat {
+		return fpScratch[0]
+	}
+	return intScratch[0]
+}
+
+func (g *codegen) flushDst(v vreg) {
+	loc := g.al.loc[v]
+	if !loc.spilled {
+		return
+	}
+	if g.f.vregKind[v] == vFloat {
+		g.b.Store(isa.FSD, fpScratch[0], isa.X(2), int64(loc.slot)*8)
+	} else {
+		g.b.Store(isa.SD, intScratch[0], isa.X(2), int64(loc.slot)*8)
+	}
+}
+
+// storeTo moves a value from physical register src into v's home.
+func (g *codegen) storeTo(v vreg, src isa.Reg) {
+	loc := g.al.loc[v]
+	if loc.spilled {
+		if src.IsFP() {
+			g.b.Store(isa.FSD, src, isa.X(2), int64(loc.slot)*8)
+		} else {
+			g.b.Store(isa.SD, src, isa.X(2), int64(loc.slot)*8)
+		}
+		return
+	}
+	if loc.reg == src {
+		return
+	}
+	if src.IsFP() {
+		g.b.Op(isa.FMOV, loc.reg, src, 0)
+	} else {
+		g.b.OpImm(isa.ADDI, loc.reg, src, 0)
+	}
+}
+
+// loadFrom moves v's value into physical register dst.
+func (g *codegen) loadFrom(dst isa.Reg, v vreg) {
+	loc := g.al.loc[v]
+	if loc.spilled {
+		if dst.IsFP() {
+			g.b.Load(isa.FLD, dst, isa.X(2), int64(loc.slot)*8)
+		} else {
+			g.b.Load(isa.LD, dst, isa.X(2), int64(loc.slot)*8)
+		}
+		return
+	}
+	if loc.reg == dst {
+		return
+	}
+	if dst.IsFP() {
+		g.b.Op(isa.FMOV, dst, loc.reg, 0)
+	} else {
+		g.b.OpImm(isa.ADDI, dst, loc.reg, 0)
+	}
+}
+
+func (g *codegen) inst(in irInst) error {
+	switch in.op {
+	case irLabel:
+		return nil
+	case irJmp:
+		g.b.Jump(isa.X(0), g.blockLabel(in.target))
+		return nil
+	case irRet:
+		if in.a != noReg {
+			if in.imm == 1 {
+				g.loadFrom(isa.F(10), in.a)
+			} else {
+				g.loadFrom(isa.X(10), in.a)
+			}
+		}
+		if g.f.name == "main" {
+			g.b.Halt()
+			return nil
+		}
+		for _, r := range g.al.usedCallee {
+			if r.IsFP() {
+				g.b.Load(isa.FLD, r, isa.X(2), g.csOff[r])
+			} else {
+				g.b.Load(isa.LD, r, isa.X(2), g.csOff[r])
+			}
+		}
+		if g.f.callsOut {
+			g.b.Load(isa.LD, isa.X(1), isa.X(2), g.raOff)
+		}
+		if g.frame > 0 {
+			g.b.OpImm(isa.ADDI, isa.X(2), isa.X(2), g.frame)
+		}
+		g.b.I(isa.Inst{Op: isa.JALR, Rd: isa.X(0), Rs1: isa.X(1)})
+		return nil
+	case irCall:
+		// Marshal arguments into the ABI registers.
+		ni, nf := 0, 0
+		for _, a := range in.callArgs {
+			if g.f.vregKind[a] == vFloat {
+				if nf >= len(fpArgs) {
+					return fmt.Errorf("compiler: call %s: too many float args", in.call)
+				}
+				g.loadFrom(fpArgs[nf], a)
+				nf++
+			} else {
+				if ni >= len(intArgs) {
+					return fmt.Errorf("compiler: call %s: too many int args", in.call)
+				}
+				g.loadFrom(intArgs[ni], a)
+				ni++
+			}
+		}
+		g.b.Jump(isa.X(1), in.call)
+		if in.dst != noReg {
+			if g.f.vregKind[in.dst] == vFloat {
+				g.storeTo(in.dst, isa.F(10))
+			} else {
+				g.storeTo(in.dst, isa.X(10))
+			}
+		}
+		return nil
+	}
+
+	meta := isa.OpMeta(in.op)
+	switch {
+	case meta.IsHint:
+		g.b.Hint(in.op, g.blockLabel(in.target))
+	case in.op == isa.LI && in.sym != "":
+		g.b.La(g.dstReg(in.dst), in.sym)
+		g.flushDst(in.dst)
+	case in.op == isa.LI:
+		g.b.Li(g.dstReg(in.dst), in.imm)
+		g.flushDst(in.dst)
+	case meta.IsLoad:
+		addr := g.srcReg(in.a, 1)
+		g.b.Load(in.op, g.dstReg(in.dst), addr, in.imm)
+		g.flushDst(in.dst)
+	case meta.IsStore:
+		addr := g.srcReg(in.a, 0)
+		data := g.srcReg(in.b, 1)
+		g.b.Store(in.op, data, addr, in.imm)
+	case meta.IsBranch:
+		ra := g.srcReg(in.a, 0)
+		rb := g.srcReg(in.b, 1)
+		g.b.Branch(in.op, ra, rb, g.blockLabel(in.target))
+	case meta.HasRs2:
+		ra := g.srcReg(in.a, 0)
+		rb := g.srcReg(in.b, 1)
+		g.b.Op(in.op, g.dstReg(in.dst), ra, rb)
+		g.flushDst(in.dst)
+	case meta.HasRs1 && meta.HasRd && meta.Class == isa.ClassIntALU:
+		ra := g.srcReg(in.a, 0)
+		g.b.OpImm(in.op, g.dstReg(in.dst), ra, in.imm)
+		g.flushDst(in.dst)
+	case meta.HasRs1 && meta.HasRd:
+		ra := g.srcReg(in.a, 0)
+		g.b.Op(in.op, g.dstReg(in.dst), ra, 0)
+		g.flushDst(in.dst)
+	default:
+		return fmt.Errorf("compiler: codegen cannot emit %s", opName(in.op))
+	}
+	return nil
+}

@@ -1,0 +1,131 @@
+package compiler
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"loopfrog/internal/asm"
+)
+
+// Diagnostics collects human-readable compilation notes (e.g. statically
+// de-selected @loopfrog loops, §5.1).
+type Diagnostics []string
+
+type arrayAlloc struct {
+	name   string
+	length int64
+}
+
+// compilation is cross-function state: the float constant pool and static
+// storage for local arrays.
+type compilation struct {
+	floatConsts map[uint64]string
+	floatOrder  []uint64
+	localArrays []arrayAlloc
+}
+
+func (c *compilation) floatConst(v float64) string {
+	bits := math.Float64bits(v)
+	if s, ok := c.floatConsts[bits]; ok {
+		return s
+	}
+	s := fmt.Sprintf("fc.%d", len(c.floatOrder))
+	c.floatConsts[bits] = s
+	c.floatOrder = append(c.floatOrder, bits)
+	return s
+}
+
+// Compile compiles LoopLang source into a program image. Diagnostics report
+// loops that asked for @loopfrog but could not be parallelised.
+func Compile(name, src string) (*asm.Program, Diagnostics, error) {
+	file, err := Parse(src)
+	if err != nil {
+		return nil, nil, err
+	}
+	chk, err := check(file)
+	if err != nil {
+		return nil, nil, err
+	}
+	ctx := &compilation{floatConsts: make(map[uint64]string)}
+
+	var funcs []*irFunc
+	var diags Diagnostics
+	for _, fn := range file.Funcs {
+		f, err := lowerFunc(chk, ctx, fn)
+		if err != nil {
+			return nil, nil, err
+		}
+		diags = append(diags, f.diag...)
+		funcs = append(funcs, f)
+	}
+
+	b := asm.NewBuilder(name)
+	// Code: main first so the entry label exists; others follow.
+	sort.SliceStable(funcs, func(i, j int) bool {
+		return funcs[i].name == "main" && funcs[j].name != "main"
+	})
+	for _, f := range funcs {
+		al := allocate(f)
+		if err := genFunc(f, al, b); err != nil {
+			return nil, nil, err
+		}
+	}
+
+	// Data: global arrays, static local arrays, float constant pool.
+	for _, g := range file.Globals {
+		sym := chk.symOf[g]
+		name := sym.dataSym
+		if name == "" {
+			name = "g." + sym.name
+		}
+		b.Align(8)
+		b.Sym(name).Zero(int(sym.length) * 8)
+	}
+	for _, la := range ctx.localArrays {
+		b.Align(8)
+		b.Sym(la.name).Zero(int(la.length) * 8)
+	}
+	for _, bits := range ctx.floatOrder {
+		b.Align(8)
+		b.Sym(ctx.floatConsts[bits]).Quad(bits)
+	}
+
+	prog, err := b.Build()
+	if err != nil {
+		return nil, nil, err
+	}
+	return prog, diags, nil
+}
+
+// MustCompile is Compile that panics on error; for tests and statically
+// known-good workload sources.
+func MustCompile(name, src string) *asm.Program {
+	p, _, err := Compile(name, src)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// DumpIR returns the IR of every function, for debugging and tests.
+func DumpIR(src string) (string, error) {
+	file, err := Parse(src)
+	if err != nil {
+		return "", err
+	}
+	chk, err := check(file)
+	if err != nil {
+		return "", err
+	}
+	ctx := &compilation{floatConsts: make(map[uint64]string)}
+	out := ""
+	for _, fn := range file.Funcs {
+		f, err := lowerFunc(chk, ctx, fn)
+		if err != nil {
+			return "", err
+		}
+		out += f.dump()
+	}
+	return out, nil
+}

@@ -1,0 +1,494 @@
+package compiler
+
+import (
+	"strings"
+	"testing"
+
+	"loopfrog/internal/cpu"
+	"loopfrog/internal/isa"
+	"loopfrog/internal/ref"
+)
+
+// compileRun compiles and runs under the reference interpreter.
+func compileRun(t *testing.T, src string) *ref.Result {
+	t.Helper()
+	prog, diags, err := Compile("test", src)
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	for _, d := range diags {
+		t.Logf("diag: %s", d)
+	}
+	res, err := ref.Run(prog, ref.Options{MaxSteps: 50_000_000})
+	if err != nil {
+		t.Fatalf("ref.Run: %v\n%s", err, prog.Disassemble())
+	}
+	return res
+}
+
+// a0 returns the conventional result register.
+func a0(r *ref.Result) int64 { return int64(r.Regs[isa.X(10)]) }
+
+func TestCompileArithmetic(t *testing.T) {
+	r := compileRun(t, `
+fn main() -> int {
+    var x: int = 6;
+    var y: int = 7;
+    return x * y + 100 / 5 - 3 % 2;
+}`)
+	if got := a0(r); got != 61 {
+		t.Errorf("main() = %d, want 61", got)
+	}
+}
+
+func TestCompileComparisonsAndLogic(t *testing.T) {
+	r := compileRun(t, `
+fn main() -> int {
+    var a: int = 5;
+    var b: int = 9;
+    var r: int = 0;
+    if a < b { r = r + 1; }
+    if a <= 5 { r = r + 10; }
+    if b > a { r = r + 100; }
+    if b >= 9 { r = r + 1000; }
+    if a == 5 && b == 9 { r = r + 10000; }
+    if a != 5 || b == 9 { r = r + 100000; }
+    if !(a == 6) { r = r + 1000000; }
+    return r;
+}`)
+	if got := a0(r); got != 1111111 {
+		t.Errorf("main() = %d, want 1111111", got)
+	}
+}
+
+func TestCompileWhileLoop(t *testing.T) {
+	r := compileRun(t, `
+fn main() -> int {
+    var n: int = 0;
+    var sum: int = 0;
+    while n < 10 {
+        sum = sum + n;
+        n = n + 1;
+    }
+    return sum;
+}`)
+	if got := a0(r); got != 45 {
+		t.Errorf("main() = %d, want 45", got)
+	}
+}
+
+func TestCompileForLoopAndArrays(t *testing.T) {
+	r := compileRun(t, `
+var data: [64]int;
+
+fn main() -> int {
+    for i in 0..64 {
+        data[i] = i * i;
+    }
+    var sum: int = 0;
+    for i in 0..64 {
+        sum = sum + data[i];
+    }
+    return sum;
+}`)
+	want := int64(0)
+	for i := int64(0); i < 64; i++ {
+		want += i * i
+	}
+	if got := a0(r); got != want {
+		t.Errorf("main() = %d, want %d", got, want)
+	}
+}
+
+func TestCompileBreakContinue(t *testing.T) {
+	r := compileRun(t, `
+fn main() -> int {
+    var sum: int = 0;
+    for i in 0..100 {
+        if i % 2 == 0 { continue; }
+        if i > 20 { break; }
+        sum = sum + i;
+    }
+    return sum;
+}`)
+	if got := a0(r); got != 1+3+5+7+9+11+13+15+17+19 {
+		t.Errorf("main() = %d, want 100", got)
+	}
+}
+
+func TestCompileFunctionsAndRecursion(t *testing.T) {
+	r := compileRun(t, `
+fn fib(n: int) -> int {
+    if n < 2 { return n; }
+    return fib(n - 1) + fib(n - 2);
+}
+
+fn main() -> int {
+    return fib(15);
+}`)
+	if got := a0(r); got != 610 {
+		t.Errorf("fib(15) = %d, want 610", got)
+	}
+}
+
+func TestCompileFloats(t *testing.T) {
+	r := compileRun(t, `
+fn main() -> int {
+    var x: float = 2.0;
+    var y: float = 0.25;
+    var z: float = sqrt(x * 8.0) + y * 4.0;  # 4 + 1
+    if z == 5.0 {
+        return int(z * 10.0);
+    }
+    return -1;
+}`)
+	if got := a0(r); got != 50 {
+		t.Errorf("main() = %d, want 50", got)
+	}
+}
+
+func TestCompileBuiltins(t *testing.T) {
+	r := compileRun(t, `
+fn main() -> int {
+    var a: int = abs(0 - 42);
+    var b: float = fmin(2.5, 1.5);
+    var c: float = fmax(2.5, 1.5);
+    var d: float = abs(0.0 - 3.0);
+    return a + int(b * 2.0) + int(c * 2.0) + int(d);
+}`)
+	if got := a0(r); got != 42+3+5+3 {
+		t.Errorf("main() = %d, want 53", got)
+	}
+}
+
+func TestCompileManyLocalsSpill(t *testing.T) {
+	// More locals than registers force spilling.
+	src := "fn main() -> int {\n"
+	for i := 0; i < 40; i++ {
+		src += "    var v" + string(rune('a'+i%26)) + string(rune('0'+i/26)) + ": int = " + itoa(i) + ";\n"
+	}
+	src += "    var sum: int = 0;\n"
+	for i := 0; i < 40; i++ {
+		src += "    sum = sum + v" + string(rune('a'+i%26)) + string(rune('0'+i/26)) + ";\n"
+	}
+	src += "    return sum;\n}"
+	r := compileRun(t, src)
+	if got := a0(r); got != 780 {
+		t.Errorf("main() = %d, want 780", got)
+	}
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var b []byte
+	for n > 0 {
+		b = append([]byte{byte('0' + n%10)}, b...)
+		n /= 10
+	}
+	return string(b)
+}
+
+const mapLoopSrc = `
+var xs: [512]int;
+var ys: [512]int;
+
+fn main() -> int {
+    for i in 0..512 {
+        xs[i] = i * 3 + 1;
+    }
+    @loopfrog
+    for i in 0..512 {
+        var t: int = xs[i];
+        t = t * t + 7;
+        ys[i] = t;
+    }
+    var check: int = 0;
+    for i in 0..512 {
+        check = check + ys[i];
+    }
+    return check;
+}`
+
+// chainLoopSrc has long serial per-iteration chains: the regime where the
+// baseline window cannot help and LoopFrog's threadlets can (§6.4.1).
+const chainLoopSrc = `
+var xs: [160]int;
+var ys: [160]int;
+
+fn main() -> int {
+    for i in 0..160 {
+        xs[i] = i * 3 + 1;
+    }
+    @loopfrog
+    for i in 0..160 {
+        var t: int = xs[i];
+        for k in 0..120 {
+            t = t * 3 + 1;
+            t = t + (t % 7);
+        }
+        ys[i] = t;
+    }
+    var check: int = 0;
+    for i in 0..160 {
+        check = check + ys[i];
+    }
+    return check;
+}`
+
+func TestCompileLoopFrogHintsEmitted(t *testing.T) {
+	prog, diags, err := Compile("map", mapLoopSrc)
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	if len(diags) != 0 {
+		t.Errorf("unexpected diagnostics: %v", diags)
+	}
+	var det, rea, syn int
+	var regionIDs []int64
+	for _, in := range prog.Insts {
+		switch in.Op {
+		case isa.DETACH:
+			det++
+			regionIDs = append(regionIDs, in.Imm)
+		case isa.REATTACH:
+			rea++
+			regionIDs = append(regionIDs, in.Imm)
+		case isa.SYNC:
+			syn++
+			regionIDs = append(regionIDs, in.Imm)
+		}
+	}
+	if det != 1 || rea != 1 || syn != 1 {
+		t.Fatalf("hints = %d/%d/%d, want 1/1/1\n%s", det, rea, syn, prog.Disassemble())
+	}
+	for _, id := range regionIDs[1:] {
+		if id != regionIDs[0] {
+			t.Errorf("hint region IDs differ: %v", regionIDs)
+		}
+	}
+}
+
+func TestCompiledLoopFrogMatchesReferenceAndSpeedsUp(t *testing.T) {
+	prog, _, err := Compile("chain", chainLoopSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracle := ref.MustRun(prog, ref.Options{})
+
+	run := func(cfg cpu.Config) *cpu.Stats {
+		m, err := cpu.NewMachine(cfg, prog)
+		if err != nil {
+			t.Fatal(err)
+		}
+		st, err := m.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := m.FinalRegs()[isa.X(10)]; got != oracle.Regs[isa.X(10)] {
+			t.Fatalf("result %d != reference %d", got, oracle.Regs[isa.X(10)])
+		}
+		if diff := oracle.Mem.Diff(m.Memory()); diff != "" {
+			t.Fatalf("memory differs:\n%s", diff)
+		}
+		return st
+	}
+	base := run(cpu.BaselineConfig())
+	lf := run(cpu.DefaultConfig())
+	if lf.Spawns == 0 {
+		t.Error("compiled hints never spawned a threadlet")
+	}
+	if lf.Cycles >= base.Cycles {
+		t.Errorf("no speedup from compiled hints: %d vs %d cycles", lf.Cycles, base.Cycles)
+	}
+}
+
+func TestCompileDeselectsReductionLoop(t *testing.T) {
+	// Every statement updates a loop-carried scalar: no parallel body exists
+	// and the compiler must fall back to a plain loop with a diagnostic.
+	prog, diags, err := Compile("red", `
+var xs: [64]int;
+fn main() -> int {
+    var acc: int = 0;
+    @loopfrog
+    for i in 0..64 {
+        acc = acc + xs[i];
+    }
+    return acc;
+}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 1 || !strings.Contains(diags[0], "not parallelised") {
+		t.Errorf("diagnostics = %v, want one de-selection note", diags)
+	}
+	for _, in := range prog.Insts {
+		if isa.OpMeta(in.Op).IsHint {
+			t.Fatalf("de-selected loop still has hint %v", in)
+		}
+	}
+}
+
+func TestCompileLoopWithAccumulatorTail(t *testing.T) {
+	// Mixed loop: a parallel middle and a trailing accumulator; the
+	// accumulator statement must land in the continuation, after reattach.
+	prog, diags, err := Compile("mixed", `
+var xs: [256]int;
+var ys: [256]int;
+fn main() -> int {
+    var acc: int = 0;
+    @loopfrog
+    for i in 0..256 {
+        var t: int = xs[i] * 5;
+        ys[i] = t + 1;
+        acc = acc + 1;
+    }
+    return acc;
+}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 0 {
+		t.Errorf("unexpected diagnostics: %v", diags)
+	}
+	// Order: detach ... reattach ... (acc update) ... sync.
+	var detachIdx, reattachIdx, syncIdx int = -1, -1, -1
+	for i, in := range prog.Insts {
+		switch in.Op {
+		case isa.DETACH:
+			detachIdx = i
+		case isa.REATTACH:
+			reattachIdx = i
+		case isa.SYNC:
+			syncIdx = i
+		}
+	}
+	if detachIdx < 0 || reattachIdx < detachIdx || syncIdx < reattachIdx {
+		t.Fatalf("hint order wrong: detach=%d reattach=%d sync=%d", detachIdx, reattachIdx, syncIdx)
+	}
+	res, err := ref.Run(prog, ref.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := int64(res.Regs[isa.X(10)]); got != 256 {
+		t.Errorf("acc = %d, want 256", got)
+	}
+}
+
+func TestCompileNestedLoopsInnerInBody(t *testing.T) {
+	r := compileRun(t, `
+var m: [1024]int;
+fn main() -> int {
+    @loopfrog
+    for i in 0..32 {
+        for j in 0..32 {
+            m[i * 32 + j] = i + j;
+        }
+    }
+    var s: int = 0;
+    for i in 0..1024 {
+        s = s + m[i];
+    }
+    return s;
+}`)
+	want := int64(0)
+	for i := int64(0); i < 32; i++ {
+		for j := int64(0); j < 32; j++ {
+			want += i + j
+		}
+	}
+	if got := a0(r); got != want {
+		t.Errorf("main() = %d, want %d", got, want)
+	}
+}
+
+func TestCompileCallInLoopBody(t *testing.T) {
+	r := compileRun(t, `
+var out: [100]int;
+fn sq(x: int) -> int { return x * x; }
+fn main() -> int {
+    @loopfrog
+    for i in 0..100 {
+        out[i] = sq(i);
+    }
+    return out[9];
+}`)
+	if got := a0(r); got != 81 {
+		t.Errorf("main() = %d, want 81", got)
+	}
+}
+
+func TestCompileErrors(t *testing.T) {
+	cases := []struct{ name, src, wantSub string }{
+		{"no-main", `fn f() {}`, "no main"},
+		{"undef-var", `fn main() { x = 1; }`, "undefined variable"},
+		{"undef-fn", `fn main() { f(); }`, "undefined function"},
+		{"type-mismatch", `fn main() { var x: int = 1.5; }`, "cannot initialise"},
+		{"bad-cond", `fn main() { if 1.5 { } }`, "must be int"},
+		{"arity", `fn f(a: int) {} fn main() { f(1, 2); }`, "wants 1 args"},
+		{"break-outside", `fn main() { break; }`, "break outside loop"},
+		{"loopfrog-while", `fn main() { @loopfrog while 1 { } }`, "only counted for"},
+		{"scalar-global", `var g: int; fn main() {}`, "must be an array"},
+		{"array-arith", `var a: [4]int; fn main() { var x: int = 0; if a == a { x = 1; } }`, "not scalar"},
+		{"syntax", `fn main() { var ; }`, "expected"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, _, err := Compile(c.name, c.src)
+			if err == nil {
+				t.Fatalf("compile succeeded, want error containing %q", c.wantSub)
+			}
+			if !strings.Contains(err.Error(), c.wantSub) {
+				t.Errorf("error %q does not contain %q", err, c.wantSub)
+			}
+		})
+	}
+}
+
+func TestDumpIR(t *testing.T) {
+	out, err := DumpIR(`fn main() -> int { var x: int = 1; return x + 2; }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "func main") || !strings.Contains(out, "add") {
+		t.Errorf("IR dump looks wrong:\n%s", out)
+	}
+}
+
+func TestCompileArrayParams(t *testing.T) {
+	r := compileRun(t, `
+var buf: [16]int;
+fn fill(a: []int, n: int) {
+    for i in 0..n {
+        a[i] = i * 2;
+    }
+}
+fn total(a: []int, n: int) -> int {
+    var s: int = 0;
+    for i in 0..n {
+        s = s + a[i];
+    }
+    return s;
+}
+fn main() -> int {
+    fill(buf, 16);
+    return total(buf, 16);
+}`)
+	if got := a0(r); got != 240 {
+		t.Errorf("main() = %d, want 240", got)
+	}
+}
+
+func TestCompileFloatParamsAndReturn(t *testing.T) {
+	r := compileRun(t, `
+fn mix(a: float, b: float, w: float) -> float {
+    return a * w + b * (1.0 - w);
+}
+fn main() -> int {
+    return int(mix(10.0, 20.0, 0.25) * 100.0);
+}`)
+	if got := a0(r); got != 1750 {
+		t.Errorf("main() = %d, want 1750", got)
+	}
+}

@@ -1,0 +1,187 @@
+package compiler
+
+import (
+	"fmt"
+	"strings"
+
+	"loopfrog/internal/isa"
+)
+
+// The IR is three-address code over typed virtual registers, organised into
+// basic blocks. Opcodes reuse LFISA's: register allocation only has to
+// rewrite register operands, and codegen is a straight emission.
+
+type vreg int32
+
+const noReg vreg = -1
+
+type vregKind uint8
+
+const (
+	vInt vregKind = iota
+	vFloat
+)
+
+// irInst is one IR instruction.
+type irInst struct {
+	op  isa.Opcode
+	dst vreg
+	a   vreg
+	b   vreg
+	imm int64
+	// sym is a data symbol whose address LI loads (an `la`).
+	sym string
+	// call names a function for pseudo-op call; callArgs are its argument
+	// vregs (moved into ABI registers by codegen).
+	call     string
+	callArgs []vreg
+	// target is a block index for branches/jumps/hints (hints target the
+	// block that starts the continuation; its first-instruction address is
+	// the region ID).
+	target int
+}
+
+func (i irInst) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-8s", i.op)
+	if i.dst != noReg {
+		fmt.Fprintf(&b, " v%d,", i.dst)
+	}
+	if i.a != noReg {
+		fmt.Fprintf(&b, " v%d", i.a)
+	}
+	if i.b != noReg {
+		fmt.Fprintf(&b, " v%d", i.b)
+	}
+	if i.sym != "" {
+		fmt.Fprintf(&b, " @%s", i.sym)
+	}
+	if i.call != "" {
+		fmt.Fprintf(&b, " %s()", i.call)
+	}
+	if i.target >= 0 {
+		fmt.Fprintf(&b, " ->b%d", i.target)
+	} else if i.imm != 0 {
+		fmt.Fprintf(&b, " #%d", i.imm)
+	}
+	return b.String()
+}
+
+// irBlock is a basic block. Control leaves through the trailing branch/jump
+// (if any) or falls through to the next block in order.
+type irBlock struct {
+	insts []irInst
+	// label marks blocks that are hint targets (continuations).
+	isCont bool
+}
+
+// irCall is the pseudo-opcode value used for calls in the IR; it is never
+// emitted. It borrows an opcode slot beyond the ISA's range.
+const (
+	irCall  isa.Opcode = isa.Opcode(isa.NumOpcodes + iota) // call with ABI-reg args
+	irRet                                                  // function return
+	irJmp                                                  // unconditional jump to target
+	irLabel                                                // no-op; kept for readability of dumps
+)
+
+func opName(op isa.Opcode) string {
+	switch op {
+	case irCall:
+		return "call"
+	case irRet:
+		return "ret"
+	case irJmp:
+		return "jmp"
+	case irLabel:
+		return "label"
+	}
+	return op.String()
+}
+
+// irFunc is a function in IR form.
+type irFunc struct {
+	name     string
+	params   []Param
+	paramVR  []vreg
+	ret      Type
+	blocks   []*irBlock
+	vregKind []vregKind
+	// callsOut notes whether the function makes calls (needs ra saved).
+	callsOut bool
+	// diag collects selection diagnostics (e.g. de-selected @loopfrog loops).
+	diag []string
+}
+
+func (f *irFunc) newVreg(k vregKind) vreg {
+	f.vregKind = append(f.vregKind, k)
+	return vreg(len(f.vregKind) - 1)
+}
+
+func (f *irFunc) dump() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "func %s:\n", f.name)
+	for bi, blk := range f.blocks {
+		cont := ""
+		if blk.isCont {
+			cont = " (continuation)"
+		}
+		fmt.Fprintf(&b, "b%d:%s\n", bi, cont)
+		for _, in := range blk.insts {
+			name := opName(in.op)
+			fmt.Fprintf(&b, "    %-8s", name)
+			if in.dst != noReg {
+				fmt.Fprintf(&b, " v%d", in.dst)
+			}
+			if in.a != noReg {
+				fmt.Fprintf(&b, " v%d", in.a)
+			}
+			if in.b != noReg {
+				fmt.Fprintf(&b, " v%d", in.b)
+			}
+			if in.sym != "" {
+				fmt.Fprintf(&b, " @%s", in.sym)
+			}
+			if in.call != "" {
+				fmt.Fprintf(&b, " %s", in.call)
+			}
+			if in.target >= 0 {
+				fmt.Fprintf(&b, " ->b%d", in.target)
+			} else if in.imm != 0 {
+				fmt.Fprintf(&b, " #%d", in.imm)
+			}
+			b.WriteByte('\n')
+		}
+	}
+	return b.String()
+}
+
+// terminator kinds for successor computation.
+func (i irInst) isTerm() bool {
+	if i.op == irJmp || i.op == irRet {
+		return true
+	}
+	m := isa.OpMeta(i.op)
+	return m.IsBranch
+}
+
+// succs returns the successor block indices of block bi.
+func (f *irFunc) succs(bi int) []int {
+	blk := f.blocks[bi]
+	var out []int
+	fall := true
+	for _, in := range blk.insts {
+		switch {
+		case in.op == irJmp:
+			out = append(out, in.target)
+			fall = false
+		case in.op == irRet:
+			fall = false
+		case isa.OpMeta(in.op).IsBranch:
+			out = append(out, in.target)
+		}
+	}
+	if fall && bi+1 < len(f.blocks) {
+		out = append(out, bi+1)
+	}
+	return out
+}

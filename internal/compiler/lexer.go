@@ -1,0 +1,192 @@
+// Package compiler implements LoopLang, a small imperative language, and
+// its compiler to LFISA — the stand-in for the paper's LLVM-based hint
+// compiler (§5). The pipeline is: lex → parse → type-check → lower to a
+// three-address IR over virtual registers → LoopFrog hint insertion for
+// loops annotated `@loopfrog` (§5.3: sync every exit edge, place detach and
+// reattach to maximise the body under the no-register-LCD-out-of-body
+// constraint) → liveness + linear-scan register allocation → LFISA codegen.
+package compiler
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+type tokKind int
+
+const (
+	tokEOF tokKind = iota
+	tokIdent
+	tokInt
+	tokFloat
+	tokString
+	tokPunct   // operators and delimiters
+	tokKeyword // fn var if else while for in return break continue pragma
+)
+
+type token struct {
+	kind tokKind
+	text string
+	line int
+	col  int
+}
+
+var keywords = map[string]bool{
+	"fn": true, "var": true, "if": true, "else": true, "while": true,
+	"for": true, "in": true, "return": true, "break": true, "continue": true,
+	"int": true, "float": true, "true": true, "false": true,
+}
+
+var punctuations = []string{
+	"..", "&&", "||", "==", "!=", "<=", ">=", "->",
+	"+", "-", "*", "/", "%", "=", "<", ">", "!", "(", ")", "{", "}", "[", "]",
+	",", ";", ":", "@",
+}
+
+// lexError reports a lexical error with position.
+type lexError struct {
+	line, col int
+	msg       string
+}
+
+func (e *lexError) Error() string {
+	return fmt.Sprintf("looplang:%d:%d: %s", e.line, e.col, e.msg)
+}
+
+type lexer struct {
+	src  string
+	pos  int
+	line int
+	col  int
+}
+
+func newLexer(src string) *lexer { return &lexer{src: src, line: 1, col: 1} }
+
+func (l *lexer) errf(format string, args ...interface{}) error {
+	return &lexError{line: l.line, col: l.col, msg: fmt.Sprintf(format, args...)}
+}
+
+func (l *lexer) peekByte() byte {
+	if l.pos >= len(l.src) {
+		return 0
+	}
+	return l.src[l.pos]
+}
+
+func (l *lexer) advance() byte {
+	c := l.src[l.pos]
+	l.pos++
+	if c == '\n' {
+		l.line++
+		l.col = 1
+	} else {
+		l.col++
+	}
+	return c
+}
+
+func (l *lexer) skipSpaceAndComments() {
+	for l.pos < len(l.src) {
+		c := l.peekByte()
+		switch {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			l.advance()
+		case c == '#':
+			for l.pos < len(l.src) && l.peekByte() != '\n' {
+				l.advance()
+			}
+		case c == '/' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '/':
+			for l.pos < len(l.src) && l.peekByte() != '\n' {
+				l.advance()
+			}
+		default:
+			return
+		}
+	}
+}
+
+// next returns the next token.
+func (l *lexer) next() (token, error) {
+	l.skipSpaceAndComments()
+	t := token{line: l.line, col: l.col}
+	if l.pos >= len(l.src) {
+		t.kind = tokEOF
+		return t, nil
+	}
+	c := l.peekByte()
+	switch {
+	case unicode.IsLetter(rune(c)) || c == '_':
+		start := l.pos
+		for l.pos < len(l.src) {
+			c := l.peekByte()
+			if unicode.IsLetter(rune(c)) || unicode.IsDigit(rune(c)) || c == '_' {
+				l.advance()
+			} else {
+				break
+			}
+		}
+		t.text = l.src[start:l.pos]
+		if keywords[t.text] {
+			t.kind = tokKeyword
+		} else {
+			t.kind = tokIdent
+		}
+		return t, nil
+	case unicode.IsDigit(rune(c)):
+		start := l.pos
+		isFloat := false
+		for l.pos < len(l.src) {
+			c := l.peekByte()
+			switch {
+			case unicode.IsDigit(rune(c)) || c == 'x' || c == 'X' ||
+				(c >= 'a' && c <= 'f') || (c >= 'A' && c <= 'F') || c == '_':
+				l.advance()
+			case c == '.' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '.':
+				// Range operator, not a decimal point.
+				goto done
+			case c == '.' && !isFloat:
+				isFloat = true
+				l.advance()
+			default:
+				goto done
+			}
+		}
+	done:
+		t.text = strings.ReplaceAll(l.src[start:l.pos], "_", "")
+		if isFloat {
+			t.kind = tokFloat
+		} else {
+			t.kind = tokInt
+		}
+		return t, nil
+	default:
+		for _, p := range punctuations {
+			if strings.HasPrefix(l.src[l.pos:], p) {
+				for range p {
+					l.advance()
+				}
+				t.kind = tokPunct
+				t.text = p
+				return t, nil
+			}
+		}
+		return t, l.errf("unexpected character %q", c)
+	}
+}
+
+// lexAll tokenises the whole source.
+func lexAll(src string) ([]token, error) {
+	l := newLexer(src)
+	var out []token
+	for {
+		t, err := l.next()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, t)
+		if t.kind == tokEOF {
+			return out, nil
+		}
+	}
+}

@@ -1,0 +1,805 @@
+package compiler
+
+import (
+	"fmt"
+
+	"loopfrog/internal/isa"
+)
+
+// Lowering converts checked AST functions into IR, inserting LoopFrog hints
+// for loops annotated @loopfrog (§5.3): every exit edge gets a sync, and
+// detach/reattach are placed around the largest contiguous run of statements
+// whose register (scalar) writes are all loop-body-local and never consumed
+// by later statements of the iteration — the "no register LCD out of the
+// body" constraint. Loops where no such run exists are compiled without
+// hints and reported in the diagnostics (static de-selection, §5.1).
+
+type labelID int
+
+type loopCtx struct {
+	breakLbl    labelID
+	continueLbl labelID
+}
+
+type lowerer struct {
+	c      *checker
+	ctx    *compilation
+	f      *irFunc
+	blocks []*irBlock
+	labels map[labelID]int // labelID -> block index
+	nextLb labelID
+	loops  []loopCtx
+	seq    int
+}
+
+func lowerFunc(c *checker, ctx *compilation, fn *FuncDecl) (*irFunc, error) {
+	lo := &lowerer{
+		c:      c,
+		ctx:    ctx,
+		f:      &irFunc{name: fn.Name, params: fn.Params, ret: fn.Ret},
+		labels: make(map[labelID]int),
+	}
+	lo.newBlock()
+	// Bind parameters to fresh vregs; codegen moves the ABI registers in.
+	for i := range fn.Params {
+		p := &fn.Params[i]
+		k := vInt
+		if p.Type == TypeFloat {
+			k = vFloat
+		}
+		v := lo.f.newVreg(k)
+		lo.f.paramVR = append(lo.f.paramVR, v)
+		c.symOf[p].vreg = int(v)
+		c.symOf[p].dataSym = ""
+	}
+	if err := lo.block(fn.Body); err != nil {
+		return nil, err
+	}
+	// Implicit return at the end.
+	lo.emit(irInst{op: irRet, dst: noReg, a: noReg, b: noReg, target: -1})
+	lo.f.blocks = lo.blocks
+	// Resolve label targets to block indices.
+	for _, blk := range lo.f.blocks {
+		for i := range blk.insts {
+			in := &blk.insts[i]
+			if in.target >= 0 && (in.op == irJmp || isa.OpMeta(in.op).IsBranch || isa.OpMeta(in.op).IsHint) {
+				bi, ok := lo.labels[labelID(in.target)]
+				if !ok {
+					return nil, fmt.Errorf("compiler: unresolved label %d in %s", in.target, fn.Name)
+				}
+				in.target = bi
+			}
+		}
+	}
+	return lo.f, nil
+}
+
+func (lo *lowerer) newBlock() int {
+	lo.blocks = append(lo.blocks, &irBlock{})
+	return len(lo.blocks) - 1
+}
+
+func (lo *lowerer) cur() *irBlock { return lo.blocks[len(lo.blocks)-1] }
+
+func (lo *lowerer) newLabel() labelID {
+	lo.nextLb++
+	return lo.nextLb
+}
+
+// bindLabel starts a new block bound to lb.
+func (lo *lowerer) bindLabel(lb labelID) int {
+	bi := lo.newBlock()
+	lo.labels[lb] = bi
+	return bi
+}
+
+func (lo *lowerer) emit(in irInst) {
+	lo.cur().insts = append(lo.cur().insts, in)
+}
+
+func (lo *lowerer) op3(op isa.Opcode, dst, a, b vreg) {
+	lo.emit(irInst{op: op, dst: dst, a: a, b: b, target: -1})
+}
+
+func (lo *lowerer) opImm(op isa.Opcode, dst, a vreg, imm int64) {
+	lo.emit(irInst{op: op, dst: dst, a: a, b: noReg, imm: imm, target: -1})
+}
+
+func (lo *lowerer) li(dst vreg, v int64) {
+	lo.emit(irInst{op: isa.LI, dst: dst, a: noReg, b: noReg, imm: v, target: -1})
+}
+
+func (lo *lowerer) la(dst vreg, sym string) {
+	lo.emit(irInst{op: isa.LI, dst: dst, a: noReg, b: noReg, sym: sym, target: -1})
+}
+
+func (lo *lowerer) jump(lb labelID) {
+	lo.emit(irInst{op: irJmp, dst: noReg, a: noReg, b: noReg, target: int(lb)})
+	lo.newBlock()
+}
+
+func (lo *lowerer) branch(op isa.Opcode, a, b vreg, lb labelID) {
+	lo.emit(irInst{op: op, dst: noReg, a: a, b: b, target: int(lb)})
+	lo.newBlock()
+}
+
+func (lo *lowerer) hint(op isa.Opcode, lb labelID) {
+	lo.emit(irInst{op: op, dst: noReg, a: noReg, b: noReg, target: int(lb)})
+}
+
+func (lo *lowerer) block(b *Block) error {
+	for _, s := range b.Stmts {
+		if err := lo.stmt(s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (lo *lowerer) stmt(s Stmt) error {
+	switch st := s.(type) {
+	case *VarDecl:
+		sym := lo.c.symOf[st]
+		if sym.typ.isArray() {
+			// Local arrays get static storage (documented: LoopLang arrays
+			// are not reentrant).
+			lo.seq++
+			name := fmt.Sprintf("%s.%s.%d", lo.f.name, sym.name, lo.seq)
+			lo.ctx.localArrays = append(lo.ctx.localArrays, arrayAlloc{name: name, length: sym.length})
+			sym.dataSym = name
+			return nil
+		}
+		v := lo.f.newVreg(kindOf(sym.typ))
+		sym.vreg = int(v)
+		if st.Init != nil {
+			iv, err := lo.expr(st.Init)
+			if err != nil {
+				return err
+			}
+			lo.move(sym.typ, v, iv)
+		} else if sym.typ == TypeFloat {
+			lo.emit(irInst{op: isa.FCVTIF, dst: v, a: lo.zero(), b: noReg, target: -1})
+		} else {
+			lo.li(v, 0)
+		}
+		return nil
+	case *AssignStmt:
+		rv, err := lo.expr(st.RHS)
+		if err != nil {
+			return err
+		}
+		switch lhs := st.LHS.(type) {
+		case *VarRef:
+			sym := lo.c.symOf[lhs]
+			lo.move(sym.typ, vreg(sym.vreg), rv)
+			return nil
+		case *IndexExpr:
+			addr, err := lo.elemAddr(lhs)
+			if err != nil {
+				return err
+			}
+			op := isa.SD
+			if lhs.typ() == TypeFloat {
+				op = isa.FSD
+			}
+			lo.emit(irInst{op: op, dst: noReg, a: addr, b: rv, target: -1})
+			return nil
+		}
+		return fmt.Errorf("compiler: bad assignment target")
+	case *IfStmt:
+		cond, err := lo.expr(st.Cond)
+		if err != nil {
+			return err
+		}
+		elseLbl, endLbl := lo.newLabel(), lo.newLabel()
+		lo.branch(isa.BEQ, cond, lo.zero(), elseLbl)
+		if err := lo.block(st.Then); err != nil {
+			return err
+		}
+		if st.Else != nil {
+			lo.jump(endLbl)
+			lo.bindLabel(elseLbl)
+			if err := lo.block(st.Else); err != nil {
+				return err
+			}
+			lo.bindLabel(endLbl)
+		} else {
+			lo.bindLabel(elseLbl)
+		}
+		return nil
+	case *WhileStmt:
+		headLbl, exitLbl := lo.newLabel(), lo.newLabel()
+		lo.jumpFallthrough(headLbl)
+		cond, err := lo.expr(st.Cond)
+		if err != nil {
+			return err
+		}
+		lo.branch(isa.BEQ, cond, lo.zero(), exitLbl)
+		lo.loops = append(lo.loops, loopCtx{breakLbl: exitLbl, continueLbl: headLbl})
+		if err := lo.block(st.Body); err != nil {
+			return err
+		}
+		lo.loops = lo.loops[:len(lo.loops)-1]
+		lo.jump(headLbl)
+		lo.bindLabel(exitLbl)
+		return nil
+	case *ForStmt:
+		return lo.forStmt(st)
+	case *ReturnStmt:
+		in := irInst{op: irRet, dst: noReg, a: noReg, b: noReg, target: -1}
+		if st.Value != nil {
+			v, err := lo.expr(st.Value)
+			if err != nil {
+				return err
+			}
+			in.a = v
+			if st.Value.typ() == TypeFloat {
+				in.imm = 1 // float return marker for codegen
+			}
+		}
+		lo.emit(in)
+		lo.newBlock()
+		return nil
+	case *BreakStmt:
+		lo.jump(lo.loops[len(lo.loops)-1].breakLbl)
+		return nil
+	case *ContinueStmt:
+		lo.jump(lo.loops[len(lo.loops)-1].continueLbl)
+		return nil
+	case *ExprStmt:
+		_, err := lo.expr(st.X)
+		return err
+	}
+	return fmt.Errorf("compiler: unknown statement %T", s)
+}
+
+// jumpFallthrough binds lb at the current position (starting a new block so
+// back edges have a target).
+func (lo *lowerer) jumpFallthrough(lb labelID) {
+	lo.bindLabel(lb)
+}
+
+// forStmt lowers a counted loop, with LoopFrog hints if selected.
+func (lo *lowerer) forStmt(st *ForStmt) error {
+	ivSym := lo.c.symOf[st]
+	iv := lo.f.newVreg(vInt)
+	ivSym.vreg = int(iv)
+	loV, err := lo.expr(st.Lo)
+	if err != nil {
+		return err
+	}
+	lo.move(TypeInt, iv, loV)
+	hiV, err := lo.expr(st.Hi)
+	if err != nil {
+		return err
+	}
+	hi := lo.f.newVreg(vInt) // freeze the bound
+	lo.move(TypeInt, hi, hiV)
+
+	headLbl, exitLbl := lo.newLabel(), lo.newLabel()
+
+	if !st.LoopFrog {
+		contLbl := lo.newLabel()
+		lo.jumpFallthrough(headLbl)
+		lo.branch(isa.BGE, iv, hi, exitLbl)
+		lo.loops = append(lo.loops, loopCtx{breakLbl: exitLbl, continueLbl: contLbl})
+		if err := lo.block(st.Body); err != nil {
+			return err
+		}
+		lo.loops = lo.loops[:len(lo.loops)-1]
+		lo.bindLabel(contLbl)
+		lo.opImm(isa.ADDI, iv, iv, 1)
+		lo.jump(headLbl)
+		lo.bindLabel(exitLbl)
+		return nil
+	}
+
+	// LoopFrog-selected loop: find the parallel body run (§5.3).
+	run, diag := lo.selectBody(st)
+	if run.len() == 0 {
+		lo.f.diag = append(lo.f.diag,
+			fmt.Sprintf("%s:%d: loop not parallelised: %s", lo.f.name, st.Line, diag))
+		st.LoopFrog = false // static de-selection: compile as a plain loop
+		return lo.forStmt(st)
+	}
+
+	contLbl := lo.newLabel()     // continuation block: the region ID
+	reattachLbl := lo.newLabel() // continue target inside the body
+	syncLbl := lo.newLabel()     // every loop exit goes through the sync
+
+	lo.jumpFallthrough(headLbl)
+	lo.branch(isa.BGE, iv, hi, syncLbl)
+	// Header: statements before the parallel run.
+	lo.loops = append(lo.loops, loopCtx{breakLbl: syncLbl, continueLbl: reattachLbl})
+	for _, s := range st.Body.Stmts[:run.start] {
+		if err := lo.stmt(s); err != nil {
+			return err
+		}
+	}
+	lo.hint(isa.DETACH, contLbl)
+	// Body: the parallel run.
+	for _, s := range st.Body.Stmts[run.start:run.end] {
+		if err := lo.stmt(s); err != nil {
+			return err
+		}
+	}
+	lo.bindLabel(reattachLbl)
+	lo.hint(isa.REATTACH, contLbl)
+	// Continuation: trailing statements, IV update, backedge.
+	cb := lo.bindLabel(contLbl)
+	lo.blocks[cb].isCont = true
+	for _, s := range st.Body.Stmts[run.end:] {
+		if err := lo.stmt(s); err != nil {
+			return err
+		}
+	}
+	lo.loops = lo.loops[:len(lo.loops)-1]
+	lo.opImm(isa.ADDI, iv, iv, 1)
+	lo.jump(headLbl)
+	lo.bindLabel(syncLbl)
+	lo.hint(isa.SYNC, contLbl)
+	lo.bindLabel(exitLbl)
+	return nil
+}
+
+type bodyRun struct{ start, end int }
+
+func (r bodyRun) len() int { return r.end - r.start }
+
+// selectBody finds the largest contiguous run of top-level statements whose
+// scalar writes are all body-local and never read by later statements of the
+// iteration. Returns an empty run (with a reason) when the loop cannot be
+// parallelised.
+func (lo *lowerer) selectBody(st *ForStmt) (bodyRun, string) {
+	stmts := st.Body.Stmts
+	n := len(stmts)
+	if n == 0 {
+		return bodyRun{}, "empty body"
+	}
+	// Collect body-local declarations and per-statement scalar access sets.
+	locals := make(map[*symbol]bool)
+	reads := make([]map[*symbol]bool, n)
+	writes := make([]map[*symbol]bool, n)
+	hasReturn, hasContinue := false, false
+	for i, s := range stmts {
+		reads[i] = make(map[*symbol]bool)
+		writes[i] = make(map[*symbol]bool)
+		lo.scanStmt(s, reads[i], writes[i], locals, &hasReturn, &hasContinue)
+	}
+	if hasReturn {
+		return bodyRun{}, "loop body contains return"
+	}
+	// spine[i]: statement writes a scalar that outlives the iteration.
+	spine := make([]bool, n)
+	for i := range stmts {
+		for w := range writes[i] {
+			if !locals[w] {
+				spine[i] = true
+			}
+		}
+	}
+	best := bodyRun{}
+	for s := 0; s < n; s++ {
+		if spine[s] {
+			continue
+		}
+		for e := s + 1; e <= n; e++ {
+			if e-1 >= s && spine[e-1] {
+				break
+			}
+			// Validity: no later statement reads a scalar written in [s,e).
+			written := make(map[*symbol]bool)
+			for k := s; k < e; k++ {
+				for w := range writes[k] {
+					written[w] = true
+				}
+			}
+			ok := true
+			for k := e; k < n && ok; k++ {
+				for r := range reads[k] {
+					if written[r] {
+						ok = false
+						break
+					}
+				}
+			}
+			// A continue jumps to the reattach, skipping any trailing
+			// continuation statements; with continues present only runs
+			// ending at the last statement are semantically safe.
+			if hasContinue && e != n {
+				continue
+			}
+			if ok && e-s > best.len() {
+				best = bodyRun{start: s, end: e}
+			}
+		}
+	}
+	if best.len() == 0 {
+		return best, "every statement updates a loop-carried or live-out scalar"
+	}
+	return best, ""
+}
+
+// scanStmt accumulates the scalar reads/writes of a statement subtree.
+func (lo *lowerer) scanStmt(s Stmt, reads, writes map[*symbol]bool, locals map[*symbol]bool, hasReturn, hasContinue *bool) {
+	switch st := s.(type) {
+	case *VarDecl:
+		sym := lo.c.symOf[st]
+		locals[sym] = true
+		if st.Init != nil {
+			lo.scanExpr(st.Init, reads)
+		}
+		if !sym.typ.isArray() {
+			writes[sym] = true
+		}
+	case *AssignStmt:
+		lo.scanExpr(st.RHS, reads)
+		switch lhs := st.LHS.(type) {
+		case *VarRef:
+			writes[lo.c.symOf[lhs]] = true
+		case *IndexExpr:
+			lo.scanExpr(lhs.Idx, reads)
+			lo.scanExpr(lhs.Arr, reads)
+		}
+	case *IfStmt:
+		lo.scanExpr(st.Cond, reads)
+		for _, inner := range st.Then.Stmts {
+			lo.scanStmt(inner, reads, writes, locals, hasReturn, hasContinue)
+		}
+		if st.Else != nil {
+			for _, inner := range st.Else.Stmts {
+				lo.scanStmt(inner, reads, writes, locals, hasReturn, hasContinue)
+			}
+		}
+	case *WhileStmt:
+		lo.scanExpr(st.Cond, reads)
+		for _, inner := range st.Body.Stmts {
+			lo.scanStmt(inner, reads, writes, locals, hasReturn, hasContinue)
+		}
+	case *ForStmt:
+		lo.scanExpr(st.Lo, reads)
+		lo.scanExpr(st.Hi, reads)
+		locals[lo.c.symOf[st]] = true
+		for _, inner := range st.Body.Stmts {
+			lo.scanStmt(inner, reads, writes, locals, hasReturn, hasContinue)
+		}
+	case *ReturnStmt:
+		*hasReturn = true
+		if st.Value != nil {
+			lo.scanExpr(st.Value, reads)
+		}
+	case *ExprStmt:
+		lo.scanExpr(st.X, reads)
+	case *ContinueStmt:
+		*hasContinue = true
+	case *BreakStmt:
+	}
+}
+
+func (lo *lowerer) scanExpr(e Expr, reads map[*symbol]bool) {
+	switch x := e.(type) {
+	case *VarRef:
+		sym := lo.c.symOf[x]
+		if !sym.typ.isArray() {
+			reads[sym] = true
+		}
+	case *IndexExpr:
+		lo.scanExpr(x.Arr, reads)
+		lo.scanExpr(x.Idx, reads)
+	case *BinExpr:
+		lo.scanExpr(x.L, reads)
+		lo.scanExpr(x.R, reads)
+	case *UnExpr:
+		lo.scanExpr(x.X, reads)
+	case *CallExpr:
+		for _, a := range x.Args {
+			lo.scanExpr(a, reads)
+		}
+	}
+}
+
+func kindOf(t Type) vregKind {
+	if t == TypeFloat {
+		return vFloat
+	}
+	return vInt
+}
+
+// zero returns a vreg holding integer zero.
+func (lo *lowerer) zero() vreg {
+	v := lo.f.newVreg(vInt)
+	lo.li(v, 0)
+	return v
+}
+
+func (lo *lowerer) move(t Type, dst, src vreg) {
+	if dst == src {
+		return
+	}
+	if t == TypeFloat {
+		lo.op3(isa.FMOV, dst, src, noReg)
+	} else {
+		lo.opImm(isa.ADDI, dst, src, 0)
+	}
+}
+
+// elemAddr computes the byte address of arr[idx].
+func (lo *lowerer) elemAddr(x *IndexExpr) (vreg, error) {
+	base, err := lo.arrayBase(x.Arr)
+	if err != nil {
+		return noReg, err
+	}
+	idx, err := lo.expr(x.Idx)
+	if err != nil {
+		return noReg, err
+	}
+	off := lo.f.newVreg(vInt)
+	lo.opImm(isa.SLLI, off, idx, 3)
+	addr := lo.f.newVreg(vInt)
+	lo.op3(isa.ADD, addr, base, off)
+	return addr, nil
+}
+
+// arrayBase returns a vreg with the base address of an array expression.
+func (lo *lowerer) arrayBase(e Expr) (vreg, error) {
+	ref, ok := e.(*VarRef)
+	if !ok {
+		return noReg, fmt.Errorf("compiler: arrays are referenced by name")
+	}
+	sym := lo.c.symOf[ref]
+	if sym.dataSym == "" && !sym.global && sym.length == 0 {
+		// Array parameter: its base address lives in the param vreg.
+		return vreg(sym.vreg), nil
+	}
+	name := sym.dataSym
+	if name == "" {
+		name = "g." + sym.name
+		sym.dataSym = name
+	}
+	v := lo.f.newVreg(vInt)
+	lo.la(v, name)
+	return v, nil
+}
+
+func (lo *lowerer) expr(e Expr) (vreg, error) {
+	switch x := e.(type) {
+	case *IntLit:
+		v := lo.f.newVreg(vInt)
+		lo.li(v, x.Value)
+		return v, nil
+	case *FloatLit:
+		// Float literals come from a constant pool in the data segment.
+		sym := lo.ctx.floatConst(x.Value)
+		addr := lo.f.newVreg(vInt)
+		lo.la(addr, sym)
+		v := lo.f.newVreg(vFloat)
+		lo.emit(irInst{op: isa.FLD, dst: v, a: addr, b: noReg, target: -1})
+		return v, nil
+	case *VarRef:
+		sym := lo.c.symOf[x]
+		if sym.typ.isArray() {
+			return lo.arrayBase(x)
+		}
+		return vreg(sym.vreg), nil
+	case *IndexExpr:
+		addr, err := lo.elemAddr(x)
+		if err != nil {
+			return noReg, err
+		}
+		if x.typ() == TypeFloat {
+			v := lo.f.newVreg(vFloat)
+			lo.emit(irInst{op: isa.FLD, dst: v, a: addr, b: noReg, target: -1})
+			return v, nil
+		}
+		v := lo.f.newVreg(vInt)
+		lo.emit(irInst{op: isa.LD, dst: v, a: addr, b: noReg, target: -1})
+		return v, nil
+	case *UnExpr:
+		xv, err := lo.expr(x.X)
+		if err != nil {
+			return noReg, err
+		}
+		switch {
+		case x.Op == "-" && x.typ() == TypeFloat:
+			v := lo.f.newVreg(vFloat)
+			lo.op3(isa.FNEG, v, xv, noReg)
+			return v, nil
+		case x.Op == "-":
+			v := lo.f.newVreg(vInt)
+			lo.op3(isa.SUB, v, lo.zero(), xv)
+			return v, nil
+		default: // !x: 1 if x == 0
+			nz := lo.f.newVreg(vInt)
+			lo.op3(isa.SLTU, nz, lo.zero(), xv)
+			v := lo.f.newVreg(vInt)
+			lo.opImm(isa.XORI, v, nz, 1)
+			return v, nil
+		}
+	case *BinExpr:
+		return lo.binExpr(x)
+	case *CallExpr:
+		return lo.call(x)
+	}
+	return noReg, fmt.Errorf("compiler: unknown expression %T", e)
+}
+
+func (lo *lowerer) binExpr(x *BinExpr) (vreg, error) {
+	l, err := lo.expr(x.L)
+	if err != nil {
+		return noReg, err
+	}
+	r, err := lo.expr(x.R)
+	if err != nil {
+		return noReg, err
+	}
+	ft := x.L.typ() == TypeFloat
+	out := func(k vregKind) vreg { return lo.f.newVreg(k) }
+	switch x.Op {
+	case "+", "-", "*", "/":
+		if ft {
+			op := map[string]isa.Opcode{"+": isa.FADD, "-": isa.FSUB, "*": isa.FMUL, "/": isa.FDIV}[x.Op]
+			v := out(vFloat)
+			lo.op3(op, v, l, r)
+			return v, nil
+		}
+		op := map[string]isa.Opcode{"+": isa.ADD, "-": isa.SUB, "*": isa.MUL, "/": isa.DIV}[x.Op]
+		v := out(vInt)
+		lo.op3(op, v, l, r)
+		return v, nil
+	case "%":
+		v := out(vInt)
+		lo.op3(isa.REM, v, l, r)
+		return v, nil
+	case "&&":
+		// Strict evaluation: (l != 0) & (r != 0).
+		ln := out(vInt)
+		lo.op3(isa.SLTU, ln, lo.zero(), l)
+		rn := out(vInt)
+		lo.op3(isa.SLTU, rn, lo.zero(), r)
+		v := out(vInt)
+		lo.op3(isa.AND, v, ln, rn)
+		return v, nil
+	case "||":
+		t := out(vInt)
+		lo.op3(isa.OR, t, l, r)
+		v := out(vInt)
+		lo.op3(isa.SLTU, v, lo.zero(), t)
+		return v, nil
+	case "<", ">", "<=", ">=", "==", "!=":
+		if ft {
+			return lo.floatCmp(x.Op, l, r)
+		}
+		return lo.intCmp(x.Op, l, r)
+	}
+	return noReg, fmt.Errorf("compiler: unknown operator %q", x.Op)
+}
+
+func (lo *lowerer) intCmp(op string, l, r vreg) (vreg, error) {
+	v := lo.f.newVreg(vInt)
+	switch op {
+	case "<":
+		lo.op3(isa.SLT, v, l, r)
+	case ">":
+		lo.op3(isa.SLT, v, r, l)
+	case "<=":
+		lo.op3(isa.SLT, v, r, l)
+		lo.opImm(isa.XORI, v, v, 1)
+	case ">=":
+		lo.op3(isa.SLT, v, l, r)
+		lo.opImm(isa.XORI, v, v, 1)
+	case "==":
+		t := lo.f.newVreg(vInt)
+		lo.op3(isa.XOR, t, l, r)
+		lo.op3(isa.SLTU, v, lo.zero(), t)
+		lo.opImm(isa.XORI, v, v, 1)
+	case "!=":
+		t := lo.f.newVreg(vInt)
+		lo.op3(isa.XOR, t, l, r)
+		lo.op3(isa.SLTU, v, lo.zero(), t)
+	}
+	return v, nil
+}
+
+func (lo *lowerer) floatCmp(op string, l, r vreg) (vreg, error) {
+	v := lo.f.newVreg(vInt)
+	switch op {
+	case "<":
+		lo.op3(isa.FLT, v, l, r)
+	case ">":
+		lo.op3(isa.FLT, v, r, l)
+	case "<=":
+		lo.op3(isa.FLE, v, l, r)
+	case ">=":
+		lo.op3(isa.FLE, v, r, l)
+	case "==":
+		lo.op3(isa.FEQ, v, l, r)
+	case "!=":
+		lo.op3(isa.FEQ, v, l, r)
+		lo.opImm(isa.XORI, v, v, 1)
+	}
+	return v, nil
+}
+
+func (lo *lowerer) call(x *CallExpr) (vreg, error) {
+	switch x.Name {
+	case "int":
+		a, err := lo.expr(x.Args[0])
+		if err != nil {
+			return noReg, err
+		}
+		if x.Args[0].typ() == TypeInt {
+			return a, nil
+		}
+		v := lo.f.newVreg(vInt)
+		lo.op3(isa.FCVTFI, v, a, noReg)
+		return v, nil
+	case "float":
+		a, err := lo.expr(x.Args[0])
+		if err != nil {
+			return noReg, err
+		}
+		if x.Args[0].typ() == TypeFloat {
+			return a, nil
+		}
+		v := lo.f.newVreg(vFloat)
+		lo.op3(isa.FCVTIF, v, a, noReg)
+		return v, nil
+	case "sqrt", "fmin", "fmax":
+		a, err := lo.expr(x.Args[0])
+		if err != nil {
+			return noReg, err
+		}
+		v := lo.f.newVreg(vFloat)
+		if x.Name == "sqrt" {
+			lo.op3(isa.FSQRT, v, a, noReg)
+			return v, nil
+		}
+		b, err := lo.expr(x.Args[1])
+		if err != nil {
+			return noReg, err
+		}
+		op := isa.FMIN
+		if x.Name == "fmax" {
+			op = isa.FMAX
+		}
+		lo.op3(op, v, a, b)
+		return v, nil
+	case "abs":
+		a, err := lo.expr(x.Args[0])
+		if err != nil {
+			return noReg, err
+		}
+		if x.typ() == TypeFloat {
+			v := lo.f.newVreg(vFloat)
+			lo.op3(isa.FABS, v, a, noReg)
+			return v, nil
+		}
+		s := lo.f.newVreg(vInt)
+		lo.opImm(isa.SRAI, s, a, 63)
+		t := lo.f.newVreg(vInt)
+		lo.op3(isa.XOR, t, a, s)
+		v := lo.f.newVreg(vInt)
+		lo.op3(isa.SUB, v, t, s)
+		return v, nil
+	}
+	// Real call.
+	lo.f.callsOut = true
+	var args []vreg
+	for _, a := range x.Args {
+		av, err := lo.expr(a)
+		if err != nil {
+			return noReg, err
+		}
+		args = append(args, av)
+	}
+	in := irInst{op: irCall, dst: noReg, a: noReg, b: noReg, call: x.Name, target: -1}
+	in.callArgs = args
+	if x.typ() != TypeVoid {
+		in.dst = lo.f.newVreg(kindOf(x.typ()))
+	}
+	lo.emit(in)
+	if in.dst == noReg {
+		return lo.zero(), nil
+	}
+	return in.dst, nil
+}

@@ -1,0 +1,504 @@
+package compiler
+
+import (
+	"fmt"
+	"strconv"
+)
+
+type parser struct {
+	toks []token
+	pos  int
+}
+
+// Parse parses LoopLang source into a File.
+func Parse(src string) (*File, error) {
+	toks, err := lexAll(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	return p.file()
+}
+
+func (p *parser) cur() token  { return p.toks[p.pos] }
+func (p *parser) peek() token { return p.toks[min(p.pos+1, len(p.toks)-1)] }
+
+func (p *parser) errf(format string, args ...interface{}) error {
+	t := p.cur()
+	return fmt.Errorf("looplang:%d:%d: %s", t.line, t.col, fmt.Sprintf(format, args...))
+}
+
+func (p *parser) at(kind tokKind, text string) bool {
+	t := p.cur()
+	return t.kind == kind && (text == "" || t.text == text)
+}
+
+func (p *parser) accept(kind tokKind, text string) bool {
+	if p.at(kind, text) {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expect(kind tokKind, text string) (token, error) {
+	t := p.cur()
+	if !p.at(kind, text) {
+		want := text
+		if want == "" {
+			want = fmt.Sprintf("token kind %d", kind)
+		}
+		return t, p.errf("expected %q, found %q", want, t.text)
+	}
+	p.pos++
+	return t, nil
+}
+
+func (p *parser) file() (*File, error) {
+	f := &File{}
+	for !p.at(tokEOF, "") {
+		switch {
+		case p.at(tokKeyword, "fn"):
+			fn, err := p.funcDecl()
+			if err != nil {
+				return nil, err
+			}
+			f.Funcs = append(f.Funcs, fn)
+		case p.at(tokKeyword, "var"):
+			v, err := p.varDecl()
+			if err != nil {
+				return nil, err
+			}
+			v.global = true
+			f.Globals = append(f.Globals, v)
+			if _, err := p.expect(tokPunct, ";"); err != nil {
+				return nil, err
+			}
+		default:
+			return nil, p.errf("expected declaration, found %q", p.cur().text)
+		}
+	}
+	return f, nil
+}
+
+func (p *parser) typeName() (Type, error) {
+	if p.accept(tokPunct, "[") {
+		if _, err := p.expect(tokPunct, "]"); err != nil {
+			return TypeVoid, err
+		}
+		switch {
+		case p.accept(tokKeyword, "int"):
+			return TypeIntArray, nil
+		case p.accept(tokKeyword, "float"):
+			return TypeFloatArray, nil
+		}
+		return TypeVoid, p.errf("expected element type")
+	}
+	switch {
+	case p.accept(tokKeyword, "int"):
+		return TypeInt, nil
+	case p.accept(tokKeyword, "float"):
+		return TypeFloat, nil
+	}
+	return TypeVoid, p.errf("expected type, found %q", p.cur().text)
+}
+
+func (p *parser) funcDecl() (*FuncDecl, error) {
+	line := p.cur().line
+	p.pos++ // fn
+	name, err := p.expect(tokIdent, "")
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokPunct, "("); err != nil {
+		return nil, err
+	}
+	fn := &FuncDecl{Name: name.text, Line: line}
+	for !p.at(tokPunct, ")") {
+		if len(fn.Params) > 0 {
+			if _, err := p.expect(tokPunct, ","); err != nil {
+				return nil, err
+			}
+		}
+		pn, err := p.expect(tokIdent, "")
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokPunct, ":"); err != nil {
+			return nil, err
+		}
+		pt, err := p.typeName()
+		if err != nil {
+			return nil, err
+		}
+		fn.Params = append(fn.Params, Param{Name: pn.text, Type: pt})
+	}
+	p.pos++ // )
+	if p.accept(tokPunct, "->") {
+		rt, err := p.typeName()
+		if err != nil {
+			return nil, err
+		}
+		fn.Ret = rt
+	}
+	body, err := p.block()
+	if err != nil {
+		return nil, err
+	}
+	fn.Body = body
+	return fn, nil
+}
+
+// varDecl parses "var name: type" or "var name: [N]type" or
+// "var name: type = expr" (the leading "var" is consumed here).
+func (p *parser) varDecl() (*VarDecl, error) {
+	line := p.cur().line
+	p.pos++ // var
+	name, err := p.expect(tokIdent, "")
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokPunct, ":"); err != nil {
+		return nil, err
+	}
+	v := &VarDecl{Name: name.text, Line: line}
+	if p.accept(tokPunct, "[") {
+		n, err := p.expect(tokInt, "")
+		if err != nil {
+			return nil, err
+		}
+		length, err := strconv.ParseInt(n.text, 0, 64)
+		if err != nil || length <= 0 {
+			return nil, p.errf("bad array length %q", n.text)
+		}
+		if _, err := p.expect(tokPunct, "]"); err != nil {
+			return nil, err
+		}
+		switch {
+		case p.accept(tokKeyword, "int"):
+			v.Type = TypeIntArray
+		case p.accept(tokKeyword, "float"):
+			v.Type = TypeFloatArray
+		default:
+			return nil, p.errf("expected array element type")
+		}
+		v.Len = length
+		return v, nil
+	}
+	t, err := p.typeName()
+	if err != nil {
+		return nil, err
+	}
+	if t.isArray() {
+		return nil, p.errf("array variables need a length: var %s: [N]T", v.Name)
+	}
+	v.Type = t
+	if p.accept(tokPunct, "=") {
+		init, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		v.Init = init
+	}
+	return v, nil
+}
+
+func (p *parser) block() (*Block, error) {
+	if _, err := p.expect(tokPunct, "{"); err != nil {
+		return nil, err
+	}
+	b := &Block{}
+	for !p.at(tokPunct, "}") {
+		s, err := p.stmt()
+		if err != nil {
+			return nil, err
+		}
+		b.Stmts = append(b.Stmts, s)
+	}
+	p.pos++ // }
+	return b, nil
+}
+
+func (p *parser) stmt() (Stmt, error) {
+	line := p.cur().line
+	switch {
+	case p.at(tokKeyword, "var"):
+		v, err := p.varDecl()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokPunct, ";"); err != nil {
+			return nil, err
+		}
+		return v, nil
+	case p.at(tokPunct, "@"):
+		p.pos++
+		ann, err := p.expect(tokIdent, "")
+		if err != nil {
+			return nil, err
+		}
+		if ann.text != "loopfrog" {
+			return nil, p.errf("unknown annotation @%s", ann.text)
+		}
+		s, err := p.stmt()
+		if err != nil {
+			return nil, err
+		}
+		switch loop := s.(type) {
+		case *ForStmt:
+			loop.LoopFrog = true
+		case *WhileStmt:
+			loop.LoopFrog = true
+		default:
+			return nil, p.errf("@loopfrog must annotate a loop")
+		}
+		return s, nil
+	case p.at(tokKeyword, "if"):
+		p.pos++
+		cond, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		then, err := p.block()
+		if err != nil {
+			return nil, err
+		}
+		st := &IfStmt{Cond: cond, Then: then, Line: line}
+		if p.accept(tokKeyword, "else") {
+			if p.at(tokKeyword, "if") {
+				inner, err := p.stmt()
+				if err != nil {
+					return nil, err
+				}
+				st.Else = &Block{Stmts: []Stmt{inner}}
+			} else {
+				els, err := p.block()
+				if err != nil {
+					return nil, err
+				}
+				st.Else = els
+			}
+		}
+		return st, nil
+	case p.at(tokKeyword, "while"):
+		p.pos++
+		cond, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		body, err := p.block()
+		if err != nil {
+			return nil, err
+		}
+		return &WhileStmt{Cond: cond, Body: body, Line: line}, nil
+	case p.at(tokKeyword, "for"):
+		p.pos++
+		v, err := p.expect(tokIdent, "")
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokKeyword, "in"); err != nil {
+			return nil, err
+		}
+		lo, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokPunct, ".."); err != nil {
+			return nil, err
+		}
+		hi, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		body, err := p.block()
+		if err != nil {
+			return nil, err
+		}
+		return &ForStmt{Var: v.text, Lo: lo, Hi: hi, Body: body, Line: line}, nil
+	case p.at(tokKeyword, "return"):
+		p.pos++
+		st := &ReturnStmt{Line: line}
+		if !p.at(tokPunct, ";") {
+			v, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			st.Value = v
+		}
+		if _, err := p.expect(tokPunct, ";"); err != nil {
+			return nil, err
+		}
+		return st, nil
+	case p.at(tokKeyword, "break"):
+		p.pos++
+		if _, err := p.expect(tokPunct, ";"); err != nil {
+			return nil, err
+		}
+		return &BreakStmt{Line: line}, nil
+	case p.at(tokKeyword, "continue"):
+		p.pos++
+		if _, err := p.expect(tokPunct, ";"); err != nil {
+			return nil, err
+		}
+		return &ContinueStmt{Line: line}, nil
+	default:
+		// Assignment or expression statement.
+		lhs, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if p.accept(tokPunct, "=") {
+			rhs, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(tokPunct, ";"); err != nil {
+				return nil, err
+			}
+			return &AssignStmt{LHS: lhs, RHS: rhs, Line: line}, nil
+		}
+		if _, err := p.expect(tokPunct, ";"); err != nil {
+			return nil, err
+		}
+		return &ExprStmt{X: lhs, Line: line}, nil
+	}
+}
+
+// Precedence climbing.
+var binPrec = map[string]int{
+	"||": 1,
+	"&&": 2,
+	"==": 3, "!=": 3, "<": 3, "<=": 3, ">": 3, ">=": 3,
+	"+": 4, "-": 4,
+	"*": 5, "/": 5, "%": 5,
+}
+
+func (p *parser) expr() (Expr, error) { return p.binExpr(1) }
+
+func (p *parser) binExpr(minPrec int) (Expr, error) {
+	lhs, err := p.unary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.cur()
+		if t.kind != tokPunct {
+			return lhs, nil
+		}
+		prec, ok := binPrec[t.text]
+		if !ok || prec < minPrec {
+			return lhs, nil
+		}
+		p.pos++
+		rhs, err := p.binExpr(prec + 1)
+		if err != nil {
+			return nil, err
+		}
+		lhs = &BinExpr{Op: t.text, L: lhs, R: rhs, Line: t.line}
+	}
+}
+
+func (p *parser) unary() (Expr, error) {
+	t := p.cur()
+	if t.kind == tokPunct && (t.text == "-" || t.text == "!") {
+		p.pos++
+		x, err := p.unary()
+		if err != nil {
+			return nil, err
+		}
+		return &UnExpr{Op: t.text, X: x, Line: t.line}, nil
+	}
+	return p.postfix()
+}
+
+func (p *parser) postfix() (Expr, error) {
+	x, err := p.primary()
+	if err != nil {
+		return nil, err
+	}
+	for p.at(tokPunct, "[") {
+		line := p.cur().line
+		p.pos++
+		idx, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokPunct, "]"); err != nil {
+			return nil, err
+		}
+		x = &IndexExpr{Arr: x, Idx: idx, Line: line}
+	}
+	return x, nil
+}
+
+func (p *parser) primary() (Expr, error) {
+	t := p.cur()
+	switch {
+	case t.kind == tokInt:
+		p.pos++
+		v, err := strconv.ParseInt(t.text, 0, 64)
+		if err != nil {
+			// Very large hex constants parse as unsigned.
+			u, uerr := strconv.ParseUint(t.text, 0, 64)
+			if uerr != nil {
+				return nil, p.errf("bad integer literal %q", t.text)
+			}
+			v = int64(u)
+		}
+		return &IntLit{Value: v}, nil
+	case t.kind == tokFloat:
+		p.pos++
+		v, err := strconv.ParseFloat(t.text, 64)
+		if err != nil {
+			return nil, p.errf("bad float literal %q", t.text)
+		}
+		return &FloatLit{Value: v}, nil
+	case t.kind == tokKeyword && (t.text == "int" || t.text == "float"):
+		// Conversion builtin: int(x), float(x).
+		p.pos++
+		if _, err := p.expect(tokPunct, "("); err != nil {
+			return nil, err
+		}
+		arg, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokPunct, ")"); err != nil {
+			return nil, err
+		}
+		return &CallExpr{Name: t.text, Args: []Expr{arg}, Line: t.line}, nil
+	case t.kind == tokIdent:
+		if p.peek().kind == tokPunct && p.peek().text == "(" {
+			p.pos += 2
+			call := &CallExpr{Name: t.text, Line: t.line}
+			for !p.at(tokPunct, ")") {
+				if len(call.Args) > 0 {
+					if _, err := p.expect(tokPunct, ","); err != nil {
+						return nil, err
+					}
+				}
+				a, err := p.expr()
+				if err != nil {
+					return nil, err
+				}
+				call.Args = append(call.Args, a)
+			}
+			p.pos++
+			return call, nil
+		}
+		p.pos++
+		return &VarRef{Name: t.text, Line: t.line}, nil
+	case t.kind == tokPunct && t.text == "(":
+		p.pos++
+		x, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokPunct, ")"); err != nil {
+			return nil, err
+		}
+		return x, nil
+	}
+	return nil, p.errf("expected expression, found %q", t.text)
+}

@@ -1,0 +1,151 @@
+package compiler
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"loopfrog/internal/isa"
+	"loopfrog/internal/ref"
+)
+
+// Random-expression property test: generate integer expressions, evaluate
+// them both with a direct Go evaluator and by compiling + running the
+// reference interpreter; the results must agree exactly (two's-complement
+// wrap-around semantics, RISC-V-style division corner cases).
+
+type exprGen struct {
+	rng  *rand.Rand
+	vars []string
+	vals map[string]int64
+}
+
+func (g *exprGen) gen(depth int) (string, int64) {
+	if depth <= 0 || g.rng.Intn(4) == 0 {
+		switch g.rng.Intn(3) {
+		case 0:
+			v := int64(g.rng.Intn(2000) - 1000)
+			if v < 0 {
+				// LoopLang has no negative literals; spell it as a unary.
+				return fmt.Sprintf("(0 - %d)", -v), v
+			}
+			return fmt.Sprintf("%d", v), v
+		default:
+			name := g.vars[g.rng.Intn(len(g.vars))]
+			return name, g.vals[name]
+		}
+	}
+	l, lv := g.gen(depth - 1)
+	r, rv := g.gen(depth - 1)
+	switch g.rng.Intn(6) {
+	case 0:
+		return fmt.Sprintf("(%s + %s)", l, r), lv + rv
+	case 1:
+		return fmt.Sprintf("(%s - %s)", l, r), lv - rv
+	case 2:
+		return fmt.Sprintf("(%s * %s)", l, r), lv * rv
+	case 3:
+		if rv == 0 {
+			return fmt.Sprintf("(%s + %s)", l, r), lv + rv
+		}
+		return fmt.Sprintf("(%s / %s)", l, r), lv / rv
+	case 4:
+		if rv == 0 {
+			return fmt.Sprintf("(%s - %s)", l, r), lv - rv
+		}
+		return fmt.Sprintf("(%s %% %s)", l, r), lv % rv
+	default:
+		var b int64
+		if lv < rv {
+			b = 1
+		}
+		return fmt.Sprintf("(%s < %s)", l, r), b
+	}
+}
+
+func TestRandomExpressionsMatchGoSemantics(t *testing.T) {
+	trials := 60
+	if testing.Short() {
+		trials = 15
+	}
+	for trial := 0; trial < trials; trial++ {
+		rng := rand.New(rand.NewSource(int64(4000 + trial)))
+		g := &exprGen{rng: rng, vars: []string{"a", "b", "c"}, vals: map[string]int64{}}
+		var decls strings.Builder
+		for _, v := range g.vars {
+			val := int64(rng.Intn(400) - 200)
+			g.vals[v] = val
+			if val < 0 {
+				fmt.Fprintf(&decls, "    var %s: int = 0 - %d;\n", v, -val)
+			} else {
+				fmt.Fprintf(&decls, "    var %s: int = %d;\n", v, val)
+			}
+		}
+		expr, want := g.gen(4)
+		src := fmt.Sprintf("fn main() -> int {\n%s    return %s;\n}", decls.String(), expr)
+		prog, _, err := Compile("prop", src)
+		if err != nil {
+			t.Fatalf("trial %d: compile %q: %v", trial, expr, err)
+		}
+		res, err := ref.Run(prog, ref.Options{MaxSteps: 1_000_000})
+		if err != nil {
+			t.Fatalf("trial %d: run: %v", trial, err)
+		}
+		if got := int64(res.Regs[isa.X(10)]); got != want {
+			t.Fatalf("trial %d: %s = %d, want %d\nsource:\n%s", trial, expr, got, want, src)
+		}
+	}
+}
+
+// TestRandomLoopsMatchGoSemantics generates small loop nests with array
+// updates and compares the compiled result against a Go re-implementation.
+func TestRandomLoopsMatchGoSemantics(t *testing.T) {
+	trials := 25
+	if testing.Short() {
+		trials = 6
+	}
+	for trial := 0; trial < trials; trial++ {
+		rng := rand.New(rand.NewSource(int64(9000 + trial)))
+		n := 8 + rng.Intn(56)
+		mulA := int64(1 + rng.Intn(9))
+		addB := int64(rng.Intn(50))
+		modM := int64(3 + rng.Intn(97))
+		annotate := ""
+		if rng.Intn(2) == 0 {
+			annotate = "@loopfrog\n    "
+		}
+		src := fmt.Sprintf(`
+var a: [%[1]d]int;
+fn main() -> int {
+    for i in 0..%[1]d {
+        a[i] = i * %[2]d + %[3]d;
+    }
+    %[5]sfor i in 0..%[1]d {
+        var t: int = a[i] %% %[4]d;
+        a[i] = t * t;
+    }
+    var s: int = 0;
+    for i in 0..%[1]d {
+        s = s + a[i];
+    }
+    return s;
+}`, n, mulA, addB, modM, annotate)
+		var want int64
+		for i := int64(0); i < int64(n); i++ {
+			t0 := (i*mulA + addB) % modM
+			want += t0 * t0
+		}
+		prog, _, err := Compile("loopprop", src)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		res, err := ref.Run(prog, ref.Options{MaxSteps: 5_000_000})
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if got := int64(res.Regs[isa.X(10)]); got != want {
+			t.Fatalf("trial %d: sum = %d, want %d\n%s", trial, got, want, src)
+		}
+	}
+}

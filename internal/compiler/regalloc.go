@@ -1,0 +1,266 @@
+package compiler
+
+import (
+	"sort"
+
+	"loopfrog/internal/isa"
+)
+
+// Linear-scan register allocation (Poletto-style) over live intervals
+// computed from iterative block liveness. Two pools per register class:
+// caller-saved registers for intervals that do not cross a call, and
+// callee-saved registers otherwise; exhaustion spills to frame slots.
+//
+// Reserved registers: x1 ra, x2 sp, x3/x4 spill scratch, a0-a7 (x10-17) for
+// ABI argument shuffling, f10-f17 FP arguments, f28/f29 FP spill scratch.
+
+var (
+	intCallerPool = []isa.Reg{isa.X(5), isa.X(6), isa.X(7), isa.X(28), isa.X(29), isa.X(30), isa.X(31)}
+	intCalleePool = []isa.Reg{isa.X(8), isa.X(9), isa.X(18), isa.X(19), isa.X(20), isa.X(21),
+		isa.X(22), isa.X(23), isa.X(24), isa.X(25), isa.X(26), isa.X(27)}
+	fpCallerPool = []isa.Reg{isa.F(0), isa.F(1), isa.F(2), isa.F(3), isa.F(4), isa.F(5),
+		isa.F(6), isa.F(7), isa.F(8), isa.F(9)}
+	fpCalleePool = []isa.Reg{isa.F(18), isa.F(19), isa.F(20), isa.F(21), isa.F(22),
+		isa.F(23), isa.F(24), isa.F(25), isa.F(26), isa.F(27)}
+)
+
+// location is where a vreg lives after allocation.
+type location struct {
+	reg     isa.Reg
+	spilled bool
+	slot    int // frame slot index when spilled
+}
+
+type interval struct {
+	v          vreg
+	start, end int
+	crossCall  bool
+	kind       vregKind
+}
+
+type allocation struct {
+	loc        []location
+	spillSlots int
+	usedCallee []isa.Reg // callee-saved registers the prologue must save
+}
+
+// uses returns the vregs an instruction reads.
+func (i *irInst) uses(buf []vreg) []vreg {
+	buf = buf[:0]
+	if i.a != noReg {
+		buf = append(buf, i.a)
+	}
+	if i.b != noReg {
+		buf = append(buf, i.b)
+	}
+	buf = append(buf, i.callArgs...)
+	return buf
+}
+
+// allocate runs liveness + linear scan for f.
+func allocate(f *irFunc) *allocation {
+	nv := len(f.vregKind)
+	nb := len(f.blocks)
+
+	// Global instruction numbering and call positions.
+	blockStart := make([]int, nb)
+	blockEnd := make([]int, nb)
+	pos := 0
+	var callPos []int
+	for bi, blk := range f.blocks {
+		blockStart[bi] = pos
+		for _, in := range blk.insts {
+			if in.op == irCall {
+				callPos = append(callPos, pos)
+			}
+			pos++
+		}
+		blockEnd[bi] = pos
+	}
+	total := pos
+
+	// Iterative backward liveness over vreg bitsets.
+	words := (nv + 63) / 64
+	liveIn := make([][]uint64, nb)
+	liveOut := make([][]uint64, nb)
+	for i := range liveIn {
+		liveIn[i] = make([]uint64, words)
+		liveOut[i] = make([]uint64, words)
+	}
+	set := func(bs []uint64, v vreg) { bs[v/64] |= 1 << (uint(v) % 64) }
+	clr := func(bs []uint64, v vreg) { bs[v/64] &^= 1 << (uint(v) % 64) }
+	get := func(bs []uint64, v vreg) bool { return bs[v/64]&(1<<(uint(v)%64)) != 0 }
+
+	var scratch []vreg
+	changed := true
+	for changed {
+		changed = false
+		for bi := nb - 1; bi >= 0; bi-- {
+			out := liveOut[bi]
+			for i := range out {
+				out[i] = 0
+			}
+			for _, s := range f.succs(bi) {
+				for w := range out {
+					out[w] |= liveIn[s][w]
+				}
+			}
+			in := make([]uint64, words)
+			copy(in, out)
+			blk := f.blocks[bi]
+			for k := len(blk.insts) - 1; k >= 0; k-- {
+				inst := &blk.insts[k]
+				if inst.dst != noReg {
+					clr(in, inst.dst)
+				}
+				for _, u := range inst.uses(scratch) {
+					set(in, u)
+				}
+			}
+			for w := range in {
+				if in[w] != liveIn[bi][w] {
+					changed = true
+				}
+			}
+			copy(liveIn[bi], in)
+		}
+	}
+
+	// Build intervals.
+	starts := make([]int, nv)
+	ends := make([]int, nv)
+	for v := range starts {
+		starts[v] = total + 1
+		ends[v] = -1
+	}
+	touch := func(v vreg, p int) {
+		if int(v) >= nv {
+			return
+		}
+		if p < starts[v] {
+			starts[v] = p
+		}
+		if p > ends[v] {
+			ends[v] = p
+		}
+	}
+	pos = 0
+	for bi, blk := range f.blocks {
+		for w := 0; w < nv; w++ {
+			if get(liveIn[bi], vreg(w)) {
+				touch(vreg(w), blockStart[bi])
+			}
+			if get(liveOut[bi], vreg(w)) {
+				touch(vreg(w), blockEnd[bi])
+			}
+		}
+		for _, in := range blk.insts {
+			if in.dst != noReg {
+				touch(in.dst, pos)
+			}
+			for _, u := range in.uses(scratch) {
+				touch(u, pos)
+			}
+			pos++
+		}
+	}
+
+	var ivs []interval
+	for v := 0; v < nv; v++ {
+		if ends[v] < 0 {
+			continue // never used
+		}
+		iv := interval{v: vreg(v), start: starts[v], end: ends[v] + 1, kind: f.vregKind[v]}
+		for _, cp := range callPos {
+			if cp > iv.start && cp < iv.end {
+				iv.crossCall = true
+				break
+			}
+		}
+		ivs = append(ivs, iv)
+	}
+	sort.Slice(ivs, func(i, j int) bool { return ivs[i].start < ivs[j].start })
+
+	// Linear scan with two pools per class.
+	alloc := &allocation{loc: make([]location, nv)}
+	type active struct {
+		end int
+		reg isa.Reg
+	}
+	free := map[isa.Reg]bool{}
+	for _, r := range intCallerPool {
+		free[r] = true
+	}
+	for _, r := range intCalleePool {
+		free[r] = true
+	}
+	for _, r := range fpCallerPool {
+		free[r] = true
+	}
+	for _, r := range fpCalleePool {
+		free[r] = true
+	}
+	var act []active
+	usedCallee := map[isa.Reg]bool{}
+	isCallee := map[isa.Reg]bool{}
+	for _, r := range intCalleePool {
+		isCallee[r] = true
+	}
+	for _, r := range fpCalleePool {
+		isCallee[r] = true
+	}
+
+	pickFrom := func(pool []isa.Reg) (isa.Reg, bool) {
+		for _, r := range pool {
+			if free[r] {
+				return r, true
+			}
+		}
+		return 0, false
+	}
+
+	for _, iv := range ivs {
+		// Expire finished intervals.
+		keep := act[:0]
+		for _, a := range act {
+			if a.end > iv.start {
+				keep = append(keep, a)
+			} else {
+				free[a.reg] = true
+			}
+		}
+		act = keep
+
+		var primary, secondary []isa.Reg
+		switch {
+		case iv.kind == vInt && iv.crossCall:
+			primary = intCalleePool
+		case iv.kind == vInt:
+			primary, secondary = intCallerPool, intCalleePool
+		case iv.crossCall:
+			primary = fpCalleePool
+		default:
+			primary, secondary = fpCallerPool, fpCalleePool
+		}
+		r, ok := pickFrom(primary)
+		if !ok && secondary != nil {
+			r, ok = pickFrom(secondary)
+		}
+		if !ok {
+			alloc.loc[iv.v] = location{spilled: true, slot: alloc.spillSlots}
+			alloc.spillSlots++
+			continue
+		}
+		free[r] = false
+		act = append(act, active{end: iv.end, reg: r})
+		alloc.loc[iv.v] = location{reg: r}
+		if isCallee[r] {
+			usedCallee[r] = true
+		}
+	}
+	for r := range usedCallee {
+		alloc.usedCallee = append(alloc.usedCallee, r)
+	}
+	sort.Slice(alloc.usedCallee, func(i, j int) bool { return alloc.usedCallee[i] < alloc.usedCallee[j] })
+	return alloc
+}

@@ -1,0 +1,145 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func exactCD(n int) *ConflictDetector {
+	return NewConflictDetector(n, 4, func() GranuleSet { return NewExactSet() })
+}
+
+func TestConflictBasicRAWViolation(t *testing.T) {
+	cd := exactCD(4)
+	// T1 reads granule 5 before T0 writes it: violation, squash T1.
+	cd.OnRead(1, []uint64{5})
+	victim, squash := cd.OnWrite(0, []uint64{5}, []int{1, 2, 3})
+	if !squash || victim != 1 {
+		t.Errorf("OnWrite = (%d,%v), want (1,true)", victim, squash)
+	}
+	if cd.Conflicts != 1 {
+		t.Errorf("conflicts = %d, want 1", cd.Conflicts)
+	}
+}
+
+func TestConflictNoViolationDisjointGranules(t *testing.T) {
+	cd := exactCD(4)
+	cd.OnRead(1, []uint64{5})
+	if _, squash := cd.OnWrite(0, []uint64{6}, []int{1, 2, 3}); squash {
+		t.Error("disjoint granules reported a conflict")
+	}
+}
+
+func TestConflictOwnWriteMasksRead(t *testing.T) {
+	// SPECULATIVEREAD: granules in the threadlet's own write set never enter
+	// its read set — forwarding within the threadlet is always correct.
+	cd := exactCD(4)
+	cd.OnWrite(1, []uint64{5}, []int{2, 3})
+	cd.OnRead(1, []uint64{5})
+	if _, squash := cd.OnWrite(0, []uint64{5}, []int{1, 2, 3}); squash {
+		t.Error("read of own forwarded value triggered a squash")
+	}
+}
+
+func TestConflictInterveningWriteMasksFwd(t *testing.T) {
+	// Algorithm 1's Fwd subtraction: T0 writes g; T1 also wrote g; T2 read g.
+	// T2's read observed T1's value (or will conflict with T1's own check),
+	// so T0's write must NOT squash T2.
+	cd := exactCD(4)
+	cd.OnWrite(1, []uint64{9}, []int{2, 3})
+	cd.OnRead(2, []uint64{9})
+	if victim, squash := cd.OnWrite(0, []uint64{9}, []int{1, 2, 3}); squash {
+		t.Errorf("masked forward squashed T%d", victim)
+	}
+	// But T1's own (later) write to g must catch T2.
+	if victim, squash := cd.OnWrite(1, []uint64{9}, []int{2, 3}); !squash || victim != 2 {
+		t.Errorf("intervening writer's check = (%d,%v), want (2,true)", victim, squash)
+	}
+}
+
+func TestConflictOldestViolatorWins(t *testing.T) {
+	cd := exactCD(4)
+	cd.OnRead(1, []uint64{3})
+	cd.OnRead(2, []uint64{3})
+	victim, squash := cd.OnWrite(0, []uint64{3}, []int{1, 2, 3})
+	if !squash || victim != 1 {
+		t.Errorf("victim = %d, want oldest violator 1", victim)
+	}
+}
+
+func TestConflictMultiGranuleWrite(t *testing.T) {
+	cd := exactCD(4)
+	cd.OnRead(2, []uint64{11})
+	victim, squash := cd.OnWrite(1, []uint64{10, 11}, []int{2, 3})
+	if !squash || victim != 2 {
+		t.Errorf("multi-granule check = (%d,%v), want (2,true)", victim, squash)
+	}
+}
+
+func TestConflictClear(t *testing.T) {
+	cd := exactCD(4)
+	cd.OnRead(1, []uint64{5})
+	cd.Clear(1)
+	if _, squash := cd.OnWrite(0, []uint64{5}, []int{1}); squash {
+		t.Error("cleared read set still triggers conflicts")
+	}
+	r, w := cd.SetSizes(1)
+	if r != 0 || w != 0 {
+		t.Errorf("sizes after clear = (%d,%d), want (0,0)", r, w)
+	}
+}
+
+func TestConflictSnoopHelpers(t *testing.T) {
+	cd := exactCD(2)
+	cd.OnRead(1, []uint64{7})
+	cd.OnWrite(1, []uint64{8}, nil)
+	if !cd.ReadSetContains(1, 7) || cd.ReadSetContains(1, 8) {
+		t.Error("ReadSetContains wrong")
+	}
+	if !cd.WriteSetContains(1, 8) || cd.WriteSetContains(1, 7) {
+		t.Error("WriteSetContains wrong")
+	}
+}
+
+// TestConflictSequentialOrderNeverSquashes: when accesses happen in true
+// epoch order (every read after all older writes, with forwarding), no
+// squash may occur, whatever the overlap pattern.
+func TestConflictSequentialOrderNeverSquashes(t *testing.T) {
+	f := func(writes, reads []uint8) bool {
+		cd := exactCD(3)
+		for _, w := range writes {
+			if _, squash := cd.OnWrite(0, []uint64{uint64(w)}, []int{1, 2}); squash {
+				return false
+			}
+		}
+		// T1 reads after all T0 writes performed: it read fresh values, and
+		// the SSB forwarding means its reads ARE recorded — but no further
+		// T0 write arrives, so no squash can occur.
+		for _, r := range reads {
+			cd.OnRead(1, []uint64{uint64(r)})
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBloomConflictDetectorConservative(t *testing.T) {
+	// The Bloom-filter detector may report extra conflicts but never misses
+	// a real one.
+	cdE := exactCD(4)
+	cdB := NewConflictDetector(4, 4, func() GranuleSet { return NewBloomSet(4096, 4) })
+	granules := []uint64{1, 100, 4096, 99999, 123456789}
+	for _, g := range granules {
+		cdE.OnRead(1, []uint64{g})
+		cdB.OnRead(1, []uint64{g})
+	}
+	for _, g := range granules {
+		_, se := cdE.OnWrite(0, []uint64{g}, []int{1})
+		_, sb := cdB.OnWrite(0, []uint64{g}, []int{1})
+		if se && !sb {
+			t.Fatalf("Bloom detector missed a real conflict on granule %d", g)
+		}
+	}
+}

@@ -1,0 +1,91 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestExactSetBasics(t *testing.T) {
+	s := NewExactSet()
+	if s.Contains(5) || s.Len() != 0 {
+		t.Error("fresh set not empty")
+	}
+	s.Add(5)
+	s.Add(5)
+	s.Add(7)
+	if !s.Contains(5) || !s.Contains(7) || s.Contains(6) {
+		t.Error("membership wrong")
+	}
+	if s.Len() != 2 {
+		t.Errorf("len = %d, want 2", s.Len())
+	}
+	s.Clear()
+	if s.Contains(5) || s.Len() != 0 {
+		t.Error("clear failed")
+	}
+}
+
+func TestBloomSetNoFalseNegatives(t *testing.T) {
+	f := func(granules []uint64) bool {
+		s := NewBloomSet(4096, 4)
+		for _, g := range granules {
+			s.Add(g)
+		}
+		for _, g := range granules {
+			if !s.Contains(g) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBloomSetFalsePositiveRateReasonable(t *testing.T) {
+	s := NewBloomSet(4096, 4)
+	rng := rand.New(rand.NewSource(3))
+	inserted := make(map[uint64]bool)
+	for i := 0; i < 128; i++ { // well under capacity
+		g := rng.Uint64()
+		s.Add(g)
+		inserted[g] = true
+	}
+	fp := 0
+	const probes = 10_000
+	for i := 0; i < probes; i++ {
+		g := rng.Uint64()
+		if inserted[g] {
+			continue
+		}
+		if s.Contains(g) {
+			fp++
+		}
+	}
+	if rate := float64(fp) / probes; rate > 0.05 {
+		t.Errorf("false positive rate %.3f too high for 128 entries in 4096 bits", rate)
+	}
+}
+
+func TestBloomSetClear(t *testing.T) {
+	s := NewBloomSet(256, 2)
+	s.Add(42)
+	s.Clear()
+	if s.Contains(42) {
+		t.Error("clear left bits set")
+	}
+	if s.Len() != 0 {
+		t.Error("clear did not reset count")
+	}
+}
+
+func TestBloomSetSizeRounding(t *testing.T) {
+	// 100 bits rounds up to 128; zero hashes becomes one.
+	s := NewBloomSet(100, 0)
+	s.Add(1)
+	if !s.Contains(1) {
+		t.Error("degenerate config broken")
+	}
+}

@@ -1,0 +1,205 @@
+package core
+
+// RegionMonitor implements the dynamic side of loop selection (§5.1): the
+// microarchitecture may de-select a region at run time by treating its hints
+// as NOPs, which bounds the damage of unprofitable parallelisation (frequent
+// conflicts, SSB overflows, low trip counts) to two NOPs per iteration.
+//
+// The policy is a simple exponential backoff: each squash charges the
+// region; overflow squashes charge more (they recur deterministically).
+// When the charge crosses a threshold, spawning is disabled for a cooldown
+// measured in detach sightings, doubling on each consecutive disablement.
+
+// SquashCause classifies why a threadlet was squashed.
+type SquashCause int
+
+// Squash causes.
+const (
+	SquashConflict       SquashCause = iota // RAW order violation (§4.2)
+	SquashOverflow                          // SSB slice overflow (§4.1.2)
+	SquashSync                              // loop exited; successors misspeculated
+	SquashPackMispredict                    // packed IV prediction failed (§4.3)
+	SquashWrongPath                         // spawned under a branch misprediction
+	SquashExternal                          // incompatible external snoop (§4.1.4)
+	numSquashCauses
+)
+
+// NumSquashCauses is the number of distinct squash causes.
+const NumSquashCauses = int(numSquashCauses)
+
+// String names the cause.
+func (c SquashCause) String() string {
+	switch c {
+	case SquashConflict:
+		return "conflict"
+	case SquashOverflow:
+		return "overflow"
+	case SquashSync:
+		return "sync"
+	case SquashPackMispredict:
+		return "pack-mispredict"
+	case SquashWrongPath:
+		return "wrong-path"
+	case SquashExternal:
+		return "external"
+	}
+	return "unknown"
+}
+
+// MonitorConfig tunes the region monitor.
+type MonitorConfig struct {
+	// Enabled turns dynamic de-selection on.
+	Enabled bool
+	// MinEpochInsts is the committed-epoch size below which a retired
+	// (unpacked) epoch is considered too small to repay its threadlet: the
+	// "very tight inner loops" and "low iteration count" cases of §5.1 and
+	// §6.4.3, charged like a light squash.
+	MinEpochInsts int
+	// Threshold is the squash charge at which a region is disabled.
+	Threshold int
+	// BaseCooldown is the number of detach sightings a region stays
+	// disabled the first time; it doubles per consecutive disablement up to
+	// MaxCooldown.
+	BaseCooldown, MaxCooldown int
+	// DecayEvery commits decay one unit of charge.
+	DecayEvery int
+}
+
+// DefaultMonitorConfig returns the headline policy.
+func DefaultMonitorConfig() MonitorConfig {
+	return MonitorConfig{
+		Enabled:       true,
+		MinEpochInsts: 24,
+		Threshold:     8,
+		BaseCooldown:  64,
+		MaxCooldown:   4096,
+		DecayEvery:    8,
+	}
+}
+
+type regionHealth struct {
+	charge      int
+	cooldown    int // remaining disabled detach sightings
+	nextCd      int // cooldown length for the next disablement
+	commits     int
+	disabled    uint64
+	everSpawned bool
+}
+
+// RegionMonitor tracks per-region profitability.
+type RegionMonitor struct {
+	cfg     MonitorConfig
+	regions map[int64]*regionHealth
+
+	// Stats.
+	Disablements uint64
+}
+
+// NewRegionMonitor returns a monitor with the given policy.
+func NewRegionMonitor(cfg MonitorConfig) *RegionMonitor {
+	return &RegionMonitor{cfg: cfg, regions: make(map[int64]*regionHealth)}
+}
+
+func (m *RegionMonitor) region(id int64) *regionHealth {
+	r := m.regions[id]
+	if r == nil {
+		r = &regionHealth{nextCd: m.cfg.BaseCooldown}
+		m.regions[id] = r
+	}
+	return r
+}
+
+// Allow reports whether the machine may spawn for region id at this detach.
+// Each call while disabled consumes one sighting of the cooldown.
+func (m *RegionMonitor) Allow(id int64) bool {
+	if !m.cfg.Enabled {
+		return true
+	}
+	r := m.region(id)
+	if r.cooldown > 0 {
+		r.cooldown--
+		if r.cooldown == 0 && r.nextCd < m.cfg.MaxCooldown {
+			// Re-enable tentatively; next disablement lasts longer.
+		}
+		return false
+	}
+	r.everSpawned = true
+	return true
+}
+
+// OnSquash charges a region for a squash of one of its threadlets.
+func (m *RegionMonitor) OnSquash(id int64, cause SquashCause) {
+	if !m.cfg.Enabled {
+		return
+	}
+	r := m.region(id)
+	switch cause {
+	case SquashOverflow:
+		r.charge += m.cfg.Threshold // immediate disable: overflow recurs
+	case SquashConflict, SquashPackMispredict, SquashExternal:
+		r.charge += 2
+	case SquashSync:
+		// Loop exits are expected, but a region whose threadlets are mostly
+		// cancelled at the exit (low trip counts, §6.4.3) never repays the
+		// spawns; a light charge lets commits outvote it in healthy loops.
+		r.charge++
+	case SquashWrongPath:
+		// Covered by the branch-misprediction machinery; no charge.
+	}
+	if r.charge >= m.cfg.Threshold {
+		r.charge = 0
+		r.cooldown = r.nextCd
+		if r.nextCd < m.cfg.MaxCooldown {
+			r.nextCd *= 2
+		}
+		r.disabled++
+		m.Disablements++
+	}
+}
+
+// OnEpochRetired reports a retired epoch's committed instruction count;
+// regions whose epochs are persistently tiny get charged and eventually
+// de-selected (treating their hints as NOPs costs only two NOPs per
+// iteration, §5.1).
+func (m *RegionMonitor) OnEpochRetired(id int64, insts uint64) {
+	if !m.cfg.Enabled || insts >= uint64(m.cfg.MinEpochInsts) {
+		return
+	}
+	r := m.region(id)
+	r.charge += 2
+	if r.charge >= m.cfg.Threshold {
+		r.charge = 0
+		r.cooldown = r.nextCd
+		if r.nextCd < m.cfg.MaxCooldown {
+			r.nextCd *= 2
+		}
+		r.disabled++
+		m.Disablements++
+	}
+}
+
+// OnCommit credits a region for a successfully committed threadlet.
+func (m *RegionMonitor) OnCommit(id int64) {
+	if !m.cfg.Enabled {
+		return
+	}
+	r := m.region(id)
+	r.commits++
+	if m.cfg.DecayEvery > 0 && r.commits%m.cfg.DecayEvery == 0 {
+		if r.charge > 0 {
+			r.charge--
+		}
+		// Sustained success also walks the escalation back down.
+		if r.commits%(m.cfg.DecayEvery*8) == 0 && r.nextCd > m.cfg.BaseCooldown {
+			r.nextCd /= 2
+		}
+	}
+}
+
+// Disabled reports whether the region is currently in cooldown.
+func (m *RegionMonitor) Disabled(id int64) bool {
+	if !m.cfg.Enabled {
+		return false
+	}
+	return m.region(id).cooldown > 0
+}

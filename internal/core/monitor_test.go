@@ -1,0 +1,174 @@
+package core
+
+import "testing"
+
+func TestMonitorAllowsHealthyRegion(t *testing.T) {
+	m := NewRegionMonitor(DefaultMonitorConfig())
+	for i := 0; i < 100; i++ {
+		if !m.Allow(42) {
+			t.Fatal("healthy region disallowed")
+		}
+		m.OnCommit(42)
+	}
+	if m.Disablements != 0 {
+		t.Errorf("disablements = %d, want 0", m.Disablements)
+	}
+}
+
+func TestMonitorOverflowDisablesImmediately(t *testing.T) {
+	m := NewRegionMonitor(DefaultMonitorConfig())
+	m.Allow(1)
+	m.OnSquash(1, SquashOverflow)
+	if m.Allow(1) {
+		t.Fatal("region allowed right after an overflow squash")
+	}
+	if !m.Disabled(1) {
+		t.Error("Disabled() = false during cooldown")
+	}
+}
+
+func TestMonitorCooldownExpires(t *testing.T) {
+	cfg := DefaultMonitorConfig()
+	cfg.BaseCooldown = 3
+	m := NewRegionMonitor(cfg)
+	m.OnSquash(1, SquashOverflow)
+	for i := 0; i < 3; i++ {
+		if m.Allow(1) {
+			t.Fatalf("allowed during cooldown sighting %d", i)
+		}
+	}
+	if !m.Allow(1) {
+		t.Error("still disabled after cooldown expired")
+	}
+}
+
+func TestMonitorEscalatingCooldown(t *testing.T) {
+	cfg := DefaultMonitorConfig()
+	cfg.BaseCooldown = 2
+	m := NewRegionMonitor(cfg)
+	drain := func() int {
+		n := 0
+		for !m.Allow(1) {
+			n++
+			if n > 10_000 {
+				t.Fatal("cooldown never expired")
+			}
+		}
+		return n
+	}
+	m.OnSquash(1, SquashOverflow)
+	first := drain()
+	m.OnSquash(1, SquashOverflow)
+	second := drain()
+	if second <= first {
+		t.Errorf("cooldown did not escalate: %d then %d", first, second)
+	}
+}
+
+func TestMonitorConflictsAccumulate(t *testing.T) {
+	cfg := DefaultMonitorConfig() // threshold 8, conflict charge 2
+	m := NewRegionMonitor(cfg)
+	for i := 0; i < 3; i++ {
+		m.OnSquash(5, SquashConflict)
+		if m.Disabled(5) {
+			t.Fatalf("disabled after only %d conflicts", i+1)
+		}
+	}
+	m.OnSquash(5, SquashConflict) // 4th conflict: charge 8 >= threshold
+	if !m.Disabled(5) {
+		t.Error("not disabled after sustained conflicts")
+	}
+}
+
+func TestMonitorSyncChargesLightly(t *testing.T) {
+	// Wrong-path squashes are free; sync squashes charge one unit, so a
+	// healthy region (many commits per loop exit) never trips, while a
+	// low-trip region (constant exits, few commits) is de-selected (§6.4.3).
+	m := NewRegionMonitor(DefaultMonitorConfig())
+	for i := 0; i < 1000; i++ {
+		m.OnSquash(1, SquashWrongPath)
+	}
+	if m.Disabled(1) {
+		t.Error("wrong-path squashes disabled the region")
+	}
+	healthy := NewRegionMonitor(DefaultMonitorConfig())
+	for i := 0; i < 200; i++ {
+		for k := 0; k < 32; k++ {
+			healthy.OnCommit(2)
+		}
+		healthy.OnSquash(2, SquashSync)
+	}
+	if healthy.Disabled(2) {
+		t.Error("healthy loop with occasional exits was de-selected")
+	}
+	lowTrip := NewRegionMonitor(DefaultMonitorConfig())
+	for i := 0; i < 50 && !lowTrip.Disabled(3); i++ {
+		lowTrip.OnSquash(3, SquashSync)
+		lowTrip.OnSquash(3, SquashSync)
+	}
+	if !lowTrip.Disabled(3) {
+		t.Error("sync-storm region never de-selected")
+	}
+}
+
+func TestMonitorTinyEpochsDeselect(t *testing.T) {
+	m := NewRegionMonitor(DefaultMonitorConfig())
+	for i := 0; i < 20 && !m.Disabled(4); i++ {
+		m.OnEpochRetired(4, 5) // far below MinEpochInsts
+	}
+	if !m.Disabled(4) {
+		t.Error("persistently tiny epochs never de-selected the region")
+	}
+	big := NewRegionMonitor(DefaultMonitorConfig())
+	for i := 0; i < 1000; i++ {
+		big.OnEpochRetired(5, 500)
+	}
+	if big.Disabled(5) {
+		t.Error("large epochs charged the region")
+	}
+}
+
+func TestMonitorCommitsDecayCharge(t *testing.T) {
+	cfg := DefaultMonitorConfig() // decay every 8 commits
+	m := NewRegionMonitor(cfg)
+	for i := 0; i < 3; i++ {
+		m.OnSquash(3, SquashConflict) // charge 6
+	}
+	// 16 commits decay 2 units: a further 2-charge squash stays below 8.
+	for i := 0; i < 16; i++ {
+		m.OnCommit(3)
+	}
+	m.OnSquash(3, SquashConflict)
+	if m.Disabled(3) {
+		t.Error("decayed charge still crossed the threshold")
+	}
+}
+
+func TestMonitorDisabledPolicyOff(t *testing.T) {
+	cfg := DefaultMonitorConfig()
+	cfg.Enabled = false
+	m := NewRegionMonitor(cfg)
+	m.OnSquash(9, SquashOverflow)
+	if !m.Allow(9) || m.Disabled(9) {
+		t.Error("disabled monitor still gated spawning")
+	}
+}
+
+func TestMonitorRegionsIndependent(t *testing.T) {
+	m := NewRegionMonitor(DefaultMonitorConfig())
+	m.OnSquash(1, SquashOverflow)
+	if !m.Allow(2) {
+		t.Error("region 2 punished for region 1's overflow")
+	}
+}
+
+func TestSquashCauseStrings(t *testing.T) {
+	for c := SquashCause(0); int(c) < NumSquashCauses; c++ {
+		if c.String() == "unknown" {
+			t.Errorf("cause %d has no name", c)
+		}
+	}
+	if SquashCause(99).String() != "unknown" {
+		t.Error("out-of-range cause not reported unknown")
+	}
+}

@@ -1,0 +1,406 @@
+package core
+
+import (
+	"fmt"
+
+	"loopfrog/internal/mem"
+)
+
+// SSBConfig sizes the Speculative State Buffer (§4.1, Table 1).
+type SSBConfig struct {
+	// Slices is the number of threadlet contexts (one slice each).
+	Slices int
+	// SliceBytes is the data capacity of each slice (Table 1: 8 KiB total
+	// over 4 slices = 2 KiB each).
+	SliceBytes int
+	// LineBytes is the allocation unit (Table 1: 32 B).
+	LineBytes int
+	// GranuleBytes is the conflict-tracking unit (Table 1: 4 B).
+	GranuleBytes int
+	// Assoc is the set associativity of each slice; 0 means fully
+	// associative ("associativity not modelled" in the headline config).
+	Assoc int
+	// VictimEntries is the size of the shared fully-associative victim
+	// cache appended to the slices (§4.1.2, §6.6); 0 disables it.
+	VictimEntries int
+	// ReadLatency and WriteLatency are access latencies in cycles
+	// (Table 1: 3-cycle reads including the L1D lookup, 1-cycle writes).
+	ReadLatency  int64
+	WriteLatency int64
+	// FlushCyclesPerLine models the background drain of a committed slice
+	// into the memory system using spare bandwidth.
+	FlushCyclesPerLine int64
+}
+
+// DefaultSSBConfig mirrors Table 1.
+func DefaultSSBConfig() SSBConfig {
+	return SSBConfig{
+		Slices:             4,
+		SliceBytes:         2 << 10,
+		LineBytes:          32,
+		GranuleBytes:       4,
+		Assoc:              0,
+		VictimEntries:      0,
+		ReadLatency:        3,
+		WriteLatency:       1,
+		FlushCyclesPerLine: 1,
+	}
+}
+
+// SSBStats counts SSB activity.
+type SSBStats struct {
+	Reads          uint64
+	Writes         uint64
+	FillReads      uint64 // partial-granule writes that forced a read (§4.1.1)
+	ForwardedReads uint64 // reads served (in part) from an older slice
+	Overflows      uint64
+	LinesFlushed   uint64
+	VictimInserts  uint64
+	VictimHits     uint64
+	Squashes       uint64
+}
+
+type ssbLine struct {
+	tag     uint64 // line-aligned address >> lineShift
+	valid   bool
+	mask    uint64 // valid-granule bitmask (bit g = granule g present)
+	data    []byte
+	lastUse int64
+}
+
+type ssbSlice struct {
+	sets  [][]ssbLine
+	lines int // current line count (for the per-slice counter of §4.1.2)
+}
+
+type victimLine struct {
+	tid  int
+	line ssbLine
+}
+
+// SSB is the Speculative State Buffer: per-threadlet slices of speculatively
+// written memory, a combining read path implementing the versioning logic of
+// §4.1.3 (figure 5), and commit/squash operations. The S_arch counter and
+// the slice ordering are owned by the caller, which passes an oldest-first
+// chain of live threadlet IDs into Read.
+//
+// Functionally, a slice's contents are merged into the backing memory the
+// moment its threadlet becomes architectural (Merge); the paper's lazy
+// background flush is modelled in time by the FlushCycles return value. This
+// keeps committed data visible to coherence immediately, which is the
+// behaviour §4.1.4 requires observably.
+type SSB struct {
+	cfg       SSBConfig
+	backing   *mem.Memory
+	slices    []ssbSlice
+	victim    []victimLine
+	granShift uint
+	lineShift uint
+	gpl       int // granules per line
+	Stats     SSBStats
+}
+
+// NewSSB builds an SSB over the given backing memory.
+func NewSSB(cfg SSBConfig, backing *mem.Memory) *SSB {
+	if cfg.LineBytes%cfg.GranuleBytes != 0 {
+		panic(fmt.Sprintf("core: line bytes %d not a multiple of granule bytes %d", cfg.LineBytes, cfg.GranuleBytes))
+	}
+	s := &SSB{cfg: cfg, backing: backing}
+	for v := cfg.GranuleBytes; v > 1; v >>= 1 {
+		s.granShift++
+	}
+	for v := cfg.LineBytes; v > 1; v >>= 1 {
+		s.lineShift++
+	}
+	s.gpl = cfg.LineBytes / cfg.GranuleBytes
+	linesPerSlice := cfg.SliceBytes / cfg.LineBytes
+	assoc := cfg.Assoc
+	if assoc <= 0 || assoc > linesPerSlice {
+		assoc = linesPerSlice // fully associative
+	}
+	numSets := linesPerSlice / assoc
+	if numSets < 1 {
+		numSets = 1
+	}
+	s.slices = make([]ssbSlice, cfg.Slices)
+	for i := range s.slices {
+		sets := make([][]ssbLine, numSets)
+		for j := range sets {
+			sets[j] = make([]ssbLine, assoc)
+		}
+		s.slices[i] = ssbSlice{sets: sets}
+	}
+	return s
+}
+
+// GranuleOf returns the granule ID containing addr.
+func (s *SSB) GranuleOf(addr uint64) uint64 { return addr >> s.granShift }
+
+// GranulesOf returns the granule IDs overlapped by an access.
+func (s *SSB) GranulesOf(addr uint64, size int) []uint64 {
+	first := addr >> s.granShift
+	last := (addr + uint64(size) - 1) >> s.granShift
+	out := make([]uint64, 0, last-first+1)
+	for g := first; g <= last; g++ {
+		out = append(out, g)
+	}
+	return out
+}
+
+// Lines returns the number of lines currently held by a slice.
+func (s *SSB) Lines(tid int) int { return s.slices[tid].lines }
+
+func (s *SSB) set(sl *ssbSlice, lineTag uint64) []ssbLine {
+	return sl.sets[lineTag%uint64(len(sl.sets))]
+}
+
+func (s *SSB) lookup(tid int, lineTag uint64) *ssbLine {
+	set := s.set(&s.slices[tid], lineTag)
+	for i := range set {
+		if set[i].valid && set[i].tag == lineTag {
+			return &set[i]
+		}
+	}
+	for i := range s.victim {
+		if s.victim[i].tid == tid && s.victim[i].line.valid && s.victim[i].line.tag == lineTag {
+			s.Stats.VictimHits++
+			return &s.victim[i].line
+		}
+	}
+	return nil
+}
+
+// WriteResult describes the outcome of a speculative write.
+type WriteResult struct {
+	// Granules are the granule IDs now (fully) written by this threadlet.
+	Granules []uint64
+	// FillGranules are granules that required a read-for-fill because the
+	// store covered them only partially; per §4.1.1 these reads enter the
+	// threadlet's read set and can cause false-sharing conflicts.
+	FillGranules []uint64
+	// Overflow is set when the slice could not accept the line; the
+	// threadlet must be squashed (or stalled) per §4.1.2.
+	Overflow bool
+}
+
+// Write performs a speculative store of size bytes of v at addr for
+// threadlet tid. chain is the oldest-first list of live threadlets ending in
+// tid, used to source read-for-fill data.
+func (s *SSB) Write(tid int, addr uint64, size int, v uint64, chain []int, now int64) WriteResult {
+	s.Stats.Writes++
+	lineTag := addr >> s.lineShift
+	endTag := (addr + uint64(size) - 1) >> s.lineShift
+	if endTag != lineTag {
+		// LFISA accesses are naturally aligned, so they never straddle a
+		// 32-byte-or-larger line.
+		panic(fmt.Sprintf("core: store at %#x size %d straddles SSB lines", addr, size))
+	}
+	ln := s.lookup(tid, lineTag)
+	if ln == nil {
+		ln = s.allocate(tid, lineTag, now)
+		if ln == nil {
+			s.Stats.Overflows++
+			return WriteResult{Overflow: true}
+		}
+	}
+	ln.lastUse = now
+
+	res := WriteResult{Granules: s.GranulesOf(addr, size)}
+	// Fill partially covered granules with up-to-date older data first.
+	if size < s.cfg.GranuleBytes {
+		g := addr >> s.granShift
+		gOff := int(g-(lineTag<<(s.lineShift-s.granShift))) * s.cfg.GranuleBytes
+		gAddr := g << s.granShift
+		if ln.mask&(1<<uint(gOff/s.cfg.GranuleBytes)) == 0 {
+			// Granule absent: read-for-fill from older threadlets/memory.
+			fill := s.readBytes(chain[:len(chain)-1], gAddr, s.cfg.GranuleBytes)
+			copy(ln.data[gOff:gOff+s.cfg.GranuleBytes], fill)
+			s.Stats.FillReads++
+			res.FillGranules = append(res.FillGranules, g)
+		}
+	}
+	// Store the payload bytes and mark granules valid.
+	base := lineTag << s.lineShift
+	for i := 0; i < size; i++ {
+		ln.data[addr-base+uint64(i)] = byte(v >> (8 * i))
+	}
+	for _, g := range res.Granules {
+		gIdx := uint(g - (lineTag << (s.lineShift - s.granShift)))
+		ln.mask |= 1 << gIdx
+	}
+	return res
+}
+
+func (s *SSB) allocate(tid int, lineTag uint64, now int64) *ssbLine {
+	sl := &s.slices[tid]
+	set := s.set(sl, lineTag)
+	// Free way?
+	for i := range set {
+		if !set[i].valid {
+			set[i] = ssbLine{tag: lineTag, valid: true, data: make([]byte, s.cfg.LineBytes), lastUse: now}
+			sl.lines++
+			return &set[i]
+		}
+	}
+	// Set conflict: move the LRU way to the victim cache if there is room.
+	if s.cfg.VictimEntries > 0 {
+		lru := 0
+		for i := range set {
+			if set[i].lastUse < set[lru].lastUse {
+				lru = i
+			}
+		}
+		if s.victimInsert(tid, set[lru]) {
+			set[lru] = ssbLine{tag: lineTag, valid: true, data: make([]byte, s.cfg.LineBytes), lastUse: now}
+			return &set[lru]
+		}
+	}
+	return nil
+}
+
+func (s *SSB) victimInsert(tid int, ln ssbLine) bool {
+	for i := range s.victim {
+		if !s.victim[i].line.valid {
+			s.victim[i] = victimLine{tid: tid, line: ln}
+			s.Stats.VictimInserts++
+			return true
+		}
+	}
+	if len(s.victim) < s.cfg.VictimEntries {
+		s.victim = append(s.victim, victimLine{tid: tid, line: ln})
+		s.Stats.VictimInserts++
+		return true
+	}
+	return false
+}
+
+// Read performs a speculative load of size bytes at addr for the youngest
+// threadlet in chain. chain lists live threadlet IDs oldest-first, ending
+// with the reading threadlet; per §4.1.3 the newest value for each granule
+// among {memory, chain[0], ..., chain[len-1]} is returned, and younger
+// threadlets (not in chain) are never consulted. forwarded reports whether
+// any byte came from a slice rather than backing memory.
+func (s *SSB) Read(chain []int, addr uint64, size int) (v uint64, forwarded bool) {
+	s.Stats.Reads++
+	bytes := s.readBytes(chain, addr, size)
+	for i := size - 1; i >= 0; i-- {
+		v = v<<8 | uint64(bytes[i])
+	}
+	fwd := false
+	lineTag := addr >> s.lineShift
+	// Re-derive forwarding for stats: any granule present in any chain slice.
+	for _, g := range s.GranulesOf(addr, size) {
+		gIdx := uint(g - (lineTag << (s.lineShift - s.granShift)))
+		for _, tid := range chain {
+			if ln := s.lookup(tid, lineTag); ln != nil && ln.mask&(1<<gIdx) != 0 {
+				fwd = true
+			}
+		}
+	}
+	if fwd {
+		s.Stats.ForwardedReads++
+	}
+	return v, fwd
+}
+
+// readBytes assembles the newest visible bytes for [addr, addr+size) from
+// the chain's slices (youngest-first priority) backed by memory.
+func (s *SSB) readBytes(chain []int, addr uint64, size int) []byte {
+	out := make([]byte, size)
+	lineTag := addr >> s.lineShift
+	base := lineTag << s.lineShift
+	for _, g := range s.GranulesOf(addr, size) {
+		gIdx := uint(g - (lineTag << (s.lineShift - s.granShift)))
+		gAddr := g << s.granShift
+		// Intersection of the access with this granule.
+		lo, hi := addr, addr+uint64(size)
+		if gAddr > lo {
+			lo = gAddr
+		}
+		if end := gAddr + uint64(s.cfg.GranuleBytes); end < hi {
+			hi = end
+		}
+		served := false
+		for i := len(chain) - 1; i >= 0; i-- { // youngest chain member first
+			ln := s.lookup(chain[i], lineTag)
+			if ln != nil && ln.mask&(1<<gIdx) != 0 {
+				copy(out[lo-addr:hi-addr], ln.data[lo-base:hi-base])
+				served = true
+				break
+			}
+		}
+		if !served {
+			copy(out[lo-addr:hi-addr], s.backing.ReadBytes(lo, int(hi-lo)))
+		}
+	}
+	return out
+}
+
+// Merge commits threadlet tid's slice into backing memory (the threadlet
+// became architectural; §4.1.4's atomic commit). It returns the number of
+// lines flushed; the caller charges FlushCyclesPerLine per line of
+// background drain before the slice's context may be reused.
+func (s *SSB) Merge(tid int) int {
+	sl := &s.slices[tid]
+	flushed := 0
+	mergeLine := func(ln *ssbLine) {
+		if !ln.valid {
+			return
+		}
+		base := ln.tag << s.lineShift
+		for g := 0; g < s.gpl; g++ {
+			if ln.mask&(1<<uint(g)) == 0 {
+				continue
+			}
+			off := g * s.cfg.GranuleBytes
+			s.backing.WriteBytes(base+uint64(off), ln.data[off:off+s.cfg.GranuleBytes])
+		}
+		ln.valid = false
+		flushed++
+	}
+	for si := range sl.sets {
+		for wi := range sl.sets[si] {
+			mergeLine(&sl.sets[si][wi])
+		}
+	}
+	for i := range s.victim {
+		if s.victim[i].tid == tid {
+			mergeLine(&s.victim[i].line)
+		}
+	}
+	sl.lines = 0
+	s.Stats.LinesFlushed += uint64(flushed)
+	return flushed
+}
+
+// Squash bulk-invalidates threadlet tid's slice (§4.1.2).
+func (s *SSB) Squash(tid int) {
+	sl := &s.slices[tid]
+	for si := range sl.sets {
+		for wi := range sl.sets[si] {
+			sl.sets[si][wi].valid = false
+		}
+	}
+	for i := range s.victim {
+		if s.victim[i].tid == tid {
+			s.victim[i].line.valid = false
+		}
+	}
+	sl.lines = 0
+	s.Stats.Squashes++
+}
+
+// HoldsAddr reports whether threadlet tid's slice holds a valid granule
+// covering addr; used by external-snoop conflict checks and tests.
+func (s *SSB) HoldsAddr(tid int, addr uint64) bool {
+	lineTag := addr >> s.lineShift
+	ln := s.lookup(tid, lineTag)
+	if ln == nil {
+		return false
+	}
+	gIdx := uint(s.GranuleOf(addr) - (lineTag << (s.lineShift - s.granShift)))
+	return ln.mask&(1<<gIdx) != 0
+}
+
+// Config returns the SSB configuration.
+func (s *SSB) Config() SSBConfig { return s.cfg }

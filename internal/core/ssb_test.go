@@ -1,0 +1,355 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"loopfrog/internal/mem"
+)
+
+func newTestSSB(t *testing.T, cfg SSBConfig) (*SSB, *mem.Memory) {
+	t.Helper()
+	m := mem.NewMemory()
+	return NewSSB(cfg, m), m
+}
+
+func TestSSBWriteThenReadOwnSlice(t *testing.T) {
+	s, _ := newTestSSB(t, DefaultSSBConfig())
+	chain := []int{0, 1} // threadlet 1 reads; 0 is older
+	res := s.Write(1, 0x1000, 8, 0xdeadbeefcafef00d, chain, 0)
+	if res.Overflow {
+		t.Fatal("unexpected overflow")
+	}
+	if len(res.Granules) != 2 {
+		t.Errorf("8-byte store touched %d granules, want 2 (4B granules)", len(res.Granules))
+	}
+	v, fwd := s.Read(chain, 0x1000, 8)
+	if v != 0xdeadbeefcafef00d {
+		t.Errorf("read %#x, want 0xdeadbeefcafef00d", v)
+	}
+	if !fwd {
+		t.Error("read not marked forwarded")
+	}
+}
+
+func TestSSBReadFallsBackToMemory(t *testing.T) {
+	s, m := newTestSSB(t, DefaultSSBConfig())
+	m.Write(0x2000, 8, 42)
+	v, fwd := s.Read([]int{0}, 0x2000, 8)
+	if v != 42 {
+		t.Errorf("read %d, want 42 from backing memory", v)
+	}
+	if fwd {
+		t.Error("memory read marked as forwarded")
+	}
+}
+
+// TestSSBVersioningNewestOlderWins reproduces figure 5: a load from
+// threadlet T observes, per granule, the newest value among memory and
+// threadlets older than or equal to T, ignoring younger threadlets.
+func TestSSBVersioningNewestOlderWins(t *testing.T) {
+	s, m := newTestSSB(t, DefaultSSBConfig())
+	m.Write(0x3000, 4, 100) // memory value, oldest
+	m.Write(0x3004, 4, 200)
+	m.Write(0x3008, 4, 300)
+
+	// Epoch order: 0 (arch) < 1 < 2 < 3.
+	s.Write(0, 0x3000, 4, 111, []int{0}, 0)          // T0 writes granule 0
+	s.Write(1, 0x3000, 4, 122, []int{0, 1}, 0)       // T1 overwrites granule 0
+	s.Write(1, 0x3004, 4, 222, []int{0, 1}, 0)       // T1 writes granule 1
+	s.Write(3, 0x3008, 4, 333, []int{0, 1, 2, 3}, 0) // T3 (younger) writes granule 2
+
+	// A load from T2 sees T1's granules 0 and 1, and memory's granule 2
+	// (T3 is younger and must be ignored).
+	chainT2 := []int{0, 1, 2}
+	if v, _ := s.Read(chainT2, 0x3000, 4); v != 122 {
+		t.Errorf("granule 0 = %d, want 122 (newest older write)", v)
+	}
+	if v, _ := s.Read(chainT2, 0x3004, 4); v != 222 {
+		t.Errorf("granule 1 = %d, want 222", v)
+	}
+	if v, _ := s.Read(chainT2, 0x3008, 4); v != 300 {
+		t.Errorf("granule 2 = %d, want 300 (younger threadlet ignored)", v)
+	}
+
+	// T0's own read sees its own value, not T1's.
+	if v, _ := s.Read([]int{0}, 0x3000, 4); v != 111 {
+		t.Errorf("T0 read = %d, want 111", v)
+	}
+}
+
+func TestSSBMixedGranuleAssembly(t *testing.T) {
+	// One 8-byte load spanning two granules written by different threadlets.
+	s, _ := newTestSSB(t, DefaultSSBConfig())
+	s.Write(0, 0x4000, 4, 0x11111111, []int{0}, 0)
+	s.Write(1, 0x4004, 4, 0x22222222, []int{0, 1}, 0)
+	v, _ := s.Read([]int{0, 1}, 0x4000, 8)
+	if v != 0x2222222211111111 {
+		t.Errorf("assembled read = %#x, want 0x2222222211111111", v)
+	}
+}
+
+func TestSSBPartialGranuleWriteFillsAndReports(t *testing.T) {
+	s, m := newTestSSB(t, DefaultSSBConfig())
+	m.Write(0x5000, 4, 0xaabbccdd)
+	res := s.Write(1, 0x5001, 1, 0xee, []int{0, 1}, 0)
+	if len(res.FillGranules) != 1 {
+		t.Fatalf("partial write reported %d fill granules, want 1 (§4.1.1)", len(res.FillGranules))
+	}
+	v, _ := s.Read([]int{0, 1}, 0x5000, 4)
+	if v != 0xaabbeedd {
+		t.Errorf("merged granule = %#x, want 0xaabbeedd", v)
+	}
+	// A full-granule write must not fill-read.
+	res = s.Write(1, 0x5004, 4, 1, []int{0, 1}, 0)
+	if len(res.FillGranules) != 0 {
+		t.Errorf("full-granule write reported fills: %v", res.FillGranules)
+	}
+}
+
+func TestSSBPartialFillReadsNewestOlderValue(t *testing.T) {
+	// The read-for-fill must source older-threadlet data, not just memory.
+	s, m := newTestSSB(t, DefaultSSBConfig())
+	m.Write(0x6000, 4, 0x00000000)
+	s.Write(0, 0x6000, 4, 0x44332211, []int{0}, 0)
+	s.Write(1, 0x6000, 1, 0xff, []int{0, 1}, 0) // partial: bytes 1-3 from T0
+	v, _ := s.Read([]int{0, 1}, 0x6000, 4)
+	if v != 0x443322ff {
+		t.Errorf("fill-merged value = %#x, want 0x443322ff", v)
+	}
+}
+
+func TestSSBMergeWritesBackOnlyValidGranules(t *testing.T) {
+	s, m := newTestSSB(t, DefaultSSBConfig())
+	m.Write(0x7000, 8, 0x9999999999999999)
+	s.Write(2, 0x7000, 4, 0x12345678, []int{2}, 0)
+	flushed := s.Merge(2)
+	if flushed != 1 {
+		t.Errorf("flushed %d lines, want 1", flushed)
+	}
+	if got := m.Read(0x7000, 4); got != 0x12345678 {
+		t.Errorf("merged granule = %#x, want 0x12345678", got)
+	}
+	if got := m.Read(0x7004, 4); got != 0x99999999 {
+		t.Errorf("untouched granule = %#x, want 0x99999999 (mask ignored)", got)
+	}
+	if s.Lines(2) != 0 {
+		t.Errorf("slice still holds %d lines after merge", s.Lines(2))
+	}
+	// Post-merge reads see the data from memory.
+	if v, fwd := s.Read([]int{2}, 0x7000, 4); v != 0x12345678 || fwd {
+		t.Errorf("post-merge read = (%#x, fwd=%v), want (0x12345678, false)", v, fwd)
+	}
+}
+
+func TestSSBSquashDiscardsSliceOnly(t *testing.T) {
+	s, m := newTestSSB(t, DefaultSSBConfig())
+	m.Write(0x8000, 8, 7)
+	s.Write(1, 0x8000, 8, 1111, []int{0, 1}, 0)
+	s.Write(2, 0x8008, 8, 2222, []int{0, 1, 2}, 0)
+	s.Squash(1)
+	if v, _ := s.Read([]int{0, 1}, 0x8000, 8); v != 7 {
+		t.Errorf("squashed data still visible: %d", v)
+	}
+	if v, _ := s.Read([]int{0, 1, 2}, 0x8008, 8); v != 2222 {
+		t.Errorf("unrelated threadlet data lost on squash: %d", v)
+	}
+	if s.Lines(1) != 0 {
+		t.Error("line counter not reset on squash")
+	}
+}
+
+func TestSSBOverflowOnCapacity(t *testing.T) {
+	cfg := DefaultSSBConfig()
+	cfg.SliceBytes = 128 // 4 lines of 32 B
+	s, _ := newTestSSB(t, cfg)
+	chain := []int{0}
+	for i := 0; i < 4; i++ {
+		res := s.Write(0, uint64(0x9000+i*64), 8, 1, chain, 0)
+		if res.Overflow {
+			t.Fatalf("overflow at line %d of 4", i)
+		}
+	}
+	res := s.Write(0, 0xa000, 8, 1, chain, 0)
+	if !res.Overflow {
+		t.Fatal("fifth line accepted by a 4-line slice")
+	}
+	if s.Stats.Overflows != 1 {
+		t.Errorf("overflow stat = %d, want 1", s.Stats.Overflows)
+	}
+	// Same line again is fine (no new allocation).
+	if res := s.Write(0, 0x9000, 8, 2, chain, 0); res.Overflow {
+		t.Error("write to resident line overflowed")
+	}
+}
+
+func TestSSBLowAssociativityConflictsAndVictim(t *testing.T) {
+	cfg := DefaultSSBConfig()
+	cfg.SliceBytes = 2 << 10
+	cfg.Assoc = 1 // direct-mapped: 64 sets
+	s, _ := newTestSSB(t, cfg)
+	chain := []int{0}
+	// Two lines mapping to the same set (stride = 64 sets * 32 B = 2 KiB).
+	if res := s.Write(0, 0x10000, 8, 1, chain, 0); res.Overflow {
+		t.Fatal("first line overflowed")
+	}
+	if res := s.Write(0, 0x10000+2048, 8, 2, chain, 1); !res.Overflow {
+		t.Fatal("set conflict without victim cache must overflow")
+	}
+
+	// With a victim cache the conflict is absorbed and both values remain
+	// readable.
+	cfg.VictimEntries = 8
+	s2, _ := newTestSSB(t, cfg)
+	s2.Write(0, 0x10000, 8, 1, chain, 0)
+	if res := s2.Write(0, 0x10000+2048, 8, 2, chain, 1); res.Overflow {
+		t.Fatal("victim cache did not absorb the set conflict")
+	}
+	if v, _ := s2.Read(chain, 0x10000, 8); v != 1 {
+		t.Errorf("victim-resident value = %d, want 1", v)
+	}
+	if v, _ := s2.Read(chain, 0x10000+2048, 8); v != 2 {
+		t.Errorf("set-resident value = %d, want 2", v)
+	}
+	if s2.Stats.VictimInserts != 1 {
+		t.Errorf("victim inserts = %d, want 1", s2.Stats.VictimInserts)
+	}
+	// Merge must also drain the victim line.
+	s2.Merge(0)
+	if v, _ := s2.Read(chain, 0x10000, 8); v != 1 {
+		t.Errorf("victim line lost at merge: %d", v)
+	}
+}
+
+func TestSSBHoldsAddr(t *testing.T) {
+	s, _ := newTestSSB(t, DefaultSSBConfig())
+	s.Write(1, 0xb000, 4, 5, []int{0, 1}, 0)
+	if !s.HoldsAddr(1, 0xb000) || !s.HoldsAddr(1, 0xb003) {
+		t.Error("HoldsAddr missed a written granule")
+	}
+	if s.HoldsAddr(1, 0xb004) {
+		t.Error("HoldsAddr reported an unwritten granule in the same line")
+	}
+	if s.HoldsAddr(0, 0xb000) {
+		t.Error("HoldsAddr leaked across slices")
+	}
+}
+
+func TestSSBGranulesOf(t *testing.T) {
+	s, _ := newTestSSB(t, DefaultSSBConfig())
+	if g := s.GranulesOf(0x1000, 8); len(g) != 2 || g[0] != 0x400 || g[1] != 0x401 {
+		t.Errorf("GranulesOf(0x1000,8) = %v", g)
+	}
+	if g := s.GranulesOf(0x1001, 1); len(g) != 1 || g[0] != 0x400 {
+		t.Errorf("GranulesOf(0x1001,1) = %v", g)
+	}
+}
+
+func TestSSBGranuleSizeVariants(t *testing.T) {
+	for _, gran := range []int{1, 2, 4, 8, 16, 32} {
+		cfg := DefaultSSBConfig()
+		cfg.GranuleBytes = gran
+		s, m := newTestSSB(t, cfg)
+		m.Write(0xc000, 8, 0x1111111111111111)
+		s.Write(0, 0xc000, 4, 0xabcdef01, []int{0}, 0)
+		if v, _ := s.Read([]int{0}, 0xc000, 4); v != 0xabcdef01 {
+			t.Errorf("granule=%d: read = %#x, want 0xabcdef01", gran, v)
+		}
+		if v, _ := s.Read([]int{0}, 0xc004, 4); v != 0x11111111 {
+			t.Errorf("granule=%d: neighbouring bytes corrupted: %#x", gran, v)
+		}
+		s.Merge(0)
+		if got := m.Read(0xc000, 4); got != 0xabcdef01 {
+			t.Errorf("granule=%d: merge lost data: %#x", gran, got)
+		}
+	}
+}
+
+// TestSSBRandomisedVersioningMatchesOracle cross-checks the multi-version
+// read logic against a straightforward per-byte oracle over random access
+// sequences.
+func TestSSBRandomisedVersioningMatchesOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		cfg := DefaultSSBConfig()
+		cfg.GranuleBytes = []int{4, 8}[rng.Intn(2)]
+		s, m := newTestSSB(t, cfg)
+		// Oracle: per-threadlet byte maps over a small address window.
+		const base, window = 0x20000, 256
+		oracle := make([]map[uint64]byte, 4)
+		for i := range oracle {
+			oracle[i] = make(map[uint64]byte)
+		}
+		memBytes := make([]byte, window)
+		rng.Read(memBytes)
+		m.WriteBytes(base, memBytes)
+
+		live := 1 + rng.Intn(4) // chain [0..live)
+		chainFor := func(tid int) []int {
+			c := make([]int, tid+1)
+			for i := range c {
+				c[i] = i
+			}
+			return c
+		}
+		for op := 0; op < 200; op++ {
+			tid := rng.Intn(live)
+			size := []int{1, 2, 4, 8}[rng.Intn(4)]
+			addr := base + uint64(rng.Intn(window-8))&^uint64(size-1)
+			if rng.Intn(2) == 0 {
+				v := rng.Uint64()
+				res := s.Write(tid, addr, size, v, chainFor(tid), int64(op))
+				if res.Overflow {
+					continue
+				}
+				for i := 0; i < size; i++ {
+					oracle[tid][addr+uint64(i)] = byte(v >> (8 * i))
+				}
+				// A partial-granule write also pins the fill bytes into the
+				// writing threadlet's version.
+				for _, g := range res.FillGranules {
+					gAddr := g * uint64(cfg.GranuleBytes)
+					for i := 0; i < cfg.GranuleBytes; i++ {
+						a := gAddr + uint64(i)
+						if _, own := oracle[tid][a]; own {
+							continue
+						}
+						oracle[tid][a] = oracleByte(oracle, memBytes, base, tid, a)
+					}
+				}
+			} else {
+				got, _ := s.Read(chainFor(tid), addr, size)
+				var want uint64
+				for i := size - 1; i >= 0; i-- {
+					want = want<<8 | uint64(oracleByte(oracle, memBytes, base, tid, addr+uint64(i)))
+				}
+				if got != want {
+					t.Fatalf("trial %d op %d: read(tid=%d, %#x, %d) = %#x, want %#x",
+						trial, op, tid, addr, size, got, want)
+				}
+			}
+		}
+	}
+}
+
+// oracleByte returns the newest value of address a visible to threadlet tid.
+func oracleByte(oracle []map[uint64]byte, memBytes []byte, base uint64, tid int, a uint64) byte {
+	for t := tid; t >= 0; t-- {
+		if v, ok := oracle[t][a]; ok {
+			return v
+		}
+	}
+	return memBytes[a-base]
+}
+
+func TestSSBConfigValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewSSB accepted line size not a multiple of granule size")
+		}
+	}()
+	cfg := DefaultSSBConfig()
+	cfg.LineBytes = 32
+	cfg.GranuleBytes = 5
+	NewSSB(cfg, mem.NewMemory())
+}

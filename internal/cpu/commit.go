@@ -1,0 +1,284 @@
+package cpu
+
+import (
+	"loopfrog/internal/core"
+	"loopfrog/internal/isa"
+)
+
+// commit retires up to Width completed instructions per cycle to their
+// threadlets, oldest threadlet first. This is the first of the paper's two
+// commit levels: instructions commit to their threadlet; the threadlet
+// itself commits to the architectural state at retire (§4).
+func (m *Machine) commit() {
+	budget := m.cfg.Width
+	snapshot := append([]int(nil), m.order...)
+	for _, tid := range snapshot {
+		t := m.threads[tid]
+		if !t.live || m.orderIdx(tid) < 0 {
+			continue // squashed by an earlier threadlet's verify this cycle
+		}
+		for budget > 0 && len(t.rob) > 0 {
+			e := t.rob[0]
+			if e.state != stDone {
+				break
+			}
+			// Side-effecting operations must wait until the threadlet is
+			// architectural (§3.2) and all earlier stores have performed.
+			if e.inst.Op == isa.HALT && (m.isSpec(tid) || len(t.drain) > 0) {
+				break
+			}
+			m.commitOne(t, e)
+			budget--
+		}
+		if budget == 0 {
+			return
+		}
+	}
+}
+
+// commitOne commits a single instruction to its threadlet.
+func (m *Machine) commitOne(t *threadlet, e *dynInst) {
+	e.state = stCommitted
+	t.rob = t.rob[1:]
+	m.robUsed--
+	t.robHeld--
+	arch := !m.isSpec(t.id)
+	inRegion := t.activeRegion >= 0
+
+	if e.hasDest {
+		if e.destReg.IsFP() {
+			m.fpRegsUsed--
+		} else {
+			m.intRegsUsed--
+		}
+		t.committedRegs[e.destReg] = e.result
+		t.writtenMask[e.destReg] = true
+	}
+	if e.meta.IsLoad {
+		m.lqUsed--
+	}
+	if e.meta.IsStore {
+		// The store performs later, from the post-commit drain queue; the
+		// SQ entry is held until then.
+		t.drain = append(t.drain, e)
+	}
+	if e.meta.IsBranch {
+		m.stats.Branches++
+		if e.mispredicted {
+			m.stats.Mispredicts++
+		}
+		taken := e.result == 1
+		m.bp.UpdateBranch(t.id, e.pc, taken, e.pred)
+	}
+	if e.inst.Op == isa.JALR {
+		m.bp.UpdateIndirect(e.pc, e.actualTarget)
+	}
+
+	// Iteration-packing bookkeeping (§4.3): live-in detection over the
+	// contiguous committed stream of the epoch, and training/verification at
+	// committed detaches.
+	if inRegion {
+		region := t.activeRegion
+		if e.meta.HasRs1 && e.inst.Rs1 != isa.X0 && !t.writtenThisIter[e.inst.Rs1] {
+			m.pack.ObserveLiveIn(region, e.inst.Rs1)
+		}
+		if e.meta.HasRs2 && e.inst.Rs2 != isa.X0 && !t.writtenThisIter[e.inst.Rs2] {
+			m.pack.ObserveLiveIn(region, e.inst.Rs2)
+		}
+		if e.hasDest {
+			m.pack.ObserveWrite(region, e.destReg)
+			t.writtenThisIter[e.destReg] = true
+		}
+	}
+	if e.inst.Op == isa.DETACH {
+		t.writtenThisIter = [isa.NumRegs]bool{}
+		if e.isVerifyPoint {
+			m.packVerify(t)
+		}
+	}
+
+	if e.inst.Op == isa.HALT && arch {
+		m.halted = true
+	}
+
+	t.epochCommitted++
+	m.stats.CommitSlotsUsed++
+	if arch {
+		m.stats.ArchInsts++
+		m.stats.ArchCommitCycleSum++
+		m.lastArchCommit = m.now
+		if inRegion {
+			m.stats.RegionArchInsts++
+		}
+	} else {
+		t.specCommitted++
+		if inRegion {
+			t.specCommittedRegion++
+		}
+	}
+}
+
+func (t *threadlet) hasCkptPending() bool {
+	for r := 0; r < isa.NumRegs; r++ {
+		if t.ckptPending[r] != nil {
+			return true
+		}
+	}
+	return false
+}
+
+// packVerify runs the §4.3 verification at the parent's verification-point
+// detach: compare the IV prediction handed to the successor against the
+// actual register values. Mispredicted registers are silently repaired in
+// the successor if their stale value was never consumed; otherwise the
+// successor chain is squashed and restarted from corrected values.
+func (m *Machine) packVerify(t *threadlet) {
+	t.pendingVerify = false
+	idx := m.orderIdx(t.id)
+	if idx < 0 || idx+1 >= len(m.order) {
+		return // successor already gone
+	}
+	succ := m.threads[m.order[idx+1]]
+	var bad []isa.Reg
+	for _, iv := range m.pack.IVs(t.activeRegion) {
+		if t.predictedStart[iv] != t.committedRegs[iv] {
+			bad = append(bad, iv)
+		}
+	}
+	if len(bad) == 0 {
+		return
+	}
+	m.pack.Mispredicts++
+	mustSquash := false
+	for _, r := range bad {
+		succ.ckptRegs[r] = t.committedRegs[r]
+		if succ.consumedStart[r] {
+			mustSquash = true
+		}
+	}
+	if mustSquash {
+		m.squashFrom(succ.id, core.SquashPackMispredict, true)
+		return
+	}
+	// Safe repair: the stale values were never consumed.
+	for _, r := range bad {
+		if succ.renameMap[r].prod == nil && !succ.writtenMask[r] {
+			succ.renameMap[r] = mapEntry{val: t.committedRegs[r]}
+			succ.committedRegs[r] = t.committedRegs[r]
+		}
+	}
+	m.stats.PackRepairs++
+}
+
+// drainStores performs committed stores, oldest threadlet first, limited by
+// the store pipes. Architectural stores go to memory and the L1D;
+// speculative stores go to the threadlet's SSB slice, where Algorithm 1's
+// write check runs (§4.1, §4.2).
+func (m *Machine) drainStores() {
+	budget := m.cfg.StorePipes
+	snapshot := append([]int(nil), m.order...)
+	for _, tid := range snapshot {
+		t := m.threads[tid]
+		if !t.live || m.orderIdx(tid) < 0 {
+			continue
+		}
+		for budget > 0 && len(t.drain) > 0 {
+			s := t.drain[0]
+			if !m.isSpec(tid) {
+				if _, ok := m.hier.Store(s.addr, m.now); !ok {
+					m.stats.StoreDrainStalls++
+					break
+				}
+				m.mem.Write(s.addr, s.memSize, s.srcVal[1])
+				granules := m.ssb.GranulesOf(s.addr, s.memSize)
+				if victim, squash := m.cd.OnWrite(tid, granules, m.youngerThan(tid)); squash {
+					m.squashFrom(victim, core.SquashConflict, true)
+				}
+			} else {
+				if t.overflowStalled {
+					break
+				}
+				chain := m.chainUpTo(tid)
+				res := m.ssb.Write(tid, s.addr, s.memSize, s.srcVal[1], chain, m.now)
+				if res.Overflow {
+					// §4.1.2: the slice cannot take the write; stall the
+					// drain until the threadlet becomes architectural, and
+					// teach the region monitor the loop is unprofitable.
+					t.overflowStalled = true
+					if t.activeRegion >= 0 {
+						m.mon.OnSquash(t.activeRegion, core.SquashOverflow)
+					}
+					break
+				}
+				if len(res.FillGranules) > 0 {
+					// The partial-granule fill read joins the read set and
+					// can later surface as a false-sharing conflict (§4.1.1).
+					m.cd.OnRead(tid, res.FillGranules)
+				}
+				if victim, squash := m.cd.OnWrite(tid, res.Granules, m.youngerThan(tid)); squash {
+					m.squashFrom(victim, core.SquashConflict, true)
+				}
+			}
+			t.drain = t.drain[1:]
+			m.sqUsed--
+			budget--
+		}
+		if budget == 0 {
+			return
+		}
+	}
+}
+
+// tryRetire performs the second commit level: when the architectural
+// threadlet has finished its epoch (committed through its reattach, drained
+// its stores, and let in-flight conflict checks settle), it retires and its
+// successor becomes architectural, merging its SSB slice into the memory
+// system atomically (§4.1.4).
+func (m *Machine) tryRetire() {
+	t := m.threads[m.archTid()]
+	if !t.hasEpochEnd || len(t.rob) > 0 || len(t.drain) > 0 {
+		return
+	}
+	if t.retireAt == 0 {
+		t.retireAt = m.now + m.cd.CheckLatency
+		return
+	}
+	if m.now < t.retireAt {
+		return
+	}
+	if len(m.order) < 2 {
+		// A detached threadlet always has a live successor; defensively wait.
+		return
+	}
+	m.ssb.Merge(t.id) // normally empty: architectural stores went direct
+	m.cd.Clear(t.id)
+	if t.activeRegion >= 0 {
+		m.mon.OnCommit(t.activeRegion)
+		m.mon.OnEpochRetired(t.activeRegion, t.epochCommitted)
+	}
+	m.stats.Retires++
+	m.pack.OnEpochRetired(t.activeRegion, t.epochCommitted, t.epochFactor)
+	m.emitEvent(EvRetire, t.id, t.activeRegion, int(t.epochCommitted))
+	t.live = false
+	if m.contextFreeAt[t.id] < m.now {
+		m.contextFreeAt[t.id] = m.now
+	}
+	m.order = m.order[1:]
+
+	// Promote the successor: its buffered state becomes architectural at
+	// once (the S_arch increment), then drains in the background.
+	b := m.threads[m.archTid()]
+	merged := m.ssb.Merge(b.id)
+	flushDone := m.now + int64(merged)*m.ssb.Config().FlushCyclesPerLine
+	if flushDone > m.contextFreeAt[b.id] {
+		m.contextFreeAt[b.id] = flushDone
+	}
+	m.stats.ArchInsts += b.specCommitted
+	m.stats.SpecCommitCycleSum += b.specCommitted
+	m.stats.RegionArchInsts += b.specCommittedRegion
+	b.specCommitted = 0
+	b.specCommittedRegion = 0
+	b.overflowStalled = false
+	m.lastArchCommit = m.now
+	m.emitEvent(EvPromote, b.id, b.activeRegion, 0)
+}

@@ -1,0 +1,62 @@
+package cpu
+
+import "fmt"
+
+// EventKind classifies threadlet lifecycle events (the dynamic view of
+// figure 2: epochs spawning, leapfrogging, retiring, and being squashed).
+type EventKind uint8
+
+// Threadlet lifecycle events.
+const (
+	EvSpawn EventKind = iota
+	EvRetire
+	EvSquash
+	EvPromote
+	EvSyncCancel
+)
+
+// String names the event kind.
+func (k EventKind) String() string {
+	switch k {
+	case EvSpawn:
+		return "spawn"
+	case EvRetire:
+		return "retire"
+	case EvSquash:
+		return "squash"
+	case EvPromote:
+		return "promote"
+	case EvSyncCancel:
+		return "sync-cancel"
+	}
+	return "unknown"
+}
+
+// Event is one threadlet lifecycle event.
+type Event struct {
+	Cycle int64
+	Kind  EventKind
+	// Tid is the threadlet context the event concerns.
+	Tid int
+	// Region is the region ID (continuation address), -1 if none.
+	Region int64
+	// Detail carries the packing factor for spawns and the squash cause for
+	// squashes.
+	Detail int
+}
+
+// String renders the event for timelines.
+func (e Event) String() string {
+	return fmt.Sprintf("cycle %8d  t%d %-11s region=%d detail=%d",
+		e.Cycle, e.Tid, e.Kind, e.Region, e.Detail)
+}
+
+// SetEventHook installs a callback invoked at every threadlet lifecycle
+// event. Pass nil to disable. The hook must not retain the machine.
+func (m *Machine) SetEventHook(hook func(Event)) { m.eventHook = hook }
+
+func (m *Machine) emitEvent(kind EventKind, tid int, region int64, detail int) {
+	if m.eventHook != nil {
+		m.eventHook(Event{Cycle: m.now, Kind: kind, Tid: tid, Region: region, Detail: detail})
+	}
+}

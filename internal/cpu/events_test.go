@@ -1,0 +1,67 @@
+package cpu
+
+import (
+	"testing"
+
+	"loopfrog/internal/asm"
+)
+
+func TestEventHookTimeline(t *testing.T) {
+	prog := asm.MustAssemble("hinted", hintedMapSrc)
+	m, err := NewMachine(DefaultConfig(), prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var events []Event
+	m.SetEventHook(func(e Event) { events = append(events, e) })
+	st, err := m.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var spawns, retires, promotes uint64
+	lastCycle := int64(-1)
+	for _, e := range events {
+		if e.Cycle < lastCycle {
+			t.Fatalf("events out of order: %v after cycle %d", e, lastCycle)
+		}
+		lastCycle = e.Cycle
+		switch e.Kind {
+		case EvSpawn:
+			spawns++
+			if e.Detail < 1 {
+				t.Errorf("spawn with packing factor %d", e.Detail)
+			}
+		case EvRetire:
+			retires++
+		case EvPromote:
+			promotes++
+		}
+		if e.Kind.String() == "unknown" {
+			t.Errorf("unnamed event kind %d", e.Kind)
+		}
+	}
+	if spawns != st.Spawns {
+		t.Errorf("spawn events %d != stats %d", spawns, st.Spawns)
+	}
+	if retires != st.Retires {
+		t.Errorf("retire events %d != stats %d", retires, st.Retires)
+	}
+	if promotes != retires {
+		t.Errorf("promotes %d != retires %d (every retire promotes a successor)", promotes, retires)
+	}
+	if len(events) > 0 && events[0].String() == "" {
+		t.Error("event String empty")
+	}
+}
+
+func TestEventHookDisabled(t *testing.T) {
+	prog := asm.MustAssemble("hinted", hintedMapSrc)
+	m, err := NewMachine(DefaultConfig(), prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.SetEventHook(nil) // must be a no-op
+	if _, err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+}

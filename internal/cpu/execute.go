@@ -1,0 +1,380 @@
+package cpu
+
+import (
+	"sort"
+
+	"loopfrog/internal/isa"
+)
+
+// enqueueReady moves an instruction whose operands are all available into
+// its class's ready queue.
+func (m *Machine) enqueueReady(e *dynInst) {
+	if e.state != stDispatched {
+		return
+	}
+	e.state = stReady
+	m.readyQ[e.meta.Class] = append(m.readyQ[e.meta.Class], e)
+}
+
+// unitsFor returns the per-cycle issue bandwidth of a class (Table 1 pipes).
+func (m *Machine) unitsFor(c isa.Class) int {
+	switch c {
+	case isa.ClassIntALU:
+		return m.cfg.ALUs
+	case isa.ClassBranch:
+		return m.cfg.Branches
+	case isa.ClassMulDiv:
+		return m.cfg.MulDivs
+	case isa.ClassFP:
+		return m.cfg.FPs
+	case isa.ClassFPDiv:
+		return m.cfg.FPDivs
+	case isa.ClassLoad:
+		return m.cfg.LoadPipes
+	case isa.ClassStore:
+		return m.cfg.StorePipes
+	}
+	return 0
+}
+
+// issue selects ready instructions, oldest epoch first (older threadlets
+// have priority, §4), and begins execution.
+func (m *Machine) issue() {
+	// Replayed loads retry ahead of fresh issues on the load pipes.
+	loadBudget := m.cfg.LoadPipes
+	if len(m.replayQ) > 0 {
+		q := m.replayQ
+		m.replayQ = m.replayQ[:0]
+		for _, e := range q {
+			if e.squashed {
+				continue
+			}
+			if loadBudget == 0 {
+				m.replayQ = append(m.replayQ, e)
+				continue
+			}
+			if m.execLoad(e) {
+				loadBudget--
+			}
+		}
+	}
+	for c := isa.Class(0); c < isa.NumClasses; c++ {
+		q := m.readyQ[c]
+		if len(q) == 0 {
+			continue
+		}
+		// Drop squashed entries, then prioritise by epoch order and age.
+		live := q[:0]
+		for _, e := range q {
+			if !e.squashed && e.state == stReady {
+				live = append(live, e)
+			}
+		}
+		sort.SliceStable(live, func(i, j int) bool {
+			oi, oj := m.orderIdx(live[i].tid), m.orderIdx(live[j].tid)
+			if oi != oj {
+				return oi < oj
+			}
+			return live[i].seq < live[j].seq
+		})
+		units := m.unitsFor(c)
+		if c == isa.ClassLoad {
+			units = loadBudget
+		}
+		n := 0
+		for _, e := range live {
+			if n >= units {
+				break
+			}
+			if m.execOne(e) {
+				n++
+			}
+		}
+		m.readyQ[c] = append(m.readyQ[c][:0], live[min(n, len(live)):]...)
+	}
+}
+
+// execOne starts execution of one instruction; it returns false if the
+// instruction could not issue (and was re-queued).
+func (m *Machine) execOne(e *dynInst) bool {
+	e.state = stExecuting
+	m.iqUsed--
+	m.threads[e.tid].iqHeld--
+	switch {
+	case e.meta.IsLoad:
+		if !m.execLoad(e) {
+			return true // issued to the replay queue; the pipe slot is spent
+		}
+		return true
+	case e.meta.IsStore:
+		m.execStore(e)
+		return true
+	case e.meta.IsBranch:
+		e.result = 0
+		e.readyAt = m.now + 1
+		m.executing = append(m.executing, e)
+		return true
+	case e.inst.Op == isa.JAL || e.inst.Op == isa.JALR:
+		e.result = uint64(e.pc + 1)
+		e.readyAt = m.now + 1
+		m.executing = append(m.executing, e)
+		return true
+	default:
+		e.result = isa.EvalALU(e.inst, e.srcVal[0], e.srcVal[1])
+		e.readyAt = m.now + int64(e.meta.Latency)
+		m.executing = append(m.executing, e)
+		return true
+	}
+}
+
+// execLoad performs address generation, intra-threadlet disambiguation, and
+// the versioned memory read (§4.1.3). It returns false when the load was
+// deferred to the replay queue.
+func (m *Machine) execLoad(e *dynInst) bool {
+	t := m.threads[e.tid]
+	e.addr = e.srcVal[0] + uint64(e.inst.Imm)
+	e.addrValid = true
+	m.stats.Loads++
+
+	// Search the youngest older store in this threadlet with an overlapping
+	// address: first the in-ROB store queue, then the post-commit drain
+	// queue.
+	if st, partial := m.findOlderStore(t, e); st != nil {
+		if partial || !st.srcReady[1] {
+			// Partial overlap or data not ready: wait and retry.
+			m.replayQ = append(m.replayQ, e)
+			return false
+		}
+		// Store-to-load forwarding within the threadlet.
+		shift := (e.addr - st.addr) * 8
+		raw := st.srcVal[1] >> shift
+		e.result = isa.ExtendLoad(e.inst.Op, raw)
+		e.loadFwdSQ = true
+		e.fwdSeq = st.seq
+		e.readyAt = m.now + 1
+		m.executing = append(m.executing, e)
+		return true
+	}
+
+	// Memory access: timing through the hierarchy, value through the SSB's
+	// multi-version combine (speculative) or backing memory (architectural).
+	done, ok := m.hier.Load(e.pc, e.addr, m.now)
+	if !ok {
+		m.stats.LoadRetriesMSHR++
+		m.replayQ = append(m.replayQ, e)
+		return false
+	}
+	chain := m.chainUpTo(e.tid)
+	raw, _ := m.ssb.Read(chain, e.addr, e.memSize)
+	e.result = isa.ExtendLoad(e.inst.Op, raw)
+	if m.isSpec(e.tid) {
+		// The read is serviced now: record it (Algorithm 1) and charge the
+		// SSB read latency (3 cycles including the L1D probe).
+		m.cd.OnRead(e.tid, m.ssb.GranulesOf(e.addr, e.memSize))
+		if ssbDone := m.now + m.ssb.Config().ReadLatency; ssbDone > done {
+			done = ssbDone
+		}
+	}
+	e.readyAt = done
+	m.executing = append(m.executing, e)
+	return true
+}
+
+// findOlderStore returns the youngest store older than the load in the same
+// threadlet whose (resolved) address overlaps it. partial reports that the
+// store does not fully cover the load.
+func (m *Machine) findOlderStore(t *threadlet, load *dynInst) (st *dynInst, partial bool) {
+	check := func(s *dynInst) (hit, part bool) {
+		if !s.addrValid {
+			return false, false // unresolved: proceed optimistically
+		}
+		if s.addr+uint64(s.memSize) <= load.addr || load.addr+uint64(load.memSize) <= s.addr {
+			return false, false
+		}
+		covers := s.addr <= load.addr && s.addr+uint64(s.memSize) >= load.addr+uint64(load.memSize)
+		return true, !covers
+	}
+	for i := len(t.rob) - 1; i >= 0; i-- {
+		s := t.rob[i]
+		if s.seq >= load.seq || !s.meta.IsStore {
+			continue
+		}
+		if hit, part := check(s); hit {
+			return s, part
+		}
+	}
+	for i := len(t.drain) - 1; i >= 0; i-- {
+		if hit, part := check(t.drain[i]); hit {
+			return t.drain[i], part
+		}
+	}
+	return nil, false
+}
+
+// execStore generates the store's address (and captures its data). Younger
+// loads in the same threadlet that already executed past it with an
+// overlapping address violated program order and replay (the LSQ check).
+func (m *Machine) execStore(e *dynInst) {
+	t := m.threads[e.tid]
+	e.addr = e.srcVal[0] + uint64(e.inst.Imm)
+	e.addrValid = true
+	e.readyAt = m.now + 1
+	m.executing = append(m.executing, e)
+	m.stats.Stores++
+
+	var violator *dynInst
+	for _, l := range t.rob {
+		if l.seq <= e.seq || !l.meta.IsLoad || !l.addrValid {
+			continue
+		}
+		if l.state != stExecuting && l.state != stDone {
+			continue
+		}
+		if l.addr+uint64(l.memSize) <= e.addr || e.addr+uint64(e.memSize) <= l.addr {
+			continue
+		}
+		if l.loadFwdSQ && l.fwdSeq > e.seq {
+			continue // forwarded from a store younger than this one
+		}
+		if violator == nil || l.seq < violator.seq {
+			violator = l
+		}
+	}
+	if violator != nil {
+		m.stats.LoadReplaysLSQ++
+		m.rollbackTo(t, violator.seq, violator.pc, nil)
+	}
+}
+
+// writeback completes instructions whose results are ready: it wakes
+// dependents, fills checkpoint futures, and resolves branches.
+func (m *Machine) writeback() {
+	if len(m.executing) == 0 {
+		return
+	}
+	remaining := m.executing[:0]
+	var finished []*dynInst
+	for _, e := range m.executing {
+		switch {
+		case e.squashed:
+		case e.readyAt <= m.now:
+			finished = append(finished, e)
+		default:
+			remaining = append(remaining, e)
+		}
+	}
+	m.executing = remaining
+	// Oldest-first resolution keeps branch recovery deterministic.
+	sort.SliceStable(finished, func(i, j int) bool {
+		oi, oj := m.orderIdx(finished[i].tid), m.orderIdx(finished[j].tid)
+		if oi != oj {
+			return oi < oj
+		}
+		return finished[i].seq < finished[j].seq
+	})
+	for _, e := range finished {
+		if e.squashed {
+			continue
+		}
+		m.complete(e)
+	}
+}
+
+// complete finishes one instruction.
+func (m *Machine) complete(e *dynInst) {
+	t := m.threads[e.tid]
+	if e.meta.IsBranch {
+		m.resolveBranch(t, e)
+		if e.squashed {
+			return
+		}
+	}
+	if e.inst.Op == isa.JALR {
+		m.resolveIndirect(t, e)
+		if e.squashed {
+			return
+		}
+	}
+	e.state = stDone
+	m.wake(e)
+}
+
+// wake delivers a completed result to dependents and checkpoint slots.
+func (m *Machine) wake(e *dynInst) {
+	for _, w := range e.waiters {
+		if w.squashed {
+			continue
+		}
+		for s := 0; s < 2; s++ {
+			if w.srcProd[s] == e {
+				w.srcProd[s] = nil
+				w.srcReady[s] = true
+				w.srcVal[s] = e.result
+			}
+		}
+		if w.srcReady[0] && w.srcReady[1] {
+			m.enqueueReady(w)
+		}
+	}
+	e.waiters = nil
+	for _, cw := range e.ckptWaiters {
+		ct := m.threads[cw.tid]
+		if m.gens[cw.tid] != cw.gen || ct.ckptPending[cw.reg] != e {
+			continue
+		}
+		ct.ckptPending[cw.reg] = nil
+		ct.ckptRegs[cw.reg] = e.result
+		if !ct.writtenMask[cw.reg] {
+			ct.committedRegs[cw.reg] = e.result
+		}
+	}
+	e.ckptWaiters = nil
+}
+
+// resolveBranch compares the execute-time outcome with the fetch-time
+// prediction and recovers on a mismatch.
+func (m *Machine) resolveBranch(t *threadlet, e *dynInst) {
+	taken := isa.BranchTaken(e.inst.Op, e.srcVal[0], e.srcVal[1])
+	target := e.pc + 1
+	if taken {
+		target = int(e.inst.Imm)
+	}
+	e.result = 0
+	if taken {
+		e.result = 1
+	}
+	if taken == e.predTaken {
+		return
+	}
+	// Misprediction: squash younger work in this threadlet and redirect.
+	m.bp.OnSquash(t.id, e.pred.Hist, taken)
+	m.rollbackTo(t, e.seq+1, target, e)
+}
+
+// resolveIndirect checks a JALR's computed target against the front end's
+// assumption.
+func (m *Machine) resolveIndirect(t *threadlet, e *dynInst) {
+	target := int(e.srcVal[0] + uint64(e.inst.Imm))
+	e.actualTarget = target
+	if e.predTarget == -1 {
+		// The front end stalled on this jump: release it.
+		if len(t.fq) == 0 && t.fetchPC == -1 {
+			t.fetchPC = target
+			t.fetchReadyAt = m.now + 1
+		} else {
+			m.redirectFetch(t, target)
+		}
+		return
+	}
+	if target != e.predTarget {
+		m.stats.IndirectMispredicts++
+		m.rollbackTo(t, e.seq+1, target, e)
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

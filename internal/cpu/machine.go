@@ -1,0 +1,235 @@
+package cpu
+
+import (
+	"errors"
+	"fmt"
+
+	"loopfrog/internal/asm"
+	"loopfrog/internal/bpred"
+	"loopfrog/internal/core"
+	"loopfrog/internal/isa"
+	"loopfrog/internal/mem"
+)
+
+// ErrNoProgress is returned when the machine stops making architectural
+// progress — always a model bug, never a workload property.
+var ErrNoProgress = errors.New("cpu: no architectural progress")
+
+// ErrCycleLimit is returned when MaxCycles elapses before HALT commits.
+var ErrCycleLimit = errors.New("cpu: cycle limit exceeded")
+
+// Machine is one simulated core (baseline or LoopFrog, per Config).
+type Machine struct {
+	cfg  Config
+	prog *asm.Program
+
+	mem  *mem.Memory
+	hier *mem.Hierarchy
+	bp   *bpred.Predictor
+	ssb  *core.SSB
+	cd   *core.ConflictDetector
+	pack *core.PackPredictor
+	mon  *core.RegionMonitor
+
+	threads []*threadlet
+	gens    []uint64 // context generation, bumped at spawn
+	// order lists live threadlets oldest-first; order[0] is architectural.
+	order []int
+	// contextFreeAt gates context reuse on the background slice flush.
+	contextFreeAt []int64
+
+	now int64
+
+	// Shared structure occupancy.
+	robUsed, iqUsed, lqUsed, sqUsed int
+	intRegsUsed, fpRegsUsed         int
+
+	readyQ    [isa.NumClasses][]*dynInst
+	executing []*dynInst
+	replayQ   []*dynInst
+
+	stats          Stats
+	halted         bool
+	lastArchCommit int64
+	eventHook      func(Event)
+
+	// archTid caches order[0].
+	archSpecInsts map[int]uint64 // per-context spec-committed, keyed by tid
+}
+
+// NewMachine builds a machine for the program.
+func NewMachine(cfg Config, prog *asm.Program) (*Machine, error) {
+	if err := prog.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Threadlets < 1 {
+		return nil, fmt.Errorf("cpu: need at least one threadlet context, got %d", cfg.Threadlets)
+	}
+	cfg.SSB.Slices = cfg.Threadlets
+	m := &Machine{
+		cfg:           cfg,
+		prog:          prog,
+		mem:           mem.NewMemory(),
+		hier:          mem.NewHierarchy(cfg.Hier),
+		bp:            bpred.New(cfg.BPred, cfg.Threadlets),
+		pack:          core.NewPackPredictor(cfg.Pack),
+		mon:           core.NewRegionMonitor(cfg.Monitor),
+		contextFreeAt: make([]int64, cfg.Threadlets),
+		gens:          make([]uint64, cfg.Threadlets),
+		archSpecInsts: make(map[int]uint64),
+	}
+	m.mem.LoadProgram(prog)
+	m.ssb = core.NewSSB(cfg.SSB, m.mem)
+	newSet := func() core.GranuleSet { return core.NewExactSet() }
+	if cfg.BloomBits > 0 {
+		newSet = func() core.GranuleSet { return core.NewBloomSet(cfg.BloomBits, cfg.BloomHashes) }
+	}
+	m.cd = core.NewConflictDetector(cfg.Threadlets, cfg.ConflictCheckLatency, newSet)
+
+	m.threads = make([]*threadlet, cfg.Threadlets)
+	for i := range m.threads {
+		m.threads[i] = &threadlet{id: i, activeRegion: -1}
+	}
+	t0 := m.threads[0]
+	t0.live = true
+	t0.fetchPC = prog.Entry
+	t0.committedRegs[isa.X(2)] = asm.DefaultStackTop
+	for r := 0; r < isa.NumRegs; r++ {
+		t0.renameMap[r] = mapEntry{val: t0.committedRegs[r]}
+	}
+	t0.epochStartPC = prog.Entry
+	m.order = []int{0}
+	return m, nil
+}
+
+// Run simulates to completion and returns the statistics.
+func (m *Machine) Run() (*Stats, error) {
+	maxCycles := m.cfg.MaxCycles
+	if maxCycles == 0 {
+		maxCycles = 200_000_000
+	}
+	for !m.halted {
+		if m.now >= maxCycles {
+			return &m.stats, fmt.Errorf("%w (%d cycles, %d arch insts)", ErrCycleLimit, m.now, m.stats.ArchInsts)
+		}
+		if m.now-m.lastArchCommit > 1_000_000 {
+			return &m.stats, fmt.Errorf("%w at cycle %d (last commit at %d)", ErrNoProgress, m.now, m.lastArchCommit)
+		}
+		m.cycle()
+	}
+	m.stats.Cycles = m.now
+	m.stats.Halted = true
+	return &m.stats, nil
+}
+
+// cycle advances the machine by one clock.
+func (m *Machine) cycle() {
+	m.writeback()
+	m.commit()
+	m.drainStores()
+	m.tryRetire()
+	m.issue()
+	m.dispatch()
+	m.fetch()
+
+	k := len(m.order)
+	if k > len(m.stats.LiveCycles) {
+		k = len(m.stats.LiveCycles)
+	}
+	if k > 0 {
+		m.stats.LiveCycles[k-1]++
+	}
+	m.now++
+	m.stats.Cycles = m.now
+}
+
+// archTid returns the architectural threadlet's ID.
+func (m *Machine) archTid() int { return m.order[0] }
+
+// isSpec reports whether tid is currently speculative.
+func (m *Machine) isSpec(tid int) bool { return m.order[0] != tid }
+
+// orderIdx returns tid's position in the epoch order, or -1.
+func (m *Machine) orderIdx(tid int) int {
+	for i, id := range m.order {
+		if id == tid {
+			return i
+		}
+	}
+	return -1
+}
+
+// chainUpTo returns the oldest-first chain of live threadlets up to and
+// including tid, as the SSB read logic requires (§4.1.3).
+func (m *Machine) chainUpTo(tid int) []int {
+	idx := m.orderIdx(tid)
+	if idx < 0 {
+		return nil
+	}
+	chain := make([]int, idx+1)
+	copy(chain, m.order[:idx+1])
+	return chain
+}
+
+// youngerThan returns the live threadlets strictly younger than tid,
+// oldest-first (Algorithm 1's successor iteration).
+func (m *Machine) youngerThan(tid int) []int {
+	idx := m.orderIdx(tid)
+	if idx < 0 || idx+1 >= len(m.order) {
+		return nil
+	}
+	out := make([]int, len(m.order)-idx-1)
+	copy(out, m.order[idx+1:])
+	return out
+}
+
+// FinalRegs returns the architectural register file after Run; valid only
+// once the machine has halted.
+func (m *Machine) FinalRegs() [isa.NumRegs]uint64 {
+	return m.threads[m.archTid()].committedRegs
+}
+
+// Memory exposes the functional memory, for end-state verification and for
+// external snoop injection in tests.
+func (m *Machine) Memory() *mem.Memory { return m.mem }
+
+// Hierarchy exposes the timing memory system (cache stats).
+func (m *Machine) Hierarchy() *mem.Hierarchy { return m.hier }
+
+// Predictor exposes the branch predictor (stats).
+func (m *Machine) Predictor() *bpred.Predictor { return m.bp }
+
+// SSB exposes the speculative state buffer (stats).
+func (m *Machine) SSB() *core.SSB { return m.ssb }
+
+// Detector exposes the conflict detector (stats).
+func (m *Machine) Detector() *core.ConflictDetector { return m.cd }
+
+// Packer exposes the iteration-packing predictor (stats).
+func (m *Machine) Packer() *core.PackPredictor { return m.pack }
+
+// Stats returns the current statistics (live during a run).
+func (m *Machine) Stats() *Stats { return &m.stats }
+
+// Now returns the current cycle.
+func (m *Machine) Now() int64 { return m.now }
+
+// ExternalSnoop injects a coherence request from another core for the line
+// containing addr (§4.1.4): caches downgrade or invalidate, and any
+// speculative threadlet whose read or write set covers the granule can no
+// longer commit cleanly and is squashed.
+func (m *Machine) ExternalSnoop(addr uint64, write bool) {
+	m.hier.Snoop(addr, write)
+	g := m.ssb.GranuleOf(addr)
+	for i := 1; i < len(m.order); i++ { // speculative threadlets only
+		tid := m.order[i]
+		conflict := m.cd.WriteSetContains(tid, g)
+		if write {
+			conflict = conflict || m.cd.ReadSetContains(tid, g)
+		}
+		if conflict {
+			m.squashFrom(tid, core.SquashExternal, true)
+			return
+		}
+	}
+}

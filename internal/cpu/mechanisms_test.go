@@ -1,0 +1,265 @@
+package cpu
+
+import (
+	"testing"
+
+	"loopfrog/internal/asm"
+	"loopfrog/internal/core"
+	"loopfrog/internal/isa"
+	"loopfrog/internal/ref"
+)
+
+// Targeted tests for individual LoopFrog mechanisms.
+
+// chainLoop builds a loop whose body is a long serial chain writing out[i],
+// parameterised for the mechanism tests.
+func chainLoop(iters, chain int) *asm.Program {
+	b := asm.NewBuilder("chain")
+	b.Sym("out").Zero(8 * iters)
+	b.Label("main").
+		La(isa.X(10), "out").
+		Li(isa.X(8), 0).
+		Li(isa.X(9), int64(iters))
+	b.Label("loop").
+		OpImm(isa.SLLI, isa.X(6), isa.X(8), 3).
+		Op(isa.ADD, isa.X(6), isa.X(10), isa.X(6))
+	b.Hint(isa.DETACH, "cont")
+	b.OpImm(isa.ADDI, isa.X(28), isa.X(8), 1)
+	for k := 0; k < chain; k++ {
+		b.OpImm(isa.SLLI, isa.X(29), isa.X(28), 1).
+			Op(isa.ADD, isa.X(28), isa.X(28), isa.X(29))
+	}
+	b.Store(isa.SD, isa.X(28), isa.X(6), 0)
+	b.Hint(isa.REATTACH, "cont")
+	b.Label("cont").
+		OpImm(isa.ADDI, isa.X(8), isa.X(8), 1).
+		Branch(isa.BLT, isa.X(8), isa.X(9), "loop")
+	b.Hint(isa.SYNC, "cont")
+	b.Li(isa.X(6), 0).Li(isa.X(28), 0).Li(isa.X(29), 0)
+	b.Halt()
+	return b.MustBuild()
+}
+
+func TestDependencyChainLoopSpeedsUp(t *testing.T) {
+	// Iterations of ~600 serial instructions: at most ~1.7 fit in the ROB,
+	// so the baseline runs ~1.7 chains at once while LoopFrog runs 4 (§6.4.1
+	// "cutting dependency chains").
+	prog := chainLoop(40, 300)
+	base, lf := runBoth(t, prog)
+	sp := float64(base.Cycles) / float64(lf.Cycles)
+	if sp < 1.3 {
+		t.Errorf("dependency-chain speedup = %.2f, want >= 1.3", sp)
+	}
+}
+
+func TestPerThreadletWindowCapPreventsStarvation(t *testing.T) {
+	// With the occupancy cap removed (simulated by a single huge threadlet
+	// share), an old epoch's chain would hog the IQ. Here we just assert the
+	// shipped configuration keeps all four threadlets simultaneously alive
+	// for a significant fraction of a chain-heavy loop.
+	prog := chainLoop(40, 300)
+	m, err := NewMachine(DefaultConfig(), prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := m.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var total uint64
+	for _, c := range st.LiveCycles {
+		total += c
+	}
+	if frac := float64(st.LiveCycles[3]) / float64(total); frac < 0.3 {
+		t.Errorf("4-threadlet occupancy = %.2f, want >= 0.3 on independent chains", frac)
+	}
+}
+
+func TestSSBOverflowStallsAndRecovers(t *testing.T) {
+	// A 64-byte slice (2 lines) cannot hold an epoch's store set when
+	// packing batches iterations; the drain must stall (not deadlock) and
+	// the result must stay exact.
+	prog := chainLoop(120, 20)
+	cfg := DefaultConfig()
+	cfg.SSB.SliceBytes = 64
+	oracle := ref.MustRun(prog, ref.Options{})
+	m, err := NewMachine(cfg, prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if diff := oracle.Mem.Diff(m.Memory()); diff != "" {
+		t.Fatalf("overflow handling corrupted memory:\n%s", diff)
+	}
+}
+
+func TestPackingEngagesOnTinyIterations(t *testing.T) {
+	prog := chainLoop(600, 1)
+	m, err := NewMachine(DefaultConfig(), prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := m.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.PackedSpawns == 0 {
+		t.Error("packing never engaged on a tiny strided loop")
+	}
+	if m.Packer().MeanFactor() < 2 {
+		t.Errorf("mean packing factor = %.1f, want >= 2", m.Packer().MeanFactor())
+	}
+}
+
+func TestRegionMonitorDeselectsLowTrip(t *testing.T) {
+	// Many invocations of a trip-2 loop: after warmup the monitor must stop
+	// spawning (tiny retired epochs), bounding the spawn count well below
+	// one per iteration.
+	b := asm.NewBuilder("lowtrip")
+	b.Sym("out").Zero(8 * 4096)
+	b.Label("main").
+		La(isa.X(10), "out").
+		Li(isa.X(18), 0). // outer index
+		Li(isa.X(19), 1000)
+	b.Label("outer").
+		Li(isa.X(8), 0).
+		Li(isa.X(9), 2)
+	b.Label("loop").
+		OpImm(isa.SLLI, isa.X(6), isa.X(8), 3).
+		Op(isa.ADD, isa.X(6), isa.X(10), isa.X(6))
+	b.Hint(isa.DETACH, "cont")
+	b.OpImm(isa.ADDI, isa.X(28), isa.X(8), 7)
+	b.Store(isa.SD, isa.X(28), isa.X(6), 0)
+	b.Hint(isa.REATTACH, "cont")
+	b.Label("cont").
+		OpImm(isa.ADDI, isa.X(8), isa.X(8), 1).
+		Branch(isa.BLT, isa.X(8), isa.X(9), "loop")
+	b.Hint(isa.SYNC, "cont")
+	b.OpImm(isa.ADDI, isa.X(18), isa.X(18), 1).
+		Branch(isa.BLT, isa.X(18), isa.X(19), "outer")
+	b.Li(isa.X(6), 0).Li(isa.X(28), 0).Li(isa.X(8), 0).Li(isa.X(9), 0)
+	b.Halt()
+	prog := b.MustBuild()
+
+	st := runMachine(t, DefaultConfig(), prog)
+	if st.Spawns > st.Detaches/3 {
+		t.Errorf("monitor did not throttle: %d spawns for %d detaches", st.Spawns, st.Detaches)
+	}
+}
+
+func TestPackVerifyRepairsWithoutSquash(t *testing.T) {
+	// An IV with a conditional bump every 64 iterations: the strided
+	// predictor is confident, occasionally wrong, and the §4.3 verification
+	// must repair or squash — never corrupt.
+	b := asm.NewBuilder("bumpy")
+	b.Sym("out").Zero(8 * 4096)
+	b.Label("main").
+		La(isa.X(10), "out").
+		Li(isa.X(8), 0).  // i
+		Li(isa.X(20), 0). // k: bumpy IV
+		Li(isa.X(9), 2000)
+	b.Label("loop").
+		OpImm(isa.SLLI, isa.X(6), isa.X(8), 3).
+		Op(isa.ADD, isa.X(6), isa.X(10), isa.X(6))
+	b.Hint(isa.DETACH, "cont")
+	b.Op(isa.ADD, isa.X(28), isa.X(20), isa.X(8)).
+		Store(isa.SD, isa.X(28), isa.X(6), 0)
+	b.Hint(isa.REATTACH, "cont")
+	b.Label("cont").
+		OpImm(isa.ADDI, isa.X(20), isa.X(20), 3). // k += 3 always
+		OpImm(isa.ANDI, isa.X(29), isa.X(8), 63).
+		Branch(isa.BNE, isa.X(29), isa.X(0), "nobump").
+		OpImm(isa.ADDI, isa.X(20), isa.X(20), 100). // occasional bump
+		Label("nobump").
+		OpImm(isa.ADDI, isa.X(8), isa.X(8), 1).
+		Branch(isa.BLT, isa.X(8), isa.X(9), "loop")
+	b.Hint(isa.SYNC, "cont")
+	b.Li(isa.X(6), 0).Li(isa.X(28), 0).Li(isa.X(29), 0)
+	b.Halt()
+	prog := b.MustBuild()
+	runBoth(t, prog) // exactness is the assertion
+}
+
+func TestBloomDetectorConfigurationRuns(t *testing.T) {
+	prog := chainLoop(60, 10)
+	cfg := DefaultConfig()
+	cfg.BloomBits = 4096
+	cfg.BloomHashes = 4
+	runMachine(t, cfg, prog)
+}
+
+func TestWithWidthScalesResources(t *testing.T) {
+	cfg := DefaultConfig().WithWidth(4)
+	if cfg.Width != 4 {
+		t.Fatalf("width = %d", cfg.Width)
+	}
+	if cfg.ALUs >= DefaultConfig().ALUs {
+		t.Error("ALUs did not scale down")
+	}
+	if cfg.LoadPipes < 1 || cfg.StorePipes < 1 {
+		t.Error("pipes scaled below 1")
+	}
+}
+
+func TestFalseSharingGranuleConflict(t *testing.T) {
+	// Byte stores from adjacent iterations into the same 4-byte granule:
+	// partial-granule fill reads enter the read set (§4.1.1) and can
+	// conflict; whatever the timing, the result must stay exact.
+	b := asm.NewBuilder("falseshare")
+	b.Sym("buf").Zero(4096)
+	b.Label("main").
+		La(isa.X(10), "buf").
+		Li(isa.X(8), 0).
+		Li(isa.X(9), 512)
+	b.Label("loop").
+		Op(isa.ADD, isa.X(6), isa.X(10), isa.X(8))
+	b.Hint(isa.DETACH, "cont")
+	b.OpImm(isa.ANDI, isa.X(28), isa.X(8), 0xff).
+		Store(isa.SB, isa.X(28), isa.X(6), 0)
+	b.Hint(isa.REATTACH, "cont")
+	b.Label("cont").
+		OpImm(isa.ADDI, isa.X(8), isa.X(8), 1).
+		Branch(isa.BLT, isa.X(8), isa.X(9), "loop")
+	b.Hint(isa.SYNC, "cont")
+	b.Li(isa.X(6), 0).Li(isa.X(28), 0)
+	b.Halt()
+	prog := b.MustBuild()
+	base, lf := runBoth(t, prog)
+	_ = base
+	_ = lf
+
+	// With cache-line granules the same program must still be exact, just
+	// with more conflicts.
+	cfg := DefaultConfig()
+	cfg.SSB.GranuleBytes = 32
+	runMachine(t, cfg, prog)
+}
+
+func TestSquashCausesAreCounted(t *testing.T) {
+	// The serial-accumulator loop guarantees cross-threadlet RAW conflicts
+	// (or monitor de-selection after some).
+	prog := asm.MustAssemble("serial", `
+        .data
+cell:   .quad 0
+        .text
+main:   la   a0, cell
+        li   t0, 0
+        li   t1, 400
+loop:   detach cont
+        ld   t3, 0(a0)
+        addi t3, t3, 2
+        sd   t3, 0(a0)
+        reattach cont
+cont:   addi t0, t0, 1
+        blt  t0, t1, loop
+        sync cont
+        li   t3, 0
+        halt
+`)
+	st := runMachine(t, DefaultConfig(), prog)
+	if st.Spawns > 0 && st.Squashes[int(core.SquashConflict)] == 0 && st.Spawns > 10 {
+		t.Errorf("sustained spawning (%d) with no conflicts on a serial dependence", st.Spawns)
+	}
+}

@@ -1,0 +1,218 @@
+package cpu
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"loopfrog/internal/asm"
+	"loopfrog/internal/isa"
+	"loopfrog/internal/ref"
+)
+
+// genHintedLoop emits a random but contract-correct LoopFrog loop program:
+// the body consumes only header-computed registers and writes only memory;
+// all register LCDs sit in the continuation. A fraction of body accesses
+// alias a shared cell, producing genuine cross-iteration memory dependences
+// that must be detected and recovered. Body temporaries are normalised
+// before halt so the full register file must match sequential execution.
+func genHintedLoop(rng *rand.Rand) *asm.Program {
+	trip := 8 + rng.Intn(200)
+	bodyOps := 1 + rng.Intn(8)
+	aliasPct := rng.Intn(40) // % of iterations touching the shared cell
+	stride := []int{8, 16, 24}[rng.Intn(3)]
+
+	b := asm.NewBuilder("randloop")
+	b.Sym("arr")
+	vals := make([]uint64, 512)
+	for i := range vals {
+		vals[i] = rng.Uint64() % 1000
+	}
+	b.Quad(vals...)
+	b.Sym("out").Zero(8 * 512)
+	b.Sym("cell").Quad(uint64(rng.Intn(50)))
+
+	// Registers: s0 = i (IV, continuation-updated), s1 = trip, a0 = arr,
+	// a1 = out, a2 = cell; header computes t0 = &arr[i*stride'], t1 = &out[..];
+	// body uses t2..t4 as temps.
+	b.Label("main").
+		La(isa.X(10), "arr").
+		La(isa.X(11), "out").
+		La(isa.X(12), "cell").
+		Li(isa.X(8), 0).
+		Li(isa.X(9), int64(trip))
+	b.Label("loop").
+		Li(isa.X(7), int64(stride)).
+		Op(isa.MUL, isa.X(5), isa.X(8), isa.X(7)).
+		Op(isa.ADD, isa.X(5), isa.X(10), isa.X(5)).
+		OpImm(isa.SLLI, isa.X(6), isa.X(8), 3).
+		Op(isa.ADD, isa.X(6), isa.X(11), isa.X(6))
+	b.Hint(isa.DETACH, "cont")
+	// Body: random dataflow over t2 (x28), seeded from a load.
+	b.Load(isa.LD, isa.X(28), isa.X(5), 0)
+	for k := 0; k < bodyOps; k++ {
+		switch rng.Intn(5) {
+		case 0:
+			b.OpImm(isa.ADDI, isa.X(28), isa.X(28), int64(rng.Intn(100)))
+		case 1:
+			b.OpImm(isa.XORI, isa.X(28), isa.X(28), int64(rng.Intn(256)))
+		case 2:
+			b.Op(isa.MUL, isa.X(28), isa.X(28), isa.X(28))
+		case 3:
+			b.OpImm(isa.SRLI, isa.X(28), isa.X(28), int64(1+rng.Intn(3)))
+		case 4:
+			b.OpImm(isa.SLLI, isa.X(28), isa.X(28), 1)
+		}
+	}
+	if aliasPct > 0 {
+		// Iterations where i % 100 < aliasPct also read-modify-write the
+		// shared cell: a true serial memory dependence.
+		b.Li(isa.X(29), 100).
+			Op(isa.REM, isa.X(29), isa.X(8), isa.X(29)).
+			Li(isa.X(30), int64(aliasPct)).
+			Branch(isa.BGE, isa.X(29), isa.X(30), "noalias").
+			Load(isa.LD, isa.X(31), isa.X(12), 0).
+			Op(isa.ADD, isa.X(31), isa.X(31), isa.X(28)).
+			Store(isa.SD, isa.X(31), isa.X(12), 0).
+			Label("noalias")
+	}
+	b.Store(isa.SD, isa.X(28), isa.X(6), 0)
+	b.Hint(isa.REATTACH, "cont")
+	b.Label("cont").
+		OpImm(isa.ADDI, isa.X(8), isa.X(8), 1).
+		Branch(isa.BLT, isa.X(8), isa.X(9), "loop")
+	b.Hint(isa.SYNC, "cont")
+	// Normalise dead body/header temps.
+	for _, r := range []int{5, 6, 7, 28, 29, 30, 31} {
+		b.Li(isa.X(r), 0)
+	}
+	b.Halt()
+	return b.MustBuild()
+}
+
+func TestRandomHintedLoopsPreserveSemantics(t *testing.T) {
+	trials := 30
+	if testing.Short() {
+		trials = 8
+	}
+	for trial := 0; trial < trials; trial++ {
+		rng := rand.New(rand.NewSource(int64(1000 + trial)))
+		prog := genHintedLoop(rng)
+		oracle := ref.MustRun(prog, ref.Options{})
+		for _, mode := range []struct {
+			name string
+			cfg  Config
+		}{
+			{"baseline", BaselineConfig()},
+			{"loopfrog", DefaultConfig()},
+			{"loopfrog-nopack", func() Config { c := DefaultConfig(); c.Pack.Enabled = false; return c }()},
+			{"loopfrog-2t", func() Config { c := DefaultConfig(); c.Threadlets = 2; return c }()},
+			{"loopfrog-tinyssb", func() Config { c := DefaultConfig(); c.SSB.SliceBytes = 128; return c }()},
+		} {
+			m, err := NewMachine(mode.cfg, prog)
+			if err != nil {
+				t.Fatalf("trial %d %s: %v", trial, mode.name, err)
+			}
+			if _, err := m.Run(); err != nil {
+				t.Fatalf("trial %d %s: %v", trial, mode.name, err)
+			}
+			regs := m.FinalRegs()
+			for r := 0; r < isa.NumRegs; r++ {
+				if regs[r] != oracle.Regs[r] {
+					t.Fatalf("trial %d %s: reg %s = %#x, want %#x",
+						trial, mode.name, isa.Reg(r), regs[r], oracle.Regs[r])
+				}
+			}
+			if diff := oracle.Mem.Diff(m.Memory()); diff != "" {
+				t.Fatalf("trial %d %s: memory differs:\n%s", trial, mode.name, diff)
+			}
+		}
+	}
+}
+
+// TestRandomSnoopStorm injects random external coherence traffic during
+// LoopFrog runs; final state must still match the reference (§4.1.4).
+func TestRandomSnoopStorm(t *testing.T) {
+	trials := 10
+	if testing.Short() {
+		trials = 3
+	}
+	for trial := 0; trial < trials; trial++ {
+		rng := rand.New(rand.NewSource(int64(7000 + trial)))
+		prog := genHintedLoop(rng)
+		oracle := ref.MustRun(prog, ref.Options{})
+		m, err := NewMachine(DefaultConfig(), prog)
+		if err != nil {
+			t.Fatal(err)
+		}
+		arr := prog.MustSymbol("arr")
+		for i := 0; i < 2_000_000 && !m.halted; i++ {
+			m.cycle()
+			if i%500 == 250 {
+				m.ExternalSnoop(arr+uint64(rng.Intn(512))*8, rng.Intn(2) == 0)
+			}
+		}
+		if !m.halted {
+			t.Fatalf("trial %d: did not halt under snoop storm", trial)
+		}
+		if diff := oracle.Mem.Diff(m.Memory()); diff != "" {
+			t.Fatalf("trial %d: memory differs under snoops:\n%s", trial, diff)
+		}
+	}
+}
+
+// TestDeterminism: two runs of the same configuration must produce identical
+// cycle counts and statistics.
+func TestDeterminism(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	prog := genHintedLoop(rng)
+	run := func() Stats {
+		m, err := NewMachine(DefaultConfig(), prog)
+		if err != nil {
+			t.Fatal(err)
+		}
+		st, err := m.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return *st
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Errorf("two identical runs diverged:\n%+v\n%+v", a, b)
+	}
+}
+
+func ExampleMachine() {
+	prog := asm.MustAssemble("example", `
+        .data
+xs:     .quad 1, 2, 3, 4, 5, 6, 7, 8
+ys:     .zero 64
+        .text
+main:   la   a0, xs
+        la   a1, ys
+        li   t0, 0
+        li   t1, 8
+loop:   slli t2, t0, 3
+        add  t3, a0, t2
+        add  t4, a1, t2
+        detach cont
+        ld   t5, 0(t3)
+        mul  t5, t5, t5
+        sd   t5, 0(t4)
+        reattach cont
+cont:   addi t0, t0, 1
+        blt  t0, t1, loop
+        sync cont
+        halt
+`)
+	m, err := NewMachine(DefaultConfig(), prog)
+	if err != nil {
+		panic(err)
+	}
+	if _, err := m.Run(); err != nil {
+		panic(err)
+	}
+	fmt.Println(m.Memory().Read(prog.MustSymbol("ys")+7*8, 8))
+	// Output: 64
+}

@@ -1,0 +1,255 @@
+package cpu
+
+import (
+	"loopfrog/internal/bpred"
+	"loopfrog/internal/isa"
+)
+
+type instState uint8
+
+const (
+	stDispatched instState = iota // in ROB, maybe waiting for operands
+	stReady                       // operands ready, in a ready queue
+	stExecuting                   // issued to a functional unit
+	stDone                        // result available
+	stCommitted                   // committed to its threadlet
+)
+
+// dynInst is one dynamic instruction in flight.
+type dynInst struct {
+	tid  int
+	seq  uint64 // per-threadlet age
+	pc   int
+	inst isa.Inst
+	meta isa.Meta
+
+	// Operand capture. src[0] is Rs1, src[1] is Rs2.
+	srcReady [2]bool
+	srcVal   [2]uint64
+	srcProd  [2]*dynInst
+
+	hasDest bool
+	destReg isa.Reg
+	oldMap  mapEntry // previous rename-map entry, for rollback
+	result  uint64
+
+	state   instState
+	readyAt int64 // writeback cycle once executing
+
+	// Memory state.
+	addr      uint64
+	addrValid bool
+	memSize   int
+	loadFwdSQ bool // forwarded from own threadlet's store queue
+
+	// Branch state.
+	pred         bpred.BranchState
+	hasPred      bool
+	predTaken    bool
+	predTarget   int
+	actualTarget int
+	mispredicted bool
+	rasPushed    bool
+
+	// Hint bookkeeping. The prev* fields snapshot threadlet epoch state a
+	// hint mutated at dispatch, so wrong-path rollback can restore it.
+	spawnedTid    int // threadlet spawned by this detach, -1 otherwise
+	endsEpoch     bool
+	wasSyncExit   bool
+	isVerifyPoint bool
+	prevRegion    int64
+	prevDetached  bool
+	prevSkip      int
+	prevVerify    bool
+	// fwdSeq is the store-queue entry a load forwarded from.
+	fwdSeq uint64
+
+	// waiters are instructions whose operands this result feeds.
+	waiters []*dynInst
+	// ckptWaiters are (threadlet, reg) checkpoint slots this result fills.
+	ckptWaiters []ckptWaiter
+
+	squashed bool
+}
+
+type ckptWaiter struct {
+	tid int
+	reg isa.Reg
+	gen uint64
+}
+
+// mapEntry is a rename-map slot: either a pending producer or a value.
+type mapEntry struct {
+	prod *dynInst
+	val  uint64
+}
+
+type fetchEntry struct {
+	pc        int
+	inst      isa.Inst
+	readyAt   int64 // cycle the entry may rename (models front-end depth)
+	pred      bpred.BranchState
+	hasPred   bool
+	predTaken bool
+	predTgt   int
+	rasPushed bool
+}
+
+// threadlet is one execution context (§4): PC, rename map, ROB slice, and
+// the LoopFrog epoch state.
+type threadlet struct {
+	id   int
+	live bool
+
+	// Front end.
+	fetchPC        int
+	fetchHalted    bool // stopped at reattach epoch end or HALT
+	haltSeen       bool
+	fetchReadyAt   int64
+	fetchWaitInst  *dynInst // unresolved indirect jump blocking fetch
+	fq             []fetchEntry
+	lineTagFetched uint64 // last I-cache line fetched (for timing)
+	lineValid      bool
+
+	// Rename state.
+	renameMap [isa.NumRegs]mapEntry
+	// consumedStart marks start registers consumed from the initial map,
+	// for packing repair decisions (§4.3).
+	consumedStart [isa.NumRegs]bool
+
+	// Committed architectural state of the threadlet. writtenMask marks
+	// registers written by this epoch's own commits, so late checkpoint
+	// fills never clobber newer values.
+	committedRegs [isa.NumRegs]uint64
+	writtenMask   [isa.NumRegs]bool
+	seqCounter    uint64
+	// specCommitted counts instructions committed while speculative;
+	// specCommittedRegion is the in-parallel-region subset.
+	specCommitted       uint64
+	specCommittedRegion uint64
+	// writtenThisIter tracks per-iteration first-write info for the packing
+	// IV detector; reset at each committed detach.
+	writtenThisIter [isa.NumRegs]bool
+	// overflowStalled marks a drain stalled on a full SSB slice (§4.1.2);
+	// it clears when the threadlet becomes architectural.
+	overflowStalled bool
+
+	// ROB slice (ring of in-flight instructions, oldest first).
+	rob []*dynInst
+
+	// Post-commit store drain queue (the store buffer in front of SSB/L1D).
+	drain []*dynInst
+
+	// LoopFrog epoch state.
+	activeRegion   int64 // region the epoch belongs to; -1 when none
+	detached       bool  // spawned a successor for activeRegion
+	skipReattach   int   // packed iterations still to execute (§4.3)
+	pendingVerify  bool
+	predictedStart [isa.NumRegs]uint64 // prediction handed to the successor
+	epochEndSeq    uint64
+	epochEndPC     int
+	// epochFactor is the number of loop iterations this epoch covers (the
+	// packing factor used when it spawned its successor), for size training.
+	epochFactor int
+	// detachWait counts front-end stall cycles waiting for IV resolution.
+	detachWait int
+	// robHeld/iqHeld track this threadlet's share of the shared windows,
+	// for the per-threadlet occupancy caps that prevent an older epoch from
+	// starving younger ones (cf. Table 1 footnote: static partitioning
+	// performs similarly).
+	robHeld, iqHeld int
+	hasEpochEnd     bool
+	epochStartPC    int
+
+	// Checkpoint: the register starting state of the epoch (§4, "checkpoint
+	// store"). pendingFrom[r] != nil while the value is an unresolved future
+	// inherited from the parent at spawn.
+	ckptRegs    [isa.NumRegs]uint64
+	ckptPending [isa.NumRegs]*dynInst
+	ckptGHR     uint64
+
+	// Statistics for this epoch.
+	epochCommitted uint64
+	spawnedAt      int64
+
+	// retireAt delays threadlet commit for in-flight conflict checks.
+	retireAt int64
+}
+
+func (t *threadlet) robCount() int { return len(t.rob) }
+
+// Stats aggregates a run's counters.
+type Stats struct {
+	Cycles int64
+	// ArchInsts counts instructions that became architectural (the program).
+	ArchInsts uint64
+	// SpecCommitted counts instructions committed to threadlets that were
+	// later squashed (failed speculation, figure 8).
+	SpecCommitted uint64
+	// CommitSlotsUsed counts used commit-bandwidth slots (figure 1).
+	CommitSlotsUsed uint64
+
+	// Branch statistics.
+	Branches            uint64
+	Mispredicts         uint64
+	IndirectMispredicts uint64
+
+	// Memory statistics.
+	Loads, Stores    uint64
+	LoadReplaysLSQ   uint64 // intra-threadlet order violations
+	LoadRetriesMSHR  uint64
+	StoreDrainStalls uint64
+
+	// LoopFrog statistics.
+	Spawns          uint64
+	Retires         uint64
+	Squashes        [6]uint64 // indexed by core.SquashCause
+	PackedSpawns    uint64
+	PackRepairs     uint64
+	SyncCancels     uint64
+	HintNops        uint64
+	DetachNoContext uint64
+
+	// Threadlet occupancy: LiveCycles[k] = cycles with exactly k+1 live
+	// threadlets; ActiveGE2/ActiveEq4 mirror figure 7's series.
+	LiveCycles [8]uint64
+
+	// Per-cycle commit attribution for figure 8.
+	ArchCommitCycleSum uint64 // instructions committed while architectural
+	SpecCommitCycleSum uint64 // instructions committed while speculative (eventually retired)
+
+	// WrongPath counts fetch slots lost to redirects.
+	RedirectStalls uint64
+
+	// Region-level: committed parallel-region instructions (for loop
+	// speedup accounting) and total detaches seen.
+	RegionArchInsts uint64
+	Detaches        uint64
+
+	Halted bool
+}
+
+// IPC returns architectural instructions per cycle.
+func (s *Stats) IPC() float64 {
+	if s.Cycles == 0 {
+		return 0
+	}
+	return float64(s.ArchInsts) / float64(s.Cycles)
+}
+
+// CommitUtilization returns the fraction of commit bandwidth used by
+// architectural commits (figure 1's second series).
+func (s *Stats) CommitUtilization(width int) float64 {
+	if s.Cycles == 0 {
+		return 0
+	}
+	return float64(s.ArchInsts) / float64(int64(width)*s.Cycles)
+}
+
+// MispredictRate returns branch mispredictions per committed branch.
+func (s *Stats) MispredictRate() float64 {
+	if s.Branches == 0 {
+		return 0
+	}
+	return float64(s.Mispredicts) / float64(s.Branches)
+}

@@ -1,0 +1,70 @@
+package experiments
+
+import (
+	"fmt"
+
+	"loopfrog/internal/cpu"
+	"loopfrog/internal/sim"
+	"loopfrog/internal/workloads"
+)
+
+// Ablations beyond the paper's headline studies, for the design choices
+// DESIGN.md calls out.
+
+// BloomAblation compares the idealised exact-set conflict detector (the
+// paper's headline setup: "No false positives modeled") against the
+// proposed Bloom-filter hardware at several filter sizes. Smaller filters
+// alias more granules and squash more threadlets; the paper estimates ~2%
+// of epochs failing with a naive design.
+func BloomAblation(suite []*workloads.Benchmark, bits []int) ([]SweepRow, error) {
+	rows := []SweepRow{}
+	base := cpu.DefaultConfig()
+	res, err := sim.RunSuite(base, suite)
+	if err != nil {
+		return nil, err
+	}
+	rows = append(rows, SweepRow{Label: "exact", Geomean: geomeanWhole(res)})
+	for _, b := range bits {
+		cfg := cpu.DefaultConfig()
+		cfg.BloomBits = b
+		cfg.BloomHashes = 4
+		res, err := sim.RunSuite(cfg, suite)
+		if err != nil {
+			return nil, fmt.Errorf("bloom %d: %w", b, err)
+		}
+		rows = append(rows, SweepRow{Label: fmt.Sprintf("bloom-%db", b), Geomean: geomeanWhole(res)})
+	}
+	return rows, nil
+}
+
+// WidthScaling runs the LoopFrog-vs-baseline comparison at several core
+// widths: the paper's premise (§2) is that wider future cores leave more
+// back-end slots idle, so in-core TLS should keep paying off as widths grow.
+func WidthScaling(suite []*workloads.Benchmark, widths []int) ([]SweepRow, error) {
+	var rows []SweepRow
+	for _, w := range widths {
+		cfg := cpu.DefaultConfig().WithWidth(w)
+		res, err := sim.RunSuite(cfg, suite)
+		if err != nil {
+			return nil, fmt.Errorf("width %d: %w", w, err)
+		}
+		rows = append(rows, SweepRow{Label: fmt.Sprintf("%d-wide", w), Geomean: geomeanWhole(res)})
+	}
+	return rows, nil
+}
+
+// ThreadletScaling sweeps the number of threadlet contexts (the paper
+// evaluates 4; 2 contexts halve the leapfrogging distance).
+func ThreadletScaling(suite []*workloads.Benchmark, counts []int) ([]SweepRow, error) {
+	var rows []SweepRow
+	for _, n := range counts {
+		cfg := cpu.DefaultConfig()
+		cfg.Threadlets = n
+		res, err := sim.RunSuite(cfg, suite)
+		if err != nil {
+			return nil, fmt.Errorf("threadlets %d: %w", n, err)
+		}
+		rows = append(rows, SweepRow{Label: fmt.Sprintf("%d-threadlets", n), Geomean: geomeanWhole(res)})
+	}
+	return rows, nil
+}

@@ -1,0 +1,58 @@
+package experiments
+
+import (
+	"testing"
+
+	"loopfrog/internal/workloads"
+)
+
+func pair(t *testing.T) []*workloads.Benchmark {
+	t.Helper()
+	return []*workloads.Benchmark{
+		workloads.ByName(workloads.CPU2017(), "imagick"),
+		workloads.ByName(workloads.CPU2017(), "mcf"),
+	}
+}
+
+func TestBloomAblationSafeAndComparable(t *testing.T) {
+	rows, err := BloomAblation(pair(t), []int{4096})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	exact, bloom := rows[0].Geomean, rows[1].Geomean
+	if bloom <= 0 {
+		t.Fatal("bloom run produced no result")
+	}
+	// A paper-sized filter may cost a little (false positives squash), but
+	// never gains and never collapses.
+	if bloom > exact+0.01 {
+		t.Errorf("bloom (%0.3f) beat exact sets (%0.3f)?", bloom, exact)
+	}
+	if bloom < exact-0.15 {
+		t.Errorf("4096-bit bloom lost %.1f pp vs exact; aliasing too strong", 100*(exact-bloom))
+	}
+}
+
+func TestThreadletScalingMonotoneOnParallelLoops(t *testing.T) {
+	rows, err := ThreadletScaling(pair(t), []int{2, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows[1].Geomean < rows[0].Geomean-0.01 {
+		t.Errorf("4 threadlets (%0.3f) worse than 2 (%0.3f) on independent loops",
+			rows[1].Geomean, rows[0].Geomean)
+	}
+}
+
+func TestWidthScalingRuns(t *testing.T) {
+	rows, err := WidthScaling(pair(t)[:1], []int{8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows[0].Geomean <= 1 {
+		t.Errorf("8-wide LoopFrog geomean %.3f, want > 1 on imagick", rows[0].Geomean)
+	}
+}

@@ -1,0 +1,83 @@
+package isa
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// InstBytes is the size of one encoded instruction. LFISA uses a fixed
+// 12-byte encoding (opcode, three register specifiers, 64-bit immediate);
+// timing models nevertheless treat instructions as 4 bytes for I-cache
+// purposes, matching a conventional RISC front end.
+const InstBytes = 12
+
+// ErrBadEncoding is returned by Decode for malformed instruction words.
+var ErrBadEncoding = errors.New("isa: bad instruction encoding")
+
+// Encode packs the instruction into buf, which must be at least InstBytes
+// long, and returns the number of bytes written.
+func Encode(i Inst, buf []byte) (int, error) {
+	if len(buf) < InstBytes {
+		return 0, fmt.Errorf("isa: encode buffer too small: %d < %d", len(buf), InstBytes)
+	}
+	if int(i.Op) >= NumOpcodes {
+		return 0, fmt.Errorf("isa: encode: invalid opcode %d", i.Op)
+	}
+	buf[0] = byte(i.Op)
+	buf[1] = byte(i.Rd)
+	buf[2] = byte(i.Rs1)
+	buf[3] = byte(i.Rs2)
+	binary.LittleEndian.PutUint64(buf[4:], uint64(i.Imm))
+	return InstBytes, nil
+}
+
+// Decode unpacks one instruction from buf.
+func Decode(buf []byte) (Inst, error) {
+	if len(buf) < InstBytes {
+		return Inst{}, ErrBadEncoding
+	}
+	op := Opcode(buf[0])
+	if int(op) >= NumOpcodes {
+		return Inst{}, fmt.Errorf("%w: opcode %d", ErrBadEncoding, buf[0])
+	}
+	if buf[1] >= NumRegs || buf[2] >= NumRegs || buf[3] >= NumRegs {
+		return Inst{}, fmt.Errorf("%w: register specifier out of range", ErrBadEncoding)
+	}
+	return Inst{
+		Op:  op,
+		Rd:  Reg(buf[1]),
+		Rs1: Reg(buf[2]),
+		Rs2: Reg(buf[3]),
+		Imm: int64(binary.LittleEndian.Uint64(buf[4:])),
+	}, nil
+}
+
+// EncodeProgram serialises a sequence of instructions.
+func EncodeProgram(insts []Inst) ([]byte, error) {
+	out := make([]byte, 0, len(insts)*InstBytes)
+	var tmp [InstBytes]byte
+	for idx, i := range insts {
+		if _, err := Encode(i, tmp[:]); err != nil {
+			return nil, fmt.Errorf("isa: instruction %d: %w", idx, err)
+		}
+		out = append(out, tmp[:]...)
+	}
+	return out, nil
+}
+
+// DecodeProgram deserialises a sequence of instructions.
+func DecodeProgram(data []byte) ([]Inst, error) {
+	if len(data)%InstBytes != 0 {
+		return nil, fmt.Errorf("%w: length %d not a multiple of %d", ErrBadEncoding, len(data), InstBytes)
+	}
+	insts := make([]Inst, 0, len(data)/InstBytes)
+	for off := 0; off < len(data); off += InstBytes {
+		inst, err := Decode(data[off:])
+		if err != nil {
+			return nil, fmt.Errorf("isa: instruction %d: %w", off/InstBytes, err)
+		}
+		insts = append(insts, inst)
+	}
+	return insts, nil
+}

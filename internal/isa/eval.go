@@ -1,0 +1,173 @@
+package isa
+
+import "math"
+
+// EvalALU computes the result of a non-memory, non-control instruction given
+// its source operand values. Integer registers hold two's-complement values
+// in uint64; floating-point registers hold IEEE 754 binary64 bit patterns.
+// The same evaluation is used by the reference interpreter and by the
+// out-of-order core's dataflow execution, so the two can never diverge on
+// arithmetic.
+func EvalALU(i Inst, s1, s2 uint64) uint64 {
+	switch i.Op {
+	case ADD:
+		return s1 + s2
+	case SUB:
+		return s1 - s2
+	case AND:
+		return s1 & s2
+	case OR:
+		return s1 | s2
+	case XOR:
+		return s1 ^ s2
+	case SLL:
+		return s1 << (s2 & 63)
+	case SRL:
+		return s1 >> (s2 & 63)
+	case SRA:
+		return uint64(int64(s1) >> (s2 & 63))
+	case SLT:
+		if int64(s1) < int64(s2) {
+			return 1
+		}
+		return 0
+	case SLTU:
+		if s1 < s2 {
+			return 1
+		}
+		return 0
+	case MUL:
+		return s1 * s2
+	case DIV:
+		if s2 == 0 {
+			return ^uint64(0) // divide-by-zero yields all ones, like RISC-V
+		}
+		if int64(s1) == math.MinInt64 && int64(s2) == -1 {
+			return s1 // overflow yields the dividend, like RISC-V
+		}
+		return uint64(int64(s1) / int64(s2))
+	case REM:
+		if s2 == 0 {
+			return s1
+		}
+		if int64(s1) == math.MinInt64 && int64(s2) == -1 {
+			return 0
+		}
+		return uint64(int64(s1) % int64(s2))
+
+	case ADDI:
+		return s1 + uint64(i.Imm)
+	case ANDI:
+		return s1 & uint64(i.Imm)
+	case ORI:
+		return s1 | uint64(i.Imm)
+	case XORI:
+		return s1 ^ uint64(i.Imm)
+	case SLLI:
+		return s1 << (uint64(i.Imm) & 63)
+	case SRLI:
+		return s1 >> (uint64(i.Imm) & 63)
+	case SRAI:
+		return uint64(int64(s1) >> (uint64(i.Imm) & 63))
+	case SLTI:
+		if int64(s1) < i.Imm {
+			return 1
+		}
+		return 0
+	case LI:
+		return uint64(i.Imm)
+
+	case FADD:
+		return f2b(b2f(s1) + b2f(s2))
+	case FSUB:
+		return f2b(b2f(s1) - b2f(s2))
+	case FMUL:
+		return f2b(b2f(s1) * b2f(s2))
+	case FDIV:
+		return f2b(b2f(s1) / b2f(s2))
+	case FSQRT:
+		return f2b(math.Sqrt(b2f(s1)))
+	case FMIN:
+		return f2b(math.Min(b2f(s1), b2f(s2)))
+	case FMAX:
+		return f2b(math.Max(b2f(s1), b2f(s2)))
+	case FABS:
+		return f2b(math.Abs(b2f(s1)))
+	case FNEG:
+		return f2b(-b2f(s1))
+	case FCVTIF:
+		return f2b(float64(int64(s1)))
+	case FCVTFI:
+		f := b2f(s1)
+		if math.IsNaN(f) {
+			return 0
+		}
+		return uint64(int64(f))
+	case FMOV:
+		return s1
+	case FEQ:
+		if b2f(s1) == b2f(s2) {
+			return 1
+		}
+		return 0
+	case FLT:
+		if b2f(s1) < b2f(s2) {
+			return 1
+		}
+		return 0
+	case FLE:
+		if b2f(s1) <= b2f(s2) {
+			return 1
+		}
+		return 0
+	}
+	return 0
+}
+
+// BranchTaken reports whether a conditional branch with source values s1, s2
+// is taken.
+func BranchTaken(op Opcode, s1, s2 uint64) bool {
+	switch op {
+	case BEQ:
+		return s1 == s2
+	case BNE:
+		return s1 != s2
+	case BLT:
+		return int64(s1) < int64(s2)
+	case BGE:
+		return int64(s1) >= int64(s2)
+	case BLTU:
+		return s1 < s2
+	case BGEU:
+		return s1 >= s2
+	}
+	return false
+}
+
+// ExtendLoad sign- or zero-extends a raw little-endian load result of the
+// given size for opcode op.
+func ExtendLoad(op Opcode, raw uint64) uint64 {
+	m := OpMeta(op)
+	switch m.MemBytes {
+	case 1:
+		if m.Unsigned {
+			return raw & 0xff
+		}
+		return uint64(int64(int8(raw)))
+	case 2:
+		if m.Unsigned {
+			return raw & 0xffff
+		}
+		return uint64(int64(int16(raw)))
+	case 4:
+		if m.Unsigned {
+			return raw & 0xffffffff
+		}
+		return uint64(int64(int32(raw)))
+	default:
+		return raw
+	}
+}
+
+func b2f(b uint64) float64 { return math.Float64frombits(b) }
+func f2b(f float64) uint64 { return math.Float64bits(f) }

@@ -1,0 +1,314 @@
+package isa
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func negu(x int64) uint64 { return uint64(-x) }
+
+var minInt32 = int64(math.MinInt32)
+
+func TestRegNaming(t *testing.T) {
+	cases := []struct {
+		r    Reg
+		want string
+		isFP bool
+	}{
+		{X(0), "x0", false},
+		{X(31), "x31", false},
+		{F(0), "f0", true},
+		{F(31), "f31", true},
+	}
+	for _, c := range cases {
+		if got := c.r.String(); got != c.want {
+			t.Errorf("Reg(%d).String() = %q, want %q", c.r, got, c.want)
+		}
+		if got := c.r.IsFP(); got != c.isFP {
+			t.Errorf("Reg(%d).IsFP() = %v, want %v", c.r, got, c.isFP)
+		}
+	}
+}
+
+func TestRegConstructorsPanicOutOfRange(t *testing.T) {
+	for _, f := range []func(){func() { X(32) }, func() { X(-1) }, func() { F(32) }, func() { F(-1) }} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic for out-of-range register index")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestOpMetaCoversAllOpcodes(t *testing.T) {
+	for op := Opcode(0); int(op) < NumOpcodes; op++ {
+		m := OpMeta(op)
+		if m.Name == "" {
+			t.Errorf("opcode %d has no metadata", op)
+		}
+		if m.IsLoad && m.MemBytes == 0 {
+			t.Errorf("%s: load with MemBytes == 0", m.Name)
+		}
+		if m.IsStore && m.MemBytes == 0 {
+			t.Errorf("%s: store with MemBytes == 0", m.Name)
+		}
+		if m.IsLoad && m.Class != ClassLoad {
+			t.Errorf("%s: load not in load class", m.Name)
+		}
+		if m.IsStore && m.Class != ClassStore {
+			t.Errorf("%s: store not in store class", m.Name)
+		}
+		if m.IsHint && m.Class != ClassNop {
+			t.Errorf("%s: hint must consume no FU", m.Name)
+		}
+		if m.Class != ClassNop && !m.IsStore && !m.IsBranch && m.Latency < 1 {
+			t.Errorf("%s: executable op with latency %d", m.Name, m.Latency)
+		}
+	}
+}
+
+func TestOpMetaInvalid(t *testing.T) {
+	if got := OpMeta(Opcode(255)).Name; got != "invalid" {
+		t.Errorf("OpMeta(255).Name = %q, want invalid", got)
+	}
+}
+
+func TestEvalALUIntegerOps(t *testing.T) {
+	cases := []struct {
+		name   string
+		i      Inst
+		s1, s2 uint64
+		want   uint64
+	}{
+		{"add", Inst{Op: ADD}, 3, 4, 7},
+		{"add-wrap", Inst{Op: ADD}, math.MaxUint64, 1, 0},
+		{"sub", Inst{Op: SUB}, 3, 4, ^uint64(0)},
+		{"and", Inst{Op: AND}, 0b1100, 0b1010, 0b1000},
+		{"or", Inst{Op: OR}, 0b1100, 0b1010, 0b1110},
+		{"xor", Inst{Op: XOR}, 0b1100, 0b1010, 0b0110},
+		{"sll", Inst{Op: SLL}, 1, 63, 1 << 63},
+		{"sll-mask", Inst{Op: SLL}, 1, 64, 1}, // shift amount masked to 6 bits
+		{"srl", Inst{Op: SRL}, 1 << 63, 63, 1},
+		{"sra-neg", Inst{Op: SRA}, negu(8), 2, negu(2)},
+		{"slt-true", Inst{Op: SLT}, negu(1), 0, 1},
+		{"slt-false", Inst{Op: SLT}, 0, negu(1), 0},
+		{"sltu-true", Inst{Op: SLTU}, 0, negu(1), 1},
+		{"mul", Inst{Op: MUL}, 7, 6, 42},
+		{"div", Inst{Op: DIV}, negu(42), 6, negu(7)},
+		{"div0", Inst{Op: DIV}, 42, 0, ^uint64(0)},
+		{"div-ovf", Inst{Op: DIV}, (uint64(1) << 63), negu(1), (uint64(1) << 63)},
+		{"rem", Inst{Op: REM}, 43, 6, 1},
+		{"rem0", Inst{Op: REM}, 43, 0, 43},
+		{"rem-ovf", Inst{Op: REM}, (uint64(1) << 63), negu(1), 0},
+		{"addi", Inst{Op: ADDI, Imm: -1}, 5, 0, 4},
+		{"andi", Inst{Op: ANDI, Imm: 0xf0}, 0xff, 0, 0xf0},
+		{"ori", Inst{Op: ORI, Imm: 0x0f}, 0xf0, 0, 0xff},
+		{"xori", Inst{Op: XORI, Imm: -1}, 0, 0, ^uint64(0)},
+		{"slli", Inst{Op: SLLI, Imm: 4}, 1, 0, 16},
+		{"srli", Inst{Op: SRLI, Imm: 4}, 16, 0, 1},
+		{"srai", Inst{Op: SRAI, Imm: 1}, negu(4), 0, negu(2)},
+		{"slti", Inst{Op: SLTI, Imm: 10}, 9, 0, 1},
+		{"li", Inst{Op: LI, Imm: -123}, 99, 99, negu(123)},
+	}
+	for _, c := range cases {
+		if got := EvalALU(c.i, c.s1, c.s2); got != c.want {
+			t.Errorf("%s: EvalALU = %d, want %d", c.name, got, c.want)
+		}
+	}
+}
+
+func TestEvalALUFloatOps(t *testing.T) {
+	f := math.Float64bits
+	cases := []struct {
+		name   string
+		i      Inst
+		s1, s2 uint64
+		want   uint64
+	}{
+		{"fadd", Inst{Op: FADD}, f(1.5), f(2.25), f(3.75)},
+		{"fsub", Inst{Op: FSUB}, f(1.5), f(2.25), f(-0.75)},
+		{"fmul", Inst{Op: FMUL}, f(1.5), f(2.0), f(3.0)},
+		{"fdiv", Inst{Op: FDIV}, f(3.0), f(2.0), f(1.5)},
+		{"fsqrt", Inst{Op: FSQRT}, f(9.0), 0, f(3.0)},
+		{"fmin", Inst{Op: FMIN}, f(2.0), f(-3.0), f(-3.0)},
+		{"fmax", Inst{Op: FMAX}, f(2.0), f(-3.0), f(2.0)},
+		{"fabs", Inst{Op: FABS}, f(-2.5), 0, f(2.5)},
+		{"fneg", Inst{Op: FNEG}, f(2.5), 0, f(-2.5)},
+		{"fcvtif", Inst{Op: FCVTIF}, negu(7), 0, f(-7.0)},
+		{"fcvtfi", Inst{Op: FCVTFI}, f(-7.9), 0, negu(7)},
+		{"fcvtfi-nan", Inst{Op: FCVTFI}, f(math.NaN()), 0, 0},
+		{"fmov", Inst{Op: FMOV}, f(1.25), 0, f(1.25)},
+		{"feq-true", Inst{Op: FEQ}, f(1.0), f(1.0), 1},
+		{"feq-false", Inst{Op: FEQ}, f(1.0), f(2.0), 0},
+		{"flt", Inst{Op: FLT}, f(1.0), f(2.0), 1},
+		{"fle", Inst{Op: FLE}, f(2.0), f(2.0), 1},
+	}
+	for _, c := range cases {
+		if got := EvalALU(c.i, c.s1, c.s2); got != c.want {
+			t.Errorf("%s: EvalALU = %#x, want %#x", c.name, got, c.want)
+		}
+	}
+}
+
+func TestBranchTaken(t *testing.T) {
+	neg1 := negu(1)
+	cases := []struct {
+		op     Opcode
+		s1, s2 uint64
+		want   bool
+	}{
+		{BEQ, 1, 1, true},
+		{BEQ, 1, 2, false},
+		{BNE, 1, 2, true},
+		{BNE, 2, 2, false},
+		{BLT, neg1, 0, true},
+		{BLT, 0, neg1, false},
+		{BGE, 0, neg1, true},
+		{BGE, neg1, 0, false},
+		{BLTU, 0, neg1, true},
+		{BLTU, neg1, 0, false},
+		{BGEU, neg1, 0, true},
+		{BGEU, 0, neg1, false},
+		{ADD, 1, 1, false}, // non-branch opcode is never taken
+	}
+	for _, c := range cases {
+		if got := BranchTaken(c.op, c.s1, c.s2); got != c.want {
+			t.Errorf("BranchTaken(%s, %d, %d) = %v, want %v", c.op, c.s1, c.s2, got, c.want)
+		}
+	}
+}
+
+func TestExtendLoad(t *testing.T) {
+	cases := []struct {
+		op   Opcode
+		raw  uint64
+		want uint64
+	}{
+		{LB, 0x80, negu(128)},
+		{LBU, 0x80, 0x80},
+		{LH, 0x8000, negu(32768)},
+		{LHU, 0x8000, 0x8000},
+		{LW, 0x80000000, uint64(minInt32)},
+		{LWU, 0x80000000, 0x80000000},
+		{LD, 0x8000000000000000, 0x8000000000000000},
+		{FLD, 0x123456789abcdef0, 0x123456789abcdef0},
+	}
+	for _, c := range cases {
+		if got := ExtendLoad(c.op, c.raw); got != c.want {
+			t.Errorf("ExtendLoad(%s, %#x) = %#x, want %#x", c.op, c.raw, got, c.want)
+		}
+	}
+}
+
+func TestInstString(t *testing.T) {
+	cases := []struct {
+		i    Inst
+		want string
+	}{
+		{Inst{Op: NOP}, "nop"},
+		{Inst{Op: HALT}, "halt"},
+		{Inst{Op: ADD, Rd: X(1), Rs1: X(2), Rs2: X(3)}, "add x1, x2, x3"},
+		{Inst{Op: ADDI, Rd: X(1), Rs1: X(2), Imm: -4}, "addi x1, x2, -4"},
+		{Inst{Op: LI, Rd: X(5), Imm: 42}, "li x5, 42"},
+		{Inst{Op: LD, Rd: X(6), Rs1: X(7), Imm: 16}, "ld x6, 16(x7)"},
+		{Inst{Op: SD, Rs1: X(7), Rs2: X(6), Imm: 8}, "sd x6, 8(x7)"},
+		{Inst{Op: BEQ, Rs1: X(1), Rs2: X(2), Imm: 10}, "beq x1, x2, 10"},
+		{Inst{Op: JAL, Rd: X(1), Imm: 20}, "jal x1, 20"},
+		{Inst{Op: JALR, Rd: X(0), Rs1: X(1)}, "jalr x0, x1, 0"},
+		{Inst{Op: DETACH, Imm: 7}, "detach 7"},
+		{Inst{Op: REATTACH, Imm: 7}, "reattach 7"},
+		{Inst{Op: SYNC, Imm: 7}, "sync 7"},
+		{Inst{Op: FADD, Rd: F(1), Rs1: F(2), Rs2: F(3)}, "fadd f1, f2, f3"},
+		{Inst{Op: FSQRT, Rd: F(1), Rs1: F(2)}, "fsqrt f1, f2"},
+	}
+	for _, c := range cases {
+		if got := c.i.String(); got != c.want {
+			t.Errorf("Inst.String() = %q, want %q", got, c.want)
+		}
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	insts := []Inst{
+		{Op: NOP},
+		{Op: ADD, Rd: X(1), Rs1: X(2), Rs2: X(3)},
+		{Op: LI, Rd: X(5), Imm: math.MinInt64},
+		{Op: LD, Rd: F(3), Rs1: X(7), Imm: -128},
+		{Op: DETACH, Imm: 12345},
+		{Op: HALT},
+	}
+	data, err := EncodeProgram(insts)
+	if err != nil {
+		t.Fatalf("EncodeProgram: %v", err)
+	}
+	if len(data) != len(insts)*InstBytes {
+		t.Fatalf("encoded length = %d, want %d", len(data), len(insts)*InstBytes)
+	}
+	back, err := DecodeProgram(data)
+	if err != nil {
+		t.Fatalf("DecodeProgram: %v", err)
+	}
+	if len(back) != len(insts) {
+		t.Fatalf("decoded %d instructions, want %d", len(back), len(insts))
+	}
+	for i := range insts {
+		if back[i] != insts[i] {
+			t.Errorf("instruction %d: round trip %+v != original %+v", i, back[i], insts[i])
+		}
+	}
+}
+
+func TestEncodeDecodeProperty(t *testing.T) {
+	roundTrip := func(op uint8, rd, rs1, rs2 uint8, imm int64) bool {
+		in := Inst{
+			Op:  Opcode(op % uint8(NumOpcodes)),
+			Rd:  Reg(rd % NumRegs),
+			Rs1: Reg(rs1 % NumRegs),
+			Rs2: Reg(rs2 % NumRegs),
+			Imm: imm,
+		}
+		var buf [InstBytes]byte
+		if _, err := Encode(in, buf[:]); err != nil {
+			return false
+		}
+		out, err := Decode(buf[:])
+		return err == nil && out == in
+	}
+	if err := quick.Check(roundTrip, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	if _, err := Decode(make([]byte, InstBytes-1)); err == nil {
+		t.Error("Decode(short buffer) succeeded, want error")
+	}
+	bad := make([]byte, InstBytes)
+	bad[0] = 250 // invalid opcode
+	if _, err := Decode(bad); err == nil {
+		t.Error("Decode(bad opcode) succeeded, want error")
+	}
+	bad[0] = byte(ADD)
+	bad[1] = 200 // invalid register
+	if _, err := Decode(bad); err == nil {
+		t.Error("Decode(bad register) succeeded, want error")
+	}
+	if _, err := DecodeProgram(make([]byte, InstBytes+1)); err == nil {
+		t.Error("DecodeProgram(misaligned) succeeded, want error")
+	}
+}
+
+func TestEvalALUDivisionNeverPanics(t *testing.T) {
+	f := func(s1, s2 uint64) bool {
+		_ = EvalALU(Inst{Op: DIV}, s1, s2)
+		_ = EvalALU(Inst{Op: REM}, s1, s2)
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

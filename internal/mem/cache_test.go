@@ -1,0 +1,284 @@
+package mem
+
+import "testing"
+
+func smallHier() *Hierarchy {
+	cfg := DefaultHierConfig()
+	cfg.L1DPrefetch.Degree = 0 // most tests want deterministic contents
+	cfg.L2Prefetch.Degree = 0
+	cfg.L2NextLine = false
+	return NewHierarchy(cfg)
+}
+
+func TestLoadMissThenHit(t *testing.T) {
+	h := smallHier()
+	done, ok := h.Load(0, 0x1000, 0)
+	if !ok {
+		t.Fatal("first load not accepted")
+	}
+	// Cold miss goes L1D miss -> L2 miss -> DRAM.
+	wantMin := DefaultHierConfig().DRAMLatency
+	if done < wantMin {
+		t.Errorf("cold miss completed at %d, want >= %d", done, wantMin)
+	}
+	// A later access to the same line is an L1 hit.
+	done2, ok := h.Load(0, 0x1008, done)
+	if !ok || done2 != done+h.cfg.L1D.HitLatency {
+		t.Errorf("hit completed at %d, want %d", done2, done+h.cfg.L1D.HitLatency)
+	}
+	_, l1d, l2 := h.Stats()
+	if l1d.Misses != 1 || l1d.Hits != 1 {
+		t.Errorf("l1d hits/misses = %d/%d, want 1/1", l1d.Hits, l1d.Misses)
+	}
+	if l2.Misses != 1 {
+		t.Errorf("l2 misses = %d, want 1", l2.Misses)
+	}
+}
+
+func TestL2HitFasterThanDRAM(t *testing.T) {
+	h := smallHier()
+	done1, _ := h.Load(0, 0x4000, 0)
+	// Evict from L1D by filling its set: L1D is 64KiB 4-way with 64B lines,
+	// so addresses 0x4000 + k*64KiB map to the same set.
+	now := done1
+	for k := 1; k <= 4; k++ {
+		d, ok := h.Load(0, 0x4000+uint64(k)<<16, now)
+		if !ok {
+			t.Fatalf("conflict load %d rejected", k)
+		}
+		now = d
+	}
+	// 0x4000 is now out of L1D but still in L2.
+	done2, ok := h.Load(0, 0x4000, now)
+	if !ok {
+		t.Fatal("re-load rejected")
+	}
+	lat := done2 - now
+	l2lat := h.cfg.L2.HitLatency + h.cfg.L1D.HitLatency
+	if lat != l2lat {
+		t.Errorf("L2 hit latency = %d, want %d", lat, l2lat)
+	}
+}
+
+func TestMSHRMerging(t *testing.T) {
+	h := smallHier()
+	d1, ok1 := h.Load(0, 0x8000, 0)
+	d2, ok2 := h.Load(0, 0x8008, 1) // same line, one cycle later
+	if !ok1 || !ok2 {
+		t.Fatal("loads rejected")
+	}
+	if d2 != d1 {
+		t.Errorf("merged miss completes at %d, want %d (same fill as the primary miss)", d2, d1)
+	}
+	_, l1d, l2 := h.Stats()
+	if l2.Accesses != 1 {
+		t.Errorf("l2 accesses = %d, want 1 (merge must not re-fetch)", l2.Accesses)
+	}
+	if l1d.MSHRMergeHits != 1 {
+		t.Errorf("merge hits = %d, want 1", l1d.MSHRMergeHits)
+	}
+}
+
+func TestMSHRExhaustionRejects(t *testing.T) {
+	h := smallHier()
+	n := h.cfg.L1D.MSHRs
+	for i := 0; i <= n; i++ {
+		addr := uint64(0x10000 + i*4096) // distinct lines and sets
+		_, ok := h.Load(0, addr, 0)
+		if i < n && !ok {
+			t.Fatalf("load %d rejected before MSHRs full", i)
+		}
+		if i == n && ok {
+			t.Fatalf("load %d accepted with all %d MSHRs busy", i, n)
+		}
+	}
+	_, l1d, _ := h.Stats()
+	if l1d.MSHRStalls != 1 {
+		t.Errorf("MSHR stalls = %d, want 1", l1d.MSHRStalls)
+	}
+	// After the fills complete, new misses are accepted again.
+	if _, ok := h.Load(0, 0x90000, 10_000); !ok {
+		t.Error("load rejected after MSHRs drained")
+	}
+}
+
+func TestDRAMBandwidthSerialises(t *testing.T) {
+	h := smallHier()
+	d1, _ := h.Load(0, 0x100000, 0)
+	d2, _ := h.Load(0, 0x200000, 0)
+	if d2 < d1+h.cfg.DRAMCyclesPerLine {
+		t.Errorf("second DRAM access at %d not serialised after %d", d2, d1)
+	}
+}
+
+func TestStoreHitAndMiss(t *testing.T) {
+	h := smallHier()
+	// Store miss allocates (write-allocate) and uses a write buffer.
+	stall, ok := h.Store(0x3000, 0)
+	if !ok || stall != 0 {
+		t.Fatalf("store miss = (%d,%v), want buffered (0,true)", stall, ok)
+	}
+	// Store hit on the same line.
+	stall, ok = h.Store(0x3008, 500)
+	if !ok || stall != 0 {
+		t.Errorf("store hit = (%d,%v), want (0,true)", stall, ok)
+	}
+	_, l1d, _ := h.Stats()
+	if l1d.Accesses < 2 {
+		t.Errorf("l1d accesses = %d, want >= 2", l1d.Accesses)
+	}
+}
+
+func TestStoreWriteBufferExhaustion(t *testing.T) {
+	h := smallHier()
+	n := h.cfg.L1D.WriteBuffers
+	rejected := false
+	for i := 0; i <= n; i++ {
+		_, ok := h.Store(uint64(0x40000+i*4096), 0)
+		if !ok {
+			rejected = true
+			break
+		}
+	}
+	if !rejected {
+		t.Fatalf("no store rejected after %d misses with %d write buffers", n+1, n)
+	}
+	// Once buffers drain, stores are accepted again.
+	if _, ok := h.Store(0x900000, 50_000); !ok {
+		t.Error("store rejected after buffers drained")
+	}
+}
+
+func TestDirtyEvictionWritesBack(t *testing.T) {
+	h := smallHier()
+	h.Store(0x4000, 0)
+	now := int64(1000)
+	// Evict by filling the set with loads.
+	for k := 1; k <= 4; k++ {
+		d, ok := h.Load(0, 0x4000+uint64(k)<<16, now)
+		if !ok {
+			t.Fatalf("conflict load %d rejected", k)
+		}
+		now = d
+	}
+	_, l1d, _ := h.Stats()
+	if l1d.Writebacks != 1 {
+		t.Errorf("writebacks = %d, want 1", l1d.Writebacks)
+	}
+}
+
+func TestStridePrefetcherHidesLatency(t *testing.T) {
+	cfg := DefaultHierConfig()
+	cfg.L2Prefetch.Degree = 0
+	cfg.L2NextLine = false
+	h := NewHierarchy(cfg)
+	// Stream through memory at a fixed 64-byte stride from one PC.
+	now := int64(0)
+	var missesLate uint64
+	_, before, _ := h.Stats()
+	_ = before
+	for i := 0; i < 64; i++ {
+		addr := 0x100000 + uint64(i)*64
+		done, ok := h.Load(7, addr, now)
+		if !ok {
+			t.Fatalf("load %d rejected", i)
+		}
+		now = done + 10
+		if i == 32 {
+			_, mid, _ := h.Stats()
+			missesLate = mid.Misses
+		}
+	}
+	_, after, _ := h.Stats()
+	tail := after.Misses - missesLate
+	if after.PrefetchIssued == 0 {
+		t.Fatal("stride prefetcher never fired")
+	}
+	if after.PrefetchUseful == 0 {
+		t.Error("no prefetch was useful")
+	}
+	if tail > 16 {
+		t.Errorf("late-stream demand misses = %d, prefetcher not covering", tail)
+	}
+}
+
+func TestNextLinePrefetchFillsL2(t *testing.T) {
+	cfg := DefaultHierConfig()
+	cfg.L1DPrefetch.Degree = 0
+	cfg.L2Prefetch.Degree = 0
+	h := NewHierarchy(cfg)
+	d1, _ := h.Load(0, 0x700000, 0)
+	// The next line should now be an L2 hit (prefetched), not a DRAM miss.
+	d2, ok := h.Load(0, 0x700040, d1)
+	if !ok {
+		t.Fatal("second load rejected")
+	}
+	lat := d2 - d1
+	if lat > h.cfg.L2.HitLatency+h.cfg.L1D.HitLatency+h.cfg.DRAMCyclesPerLine {
+		t.Errorf("neighbour line latency = %d, want an L2-hit-class latency", lat)
+	}
+}
+
+func TestSnoopInvalidates(t *testing.T) {
+	h := smallHier()
+	d, _ := h.Load(0, 0x5000, 0)
+	if !h.Contains(0x5000) {
+		t.Fatal("line not resident after load")
+	}
+	if !h.Snoop(0x5000, true) {
+		t.Error("snoop did not find resident line")
+	}
+	if h.Contains(0x5000) {
+		t.Error("line still resident after invalidating snoop")
+	}
+	// Next access misses again.
+	d2, _ := h.Load(0, 0x5000, d+1000)
+	if d2-(d+1000) <= h.cfg.L1D.HitLatency {
+		t.Error("post-snoop access hit; expected a miss")
+	}
+	if h.Snoop(0x999000, true) {
+		t.Error("snoop found a never-loaded line")
+	}
+}
+
+func TestFetchUsesL1I(t *testing.T) {
+	h := smallHier()
+	d1 := h.Fetch(0x0, 0)
+	if d1 < h.cfg.DRAMLatency {
+		t.Errorf("cold fetch at %d, want >= DRAM latency", d1)
+	}
+	d2 := h.Fetch(0x8, d1)
+	if d2 != d1+h.cfg.L1I.HitLatency {
+		t.Errorf("warm fetch latency = %d, want %d", d2-d1, h.cfg.L1I.HitLatency)
+	}
+	l1i, l1d, _ := h.Stats()
+	if l1i.Accesses != 2 {
+		t.Errorf("l1i accesses = %d, want 2", l1i.Accesses)
+	}
+	if l1d.Accesses != 0 {
+		t.Error("instruction fetch touched the L1D")
+	}
+}
+
+func TestLRUReplacement(t *testing.T) {
+	h := smallHier()
+	// Fill one L1D set (4 ways) and touch the first line again, then insert
+	// a fifth line: the second line (LRU) must be the victim.
+	base := uint64(0x4000)
+	way := func(k int) uint64 { return base + uint64(k)<<16 }
+	now := int64(0)
+	for k := 0; k < 4; k++ {
+		d, _ := h.Load(0, way(k), now)
+		now = d
+	}
+	h.Load(0, way(0), now) // refresh way 0
+	now += 1000
+	h.Load(0, way(4), now) // evicts way 1
+	now += 1000
+	if !h.Contains(way(0)) {
+		t.Error("MRU line evicted")
+	}
+	if h.Contains(way(1)) {
+		t.Error("LRU line survived")
+	}
+}

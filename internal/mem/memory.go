@@ -1,0 +1,188 @@
+// Package mem provides the simulator's memory subsystem: a sparse functional
+// backing store holding architectural data values, and (in the timing files)
+// the cache hierarchy, MSHRs, prefetchers and DRAM model from Table 1 of the
+// paper.
+package mem
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+
+	"loopfrog/internal/asm"
+)
+
+const (
+	pageShift = 12
+	pageSize  = 1 << pageShift
+	pageMask  = pageSize - 1
+)
+
+// Memory is a sparse, byte-addressed 64-bit functional memory. It holds the
+// architectural memory state of a simulation; speculative threadlet state
+// lives in the SSB and is merged in only at threadlet commit. Unwritten
+// memory reads as zero. Memory is not safe for concurrent use.
+type Memory struct {
+	pages map[uint64]*[pageSize]byte
+}
+
+// NewMemory returns an empty memory.
+func NewMemory() *Memory {
+	return &Memory{pages: make(map[uint64]*[pageSize]byte)}
+}
+
+// LoadProgram initialises memory with the program's data segment.
+func (m *Memory) LoadProgram(p *asm.Program) {
+	m.WriteBytes(p.DataBase, p.Data)
+}
+
+// ReadBytes copies n bytes starting at addr into a fresh slice.
+func (m *Memory) ReadBytes(addr uint64, n int) []byte {
+	out := make([]byte, n)
+	for i := 0; i < n; i++ {
+		out[i] = m.readByte(addr + uint64(i))
+	}
+	return out
+}
+
+// WriteBytes writes p starting at addr.
+func (m *Memory) WriteBytes(addr uint64, p []byte) {
+	for i, b := range p {
+		m.writeByte(addr+uint64(i), b)
+	}
+}
+
+// Read returns size bytes at addr as a little-endian uint64 (zero-padded).
+// size must be 1, 2, 4 or 8 and the access must be naturally aligned.
+func (m *Memory) Read(addr uint64, size int) uint64 {
+	checkAccess(addr, size)
+	page, off := m.page(addr, false)
+	if page == nil {
+		return 0
+	}
+	switch size {
+	case 1:
+		return uint64(page[off])
+	case 2:
+		return uint64(binary.LittleEndian.Uint16(page[off:]))
+	case 4:
+		return uint64(binary.LittleEndian.Uint32(page[off:]))
+	default:
+		return binary.LittleEndian.Uint64(page[off:])
+	}
+}
+
+// Write stores the low size bytes of v at addr, little-endian. size must be
+// 1, 2, 4 or 8 and the access must be naturally aligned.
+func (m *Memory) Write(addr uint64, size int, v uint64) {
+	checkAccess(addr, size)
+	page, off := m.page(addr, true)
+	switch size {
+	case 1:
+		page[off] = byte(v)
+	case 2:
+		binary.LittleEndian.PutUint16(page[off:], uint16(v))
+	case 4:
+		binary.LittleEndian.PutUint32(page[off:], uint32(v))
+	default:
+		binary.LittleEndian.PutUint64(page[off:], v)
+	}
+}
+
+func checkAccess(addr uint64, size int) {
+	switch size {
+	case 1, 2, 4, 8:
+	default:
+		panic(fmt.Sprintf("mem: bad access size %d", size))
+	}
+	if addr&uint64(size-1) != 0 {
+		panic(fmt.Sprintf("mem: unaligned %d-byte access at %#x", size, addr))
+	}
+}
+
+func (m *Memory) readByte(addr uint64) byte {
+	page, off := m.page(addr, false)
+	if page == nil {
+		return 0
+	}
+	return page[off]
+}
+
+func (m *Memory) writeByte(addr uint64, b byte) {
+	page, off := m.page(addr, true)
+	page[off] = b
+}
+
+func (m *Memory) page(addr uint64, create bool) (*[pageSize]byte, uint64) {
+	pn := addr >> pageShift
+	page := m.pages[pn]
+	if page == nil && create {
+		page = new([pageSize]byte)
+		m.pages[pn] = page
+	}
+	return page, addr & pageMask
+}
+
+// Clone returns a deep copy of the memory, for checkpointing in tests.
+func (m *Memory) Clone() *Memory {
+	c := NewMemory()
+	for pn, page := range m.pages {
+		cp := *page
+		c.pages[pn] = &cp
+	}
+	return c
+}
+
+// Equal reports whether two memories hold identical contents (treating
+// absent pages as zero-filled).
+func (m *Memory) Equal(o *Memory) bool {
+	return m.diff(o) == ""
+}
+
+// Diff returns a human-readable description of the first few differing
+// locations between two memories, or "" if they are equal. Intended for
+// test failure messages.
+func (m *Memory) Diff(o *Memory) string { return m.diff(o) }
+
+func (m *Memory) diff(o *Memory) string {
+	seen := make(map[uint64]bool)
+	for pn := range m.pages {
+		seen[pn] = true
+	}
+	for pn := range o.pages {
+		seen[pn] = true
+	}
+	pns := make([]uint64, 0, len(seen))
+	for pn := range seen {
+		pns = append(pns, pn)
+	}
+	sort.Slice(pns, func(i, j int) bool { return pns[i] < pns[j] })
+	var out string
+	count := 0
+	var zero [pageSize]byte
+	for _, pn := range pns {
+		a, b := m.pages[pn], o.pages[pn]
+		if a == nil {
+			a = &zero
+		}
+		if b == nil {
+			b = &zero
+		}
+		if *a == *b {
+			continue
+		}
+		for off := 0; off < pageSize; off++ {
+			if a[off] != b[off] {
+				out += fmt.Sprintf("  %#x: %#02x != %#02x\n", pn<<pageShift|uint64(off), a[off], b[off])
+				count++
+				if count >= 16 {
+					return out + "  ...\n"
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Footprint returns the number of resident pages, for stats and tests.
+func (m *Memory) Footprint() int { return len(m.pages) }

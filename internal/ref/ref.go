@@ -1,0 +1,150 @@
+// Package ref implements the reference functional interpreter for LFISA.
+//
+// The interpreter executes a program image strictly sequentially, treating
+// the LoopFrog hints as NOPs — which is, by construction (§3.1/§3.2 of the
+// paper), the architectural semantics of a hinted binary. Every timing model
+// in this repository is cross-checked against it: the out-of-order core and
+// the LoopFrog engine must produce exactly the same final register and
+// memory state for every program, or they are wrong.
+package ref
+
+import (
+	"errors"
+	"fmt"
+
+	"loopfrog/internal/asm"
+	"loopfrog/internal/isa"
+	"loopfrog/internal/mem"
+)
+
+// ErrStepLimit is returned when a program fails to halt within the step
+// budget.
+var ErrStepLimit = errors.New("ref: step limit exceeded")
+
+// Result is the final architectural state of a run.
+type Result struct {
+	// Regs holds the final register file (indices match isa.Reg).
+	Regs [isa.NumRegs]uint64
+	// Mem is the final memory state.
+	Mem *mem.Memory
+	// DynInsts is the number of instructions executed (hints included).
+	DynInsts uint64
+	// Profile, if profiling was enabled, holds per-PC execution counts.
+	Profile *Profile
+}
+
+// Profile captures per-PC dynamic behaviour used by the compiler's
+// profile-guided loop selection (§5.1) and by tests.
+type Profile struct {
+	// ExecCount[pc] is the number of times the instruction executed.
+	ExecCount []uint64
+	// TakenCount[pc] counts taken outcomes for branches.
+	TakenCount []uint64
+	// Loads and Stores are total dynamic memory operation counts.
+	Loads, Stores uint64
+}
+
+// Options configure a reference run.
+type Options struct {
+	// MaxSteps bounds execution; 0 means DefaultMaxSteps.
+	MaxSteps uint64
+	// Profile enables per-PC profiling.
+	Profile bool
+	// InitRegs, if non-nil, seeds the register file.
+	InitRegs *[isa.NumRegs]uint64
+}
+
+// DefaultMaxSteps is the default dynamic instruction budget.
+const DefaultMaxSteps = 500_000_000
+
+// Run executes the program to completion and returns the final state.
+func Run(p *asm.Program, opts Options) (*Result, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	maxSteps := opts.MaxSteps
+	if maxSteps == 0 {
+		maxSteps = DefaultMaxSteps
+	}
+	res := &Result{Mem: mem.NewMemory()}
+	res.Mem.LoadProgram(p)
+	if opts.InitRegs != nil {
+		res.Regs = *opts.InitRegs
+	}
+	res.Regs[isa.X(2)] = asm.DefaultStackTop // sp
+	if opts.Profile {
+		res.Profile = &Profile{
+			ExecCount:  make([]uint64, len(p.Insts)),
+			TakenCount: make([]uint64, len(p.Insts)),
+		}
+	}
+
+	pc := p.Entry
+	n := int64(len(p.Insts))
+	for res.DynInsts < maxSteps {
+		if pc < 0 || int64(pc) >= n {
+			return nil, fmt.Errorf("ref: pc %d out of range [0,%d) after %d instructions", pc, n, res.DynInsts)
+		}
+		inst := p.Insts[pc]
+		res.DynInsts++
+		if res.Profile != nil {
+			res.Profile.ExecCount[pc]++
+		}
+		next := pc + 1
+		switch {
+		case inst.Op == isa.HALT:
+			res.Regs[0] = 0
+			return res, nil
+		case inst.Op == isa.NOP || isa.OpMeta(inst.Op).IsHint:
+			// Architectural NOPs.
+		case isa.OpMeta(inst.Op).IsLoad:
+			m := isa.OpMeta(inst.Op)
+			addr := res.Regs[inst.Rs1] + uint64(inst.Imm)
+			raw := res.Mem.Read(addr, m.MemBytes)
+			setReg(&res.Regs, inst.Rd, isa.ExtendLoad(inst.Op, raw))
+			if res.Profile != nil {
+				res.Profile.Loads++
+			}
+		case isa.OpMeta(inst.Op).IsStore:
+			m := isa.OpMeta(inst.Op)
+			addr := res.Regs[inst.Rs1] + uint64(inst.Imm)
+			res.Mem.Write(addr, m.MemBytes, res.Regs[inst.Rs2])
+			if res.Profile != nil {
+				res.Profile.Stores++
+			}
+		case isa.OpMeta(inst.Op).IsBranch:
+			if isa.BranchTaken(inst.Op, res.Regs[inst.Rs1], res.Regs[inst.Rs2]) {
+				next = int(inst.Imm)
+				if res.Profile != nil {
+					res.Profile.TakenCount[pc]++
+				}
+			}
+		case inst.Op == isa.JAL:
+			setReg(&res.Regs, inst.Rd, uint64(pc+1))
+			next = int(inst.Imm)
+		case inst.Op == isa.JALR:
+			setReg(&res.Regs, inst.Rd, uint64(pc+1))
+			next = int(res.Regs[inst.Rs1] + uint64(inst.Imm))
+		default:
+			setReg(&res.Regs, inst.Rd, isa.EvalALU(inst, res.Regs[inst.Rs1], res.Regs[inst.Rs2]))
+		}
+		pc = next
+	}
+	return nil, fmt.Errorf("%w (%d)", ErrStepLimit, maxSteps)
+}
+
+// MustRun is Run that panics on error, for tests and examples.
+func MustRun(p *asm.Program, opts Options) *Result {
+	r, err := Run(p, opts)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+func setReg(regs *[isa.NumRegs]uint64, r isa.Reg, v uint64) {
+	if r == isa.X0 {
+		return
+	}
+	regs[r] = v
+}

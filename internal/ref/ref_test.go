@@ -1,0 +1,269 @@
+package ref
+
+import (
+	"errors"
+	"testing"
+
+	"loopfrog/internal/asm"
+	"loopfrog/internal/isa"
+)
+
+func TestRunSumLoop(t *testing.T) {
+	p := asm.MustAssemble("sum", `
+        .data
+arr:    .quad 1, 2, 3, 4, 5, 6, 7, 8
+        .text
+main:   la   a0, arr
+        li   t0, 8          # trip count
+        li   a1, 0          # sum
+        li   t1, 0          # i
+loop:   slli t2, t1, 3
+        add  t2, a0, t2
+        ld   t3, 0(t2)
+        detach cont
+        add  a1, a1, t3
+        reattach cont
+cont:   addi t1, t1, 1
+        blt  t1, t0, loop
+        sync cont
+        halt
+`)
+	r := MustRun(p, Options{})
+	if got := r.Regs[isa.X(11)]; got != 36 {
+		t.Errorf("sum = %d, want 36", got)
+	}
+}
+
+func TestRunHintsAreNops(t *testing.T) {
+	// The same computation with and without hints must match exactly.
+	body := `
+main:   li   a0, 0
+        li   t0, 0
+        li   t1, 100
+loop:   %s
+        add  a0, a0, t0
+        %s
+cont:   addi t0, t0, 1
+        blt  t0, t1, loop
+        %s
+        halt
+`
+	hinted := asm.MustAssemble("h", sprintf3(body, "detach cont", "reattach cont", "sync cont"))
+	plain := asm.MustAssemble("p", sprintf3(body, "nop", "nop", "nop"))
+	rh := MustRun(hinted, Options{})
+	rp := MustRun(plain, Options{})
+	if rh.Regs[isa.X(10)] != rp.Regs[isa.X(10)] {
+		t.Errorf("hinted sum %d != plain sum %d", rh.Regs[isa.X(10)], rp.Regs[isa.X(10)])
+	}
+	if rh.DynInsts != rp.DynInsts {
+		t.Errorf("hinted executed %d insts, plain %d (hints must be counted like nops)", rh.DynInsts, rp.DynInsts)
+	}
+	if got := rh.Regs[isa.X(10)]; got != 4950 {
+		t.Errorf("sum = %d, want 4950", got)
+	}
+}
+
+func TestRunCallRet(t *testing.T) {
+	p := asm.MustAssemble("call", `
+main:   li   a0, 5
+        call double
+        call double
+        halt
+double: add  a0, a0, a0
+        ret
+`)
+	r := MustRun(p, Options{})
+	if got := r.Regs[isa.X(10)]; got != 20 {
+		t.Errorf("a0 = %d, want 20", got)
+	}
+}
+
+func TestRunMemoryOps(t *testing.T) {
+	p := asm.MustAssemble("mem", `
+        .data
+buf:    .zero 64
+        .text
+main:   la   a0, buf
+        li   t0, -2
+        sb   t0, 0(a0)
+        sh   t0, 2(a0)
+        sw   t0, 4(a0)
+        sd   t0, 8(a0)
+        lb   a1, 0(a0)
+        lbu  a2, 0(a0)
+        lh   a3, 2(a0)
+        lhu  a4, 2(a0)
+        lw   a5, 4(a0)
+        lwu  a6, 4(a0)
+        ld   a7, 8(a0)
+        halt
+`)
+	r := MustRun(p, Options{})
+	check := func(reg isa.Reg, want uint64, name string) {
+		if got := r.Regs[reg]; got != want {
+			t.Errorf("%s = %#x, want %#x", name, got, want)
+		}
+	}
+	neg2 := ^uint64(1)
+	check(isa.X(11), neg2, "lb")
+	check(isa.X(12), 0xfe, "lbu")
+	check(isa.X(13), neg2, "lh")
+	check(isa.X(14), 0xfffe, "lhu")
+	check(isa.X(15), neg2, "lw")
+	check(isa.X(16), 0xfffffffe, "lwu")
+	check(isa.X(17), neg2, "ld")
+}
+
+func TestRunFloatingPoint(t *testing.T) {
+	p := asm.MustAssemble("fp", `
+        .data
+vals:   .double 2.0, 8.0
+        .text
+main:   la   a0, vals
+        fld  f0, 0(a0)
+        fld  f1, 8(a0)
+        fadd f2, f0, f1     # 10.0
+        fmul f3, f0, f1     # 16.0
+        fdiv f4, f1, f0     # 4.0
+        fsqrt f5, f3        # 4.0
+        feq  a1, f4, f5     # 1
+        fcvtfi a2, f2       # 10
+        halt
+`)
+	r := MustRun(p, Options{})
+	if got := r.Regs[isa.X(11)]; got != 1 {
+		t.Errorf("feq = %d, want 1", got)
+	}
+	if got := r.Regs[isa.X(12)]; got != 10 {
+		t.Errorf("fcvtfi = %d, want 10", got)
+	}
+}
+
+func TestRunX0IsHardwiredZero(t *testing.T) {
+	p := asm.MustAssemble("x0", `
+main:   li   x0, 99
+        addi x0, x0, 1
+        mv   a0, x0
+        halt
+`)
+	r := MustRun(p, Options{})
+	if got := r.Regs[isa.X(10)]; got != 0 {
+		t.Errorf("x0 leaked value %d", got)
+	}
+}
+
+func TestRunStepLimit(t *testing.T) {
+	p := asm.MustAssemble("spin", `
+main:   j main
+`)
+	_, err := Run(p, Options{MaxSteps: 1000})
+	if !errors.Is(err, ErrStepLimit) {
+		t.Errorf("err = %v, want ErrStepLimit", err)
+	}
+}
+
+func TestRunPCOutOfRange(t *testing.T) {
+	p := asm.MustAssemble("fall", `
+main:   nop
+`)
+	if _, err := Run(p, Options{}); err == nil {
+		t.Error("falling off the end did not error")
+	}
+}
+
+func TestRunProfile(t *testing.T) {
+	p := asm.MustAssemble("prof", `
+        .data
+buf:    .zero 8
+        .text
+main:   li   t0, 0
+        li   t1, 10
+        la   a0, buf
+loop:   ld   t2, 0(a0)
+        addi t2, t2, 1
+        sd   t2, 0(a0)
+        addi t0, t0, 1
+        blt  t0, t1, loop
+        halt
+`)
+	r := MustRun(p, Options{Profile: true})
+	loopPC := p.MustLabel("loop")
+	if got := r.Profile.ExecCount[loopPC]; got != 10 {
+		t.Errorf("loop head executed %d times, want 10", got)
+	}
+	branchPC := loopPC + 4
+	if got := r.Profile.TakenCount[branchPC]; got != 9 {
+		t.Errorf("backedge taken %d times, want 9", got)
+	}
+	if r.Profile.Loads != 10 || r.Profile.Stores != 10 {
+		t.Errorf("loads/stores = %d/%d, want 10/10", r.Profile.Loads, r.Profile.Stores)
+	}
+	if got := r.Mem.Read(p.MustSymbol("buf"), 8); got != 10 {
+		t.Errorf("buf = %d, want 10", got)
+	}
+}
+
+func TestRunInitRegs(t *testing.T) {
+	p := asm.MustAssemble("init", `
+main:   add a0, a1, a2
+        halt
+`)
+	var regs [isa.NumRegs]uint64
+	regs[isa.X(11)] = 30
+	regs[isa.X(12)] = 12
+	r := MustRun(p, Options{InitRegs: &regs})
+	if got := r.Regs[isa.X(10)]; got != 42 {
+		t.Errorf("a0 = %d, want 42", got)
+	}
+}
+
+func TestRunStackPointerInitialised(t *testing.T) {
+	p := asm.MustAssemble("sp", `
+main:   addi sp, sp, -16
+        li   t0, 7
+        sd   t0, 0(sp)
+        ld   a0, 0(sp)
+        halt
+`)
+	r := MustRun(p, Options{})
+	if got := r.Regs[isa.X(10)]; got != 7 {
+		t.Errorf("stack round trip = %d, want 7", got)
+	}
+	if got := r.Regs[isa.X(2)]; got != asm.DefaultStackTop-16 {
+		t.Errorf("sp = %#x, want %#x", got, asm.DefaultStackTop-16)
+	}
+}
+
+func TestRunIndirectJump(t *testing.T) {
+	p := asm.MustAssemble("ind", `
+main:   la   t0, target
+        jalr ra, t0, 0
+        halt
+target: li   a0, 55
+        jalr x0, ra, 0
+`)
+	r := MustRun(p, Options{})
+	if got := r.Regs[isa.X(10)]; got != 55 {
+		t.Errorf("a0 = %d, want 55", got)
+	}
+}
+
+func sprintf3(format, a, b, c string) string {
+	out := ""
+	rest := format
+	for _, s := range []string{a, b, c} {
+		i := indexOf(rest, "%s")
+		out += rest[:i] + s
+		rest = rest[i+2:]
+	}
+	return out + rest
+}
+
+func indexOf(s, sub string) int {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return i
+		}
+	}
+	return -1
+}

@@ -1,0 +1,77 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+)
+
+// This file reproduces the paper's SimPoint-based run-time estimation
+// (§6.1): per-SimPoint simulations are combined with representative weights
+// and instruction counts to estimate whole-benchmark run times, and the
+// ratio of the estimates is the benchmark speedup. Our kernels run in full,
+// so the headline results do not need it, but the methodology is part of
+// the evaluation pipeline and is implemented and tested here.
+
+// Phase is one SimPoint: a representative slice of a benchmark.
+type Phase struct {
+	// Weight is the fraction of the benchmark this phase represents; the
+	// weights of a benchmark sum to 1.
+	Weight float64
+	// Insts is the number of instructions the phase represents in the full
+	// run (not just the simulated slice).
+	Insts uint64
+	// BaseIPC and LFIPC are the simulated IPCs of the slice under baseline
+	// and LoopFrog.
+	BaseIPC, LFIPC float64
+}
+
+// ErrBadWeights is returned when phase weights are invalid.
+var ErrBadWeights = errors.New("sim: phase weights must be positive and sum to ~1")
+
+// EstimateSpeedup combines per-phase IPCs into a whole-benchmark speedup:
+// estimated run time is the weight-scaled sum of insts/IPC per phase, and
+// speedup is baseTime/lfTime.
+func EstimateSpeedup(phases []Phase) (float64, error) {
+	if len(phases) == 0 {
+		return 0, fmt.Errorf("sim: no phases")
+	}
+	wsum := 0.0
+	for _, p := range phases {
+		if p.Weight <= 0 {
+			return 0, ErrBadWeights
+		}
+		wsum += p.Weight
+	}
+	if wsum < 0.999 || wsum > 1.001 {
+		return 0, fmt.Errorf("%w: sum %.4f", ErrBadWeights, wsum)
+	}
+	baseTime, lfTime := 0.0, 0.0
+	for _, p := range phases {
+		if p.BaseIPC <= 0 || p.LFIPC <= 0 {
+			return 0, fmt.Errorf("sim: phase IPCs must be positive")
+		}
+		baseTime += p.Weight * float64(p.Insts) / p.BaseIPC
+		lfTime += p.Weight * float64(p.Insts) / p.LFIPC
+	}
+	if lfTime == 0 {
+		return 0, fmt.Errorf("sim: zero estimated run time")
+	}
+	return baseTime / lfTime, nil
+}
+
+// WeightedStat combines any per-phase statistic with the SimPoint weights
+// ("We calculate other statistics similarly based on SimPoint weights").
+func WeightedStat(weights, stats []float64) (float64, error) {
+	if len(weights) != len(stats) || len(weights) == 0 {
+		return 0, fmt.Errorf("sim: mismatched weights/stats")
+	}
+	wsum, acc := 0.0, 0.0
+	for i, w := range weights {
+		if w <= 0 {
+			return 0, ErrBadWeights
+		}
+		wsum += w
+		acc += w * stats[i]
+	}
+	return acc / wsum, nil
+}

@@ -1,0 +1,447 @@
+// Package workloads defines the benchmark suite: synthetic stand-ins for
+// the SPEC CPU 2006 and CPU 2017 programs the paper evaluates. Each
+// benchmark is a parameterised kernel whose bottleneck class matches the
+// paper's per-benchmark characterisation (§6.4): memory-bound gathers and
+// pointer chases, data-dependent branches, long dependency chains,
+// compute-saturated loops, and the no-speedup classes (§6.4.3: tiny loops,
+// huge loops, low trip counts, already-saturated pipelines, serial
+// cross-iteration dependences).
+//
+// Most kernels are LoopLang sources compiled with the LoopFrog hint pass,
+// exercising the full §5 pipeline; the remainder are hand-written assembly.
+package workloads
+
+import (
+	"fmt"
+	"strings"
+)
+
+// kernel families --------------------------------------------------------
+
+// mapCompute: an embarrassingly parallel map with a body of `ops` dependent
+// integer operations (imagick/x264 class: true parallelism, compute).
+func mapCompute(n, ops int) string {
+	body := ""
+	for i := 0; i < ops; i++ {
+		switch i % 4 {
+		case 0:
+			body += "        t = t * 31 + 7;\n"
+		case 1:
+			body += "        t = t + (t / 9);\n"
+		case 2:
+			body += "        t = t * t % 1000003;\n"
+		case 3:
+			body += "        t = t + 13;\n"
+		}
+	}
+	return fmt.Sprintf(`
+var xs: [%[1]d]int;
+var ys: [%[1]d]int;
+fn main() -> int {
+    for i in 0..%[1]d {
+        xs[i] = i * 2654435761 %% 1048576;
+    }
+    @loopfrog
+    for i in 0..%[1]d {
+        var t: int = xs[i];
+%[2]s        ys[i] = t;
+    }
+    return ys[%[1]d - 1];
+}`, n, body)
+}
+
+// fpCompute: a floating-point map with division and square roots
+// (nab/povray/parest class).
+func fpCompute(n, ops int) string {
+	body := ""
+	for i := 0; i < ops; i++ {
+		switch i % 3 {
+		case 0:
+			body += "        t = t * 1.000173 + 0.5;\n"
+		case 1:
+			body += "        t = sqrt(t * t + 1.25);\n"
+		case 2:
+			body += "        t = t / 1.000091;\n"
+		}
+	}
+	return fmt.Sprintf(`
+var xs: [%[1]d]float;
+var ys: [%[1]d]float;
+fn main() -> int {
+    for i in 0..%[1]d {
+        xs[i] = float(i) * 0.75 + 1.0;
+    }
+    @loopfrog
+    for i in 0..%[1]d {
+        var t: float = xs[i];
+%[2]s        ys[i] = t;
+    }
+    return int(ys[%[1]d - 1]);
+}`, n, body)
+}
+
+// gather: one cold (DRAM-latency) indirect load per iteration, separated by
+// a serial compute chain so the instruction window only ever covers a couple
+// of misses — the memory-level-parallelism regime of §6.4.1 (mcf class).
+// The large array is deliberately left uninitialised: reads return zero and
+// the first touch of every line is a genuine cold miss.
+func gather(n, chain int) string {
+	return fmt.Sprintf(`
+var data: [1048576]int;
+var out: [%[1]d]int;
+fn main() -> int {
+    @loopfrog
+    for i in 0..%[1]d {
+        var j: int = (i * 422437 + 99991) %% 1048576;
+        var v: int = data[j] + j;
+        for k in 0..%[2]d {
+            v = v * 3 + 1;
+            v = v %% 1000003;
+        }
+        out[i] = v;
+    }
+    return out[%[1]d - 1];
+}`, n, chain)
+}
+
+// branchy: hard-to-predict data-dependent branches whose conditions come
+// from loaded values (omnetpp/gcc class: early branch-condition resolution).
+func branchy(n int) string {
+	return fmt.Sprintf(`
+var xs: [%[1]d]int;
+var out: [%[1]d]int;
+fn main() -> int {
+    var seed: int = 12345;
+    for i in 0..%[1]d {
+        seed = (seed * 1103515245 + 12345) %% 2147483648;
+        xs[i] = seed;
+    }
+    @loopfrog
+    for i in 0..%[1]d {
+        var x: int = xs[i];
+        var r: int = 0;
+        if x %% 2 == 0 {
+            r = x * 3 + 1;
+        } else {
+            r = x / 2;
+        }
+        if x %% 7 < 3 {
+            r = r + x %% 13;
+        }
+        if x %% 5 == 1 {
+            r = r * 2;
+        }
+        out[i] = r;
+    }
+    return out[%[1]d - 1];
+}`, n)
+}
+
+// chase: a pointer chase through a permuted next[] array, with the p=next[p]
+// LCD in the continuation and an independent body (omnetpp list-walk class).
+func chase(n, work int) string {
+	body := ""
+	for i := 0; i < work; i++ {
+		body += "        v = v * 37 + 11;\n"
+	}
+	return fmt.Sprintf(`
+var next: [%[1]d]int;
+var val: [%[1]d]int;
+var out: [%[1]d]int;
+fn main() -> int {
+    # A single cycle through all slots: next[i] = (i + stride) mod n with
+    # stride coprime to n.
+    for i in 0..%[1]d {
+        next[i] = (i + 769) %% %[1]d;
+        val[i] = i * 5 + 2;
+    }
+    var p: int = 0;
+    @loopfrog
+    for i in 0..%[1]d {
+        var v: int = val[p];
+%[2]s        out[i] = v;
+        p = next[p];
+    }
+    return out[%[1]d - 1];
+}`, n, body)
+}
+
+// depchain: each iteration is one long serial integer chain (an inner loop
+// of dependent operations), far larger than what several-at-a-time fits in
+// the window — the cutting-dependency-chains regime of §6.4.1. Independent
+// chains across iterations let threadlets run several chains at once.
+func depchain(n, chain int) string {
+	return fmt.Sprintf(`
+var xs: [%[1]d]int;
+var out: [%[1]d]int;
+fn main() -> int {
+    for i in 0..%[1]d {
+        xs[i] = i * 97 + 13;
+    }
+    @loopfrog
+    for i in 0..%[1]d {
+        var t: int = xs[i];
+        for k in 0..%[2]d {
+            t = t * 3 + 1;
+            t = t + (t %% 7);
+        }
+        out[i] = t;
+    }
+    return out[%[1]d - 1];
+}`, n, chain)
+}
+
+// fpChain: a long serial floating-point recurrence per element (an
+// iterative per-pixel filter): the imagick regime where LoopFrog shines —
+// each chain is hundreds of multiply-add latencies long and chains are
+// independent across pixels.
+func fpChain(n, chain int) string {
+	return fmt.Sprintf(`
+var xs: [%[1]d]float;
+var ys: [%[1]d]float;
+fn main() -> int {
+    for i in 0..%[1]d {
+        xs[i] = float(i %% 251) * 0.125 + 0.5;
+    }
+    @loopfrog
+    for i in 0..%[1]d {
+        var t: float = xs[i];
+        for k in 0..%[2]d {
+            t = t * 0.999 + 0.001;
+        }
+        ys[i] = t;
+    }
+    return int(ys[%[1]d - 1] * 1000.0);
+}`, n, chain)
+}
+
+// branchyGather: hard-to-predict branches whose conditions depend on
+// slow (cache-missing) loads — the branch-condition-prefetch regime of
+// §6.4.2 dominating omnetpp.
+func branchyGather(n, chain int) string {
+	return fmt.Sprintf(`
+var big: [1048576]int;
+var out: [%[1]d]int;
+fn main() -> int {
+    @loopfrog
+    for i in 0..%[1]d {
+        var j: int = (i * 522437 + 7919) %% 1048576;
+        var v: int = big[j] + j;
+        var r: int = 0;
+        if v %% 2 == 0 {
+            r = v * 3 + 1;
+        } else {
+            r = v / 2 + 13;
+        }
+        if v %% 13 < 5 {
+            r = r + v %% 31;
+        }
+        for k in 0..%[2]d {
+            r = r * 5 + 3;
+        }
+        out[i] = r;
+    }
+    return out[%[1]d - 1];
+}`, n, chain)
+}
+
+// tinyChase: a two-operation body with a data-dependent (unpredictable)
+// index walk: too small to pay for threadlets and unpackable because the
+// induction chain has no stride (leela class).
+func tinyChase(n int) string {
+	return fmt.Sprintf(`
+var next: [%[1]d]int;
+var ys: [%[1]d]int;
+fn main() -> int {
+    for i in 0..%[1]d {
+        next[i] = (i * 40503 + 12345) %% %[1]d;
+    }
+    var p: int = 0;
+    @loopfrog
+    for i in 0..%[1]d {
+        ys[i] = p + i;
+        p = next[p];
+    }
+    return ys[%[1]d - 1];
+}`, n)
+}
+
+// stencil: a 3-point floating-point stencil (wrf/roms/cactuBSSN class).
+func stencil(n int) string {
+	return fmt.Sprintf(`
+var a: [%[1]d]float;
+var b: [%[1]d]float;
+fn main() -> int {
+    for i in 0..%[1]d {
+        a[i] = float(i %% 100) * 0.125;
+    }
+    @loopfrog
+    for i in 1..%[1]d - 1 {
+        var t: float = a[i - 1] * 0.25 + a[i] * 0.5 + a[i + 1] * 0.25;
+        b[i] = t * 1.0002;
+    }
+    return int(b[%[1]d / 2]);
+}`, n)
+}
+
+// serialAccum: a genuine cross-iteration memory dependence through one cell
+// (the DoACROSS class of §6.4.3: conflicts squash, no speedup).
+func serialAccum(n int) string {
+	return fmt.Sprintf(`
+var xs: [%[1]d]int;
+var cell: [1]int;
+fn main() -> int {
+    for i in 0..%[1]d {
+        xs[i] = i %% 17;
+    }
+    @loopfrog
+    for i in 0..%[1]d {
+        var t: int = xs[i] * 3;
+        cell[0] = cell[0] + t;
+    }
+    return cell[0];
+}`, n)
+}
+
+// tiny: a 2-operation body (leela class: too small without packing).
+func tiny(n int) string {
+	return fmt.Sprintf(`
+var xs: [%[1]d]int;
+var ys: [%[1]d]int;
+fn main() -> int {
+    for i in 0..%[1]d {
+        xs[i] = i;
+    }
+    @loopfrog
+    for i in 0..%[1]d {
+        ys[i] = xs[i] + 1;
+    }
+    return ys[%[1]d - 1];
+}`, n)
+}
+
+// huge: iterations far larger than the ROB, built from ILP-rich streaming
+// work (lbm/xz class: the out-of-order window already extracts the
+// parallelism of an iteration, so threadlets add nothing).
+func huge(outer, inner int) string {
+	return fmt.Sprintf(`
+var acc: [%[1]d]int;
+var buf: [%[2]d]int;
+fn main() -> int {
+    @loopfrog
+    for i in 0..%[1]d {
+        var t0: int = i;
+        var t1: int = i + 1;
+        var t2: int = i + 2;
+        var t3: int = i + 3;
+        for j in 0..%[2]d {
+            t0 = t0 + buf[j] + 3;
+            t1 = t1 * 2 + 5;
+            t2 = t2 + j;
+            t3 = t3 + (t3 / 16);
+            buf[j] = t0 + t1;
+        }
+        acc[i] = t0 + t1 + t2 + t3;
+    }
+    return acc[%[1]d - 1];
+}`, outer, inner)
+}
+
+// lowtrip: annotated inner loops with trivial trip counts (deepsjeng /
+// blender class).
+func lowtrip(outer, trip int) string {
+	return fmt.Sprintf(`
+var m: [%[1]d]int;
+fn main() -> int {
+    var base: int = 0;
+    for o in 0..%[1]d / %[2]d {
+        @loopfrog
+        for i in 0..%[2]d {
+            var t: int = (base + i) * 7 + 1;
+            t = t * t %% 65536;
+            m[base + i] = t;
+        }
+        base = base + %[2]d;
+    }
+    return m[%[1]d - 1];
+}`, outer, trip)
+}
+
+// highipc: an ILP-saturated floating-point body — the 8-wide baseline is
+// already near peak (namd class).
+func highipc(n int) string {
+	return fmt.Sprintf(`
+var a: [%[1]d]float;
+var b: [%[1]d]float;
+var c: [%[1]d]float;
+var d: [%[1]d]float;
+fn main() -> int {
+    for i in 0..%[1]d {
+        a[i] = float(i) * 0.5;
+        b[i] = float(i) * 0.25 + 1.0;
+    }
+    @loopfrog
+    for i in 0..%[1]d {
+        var t0: float = a[i] * 1.5 + 0.25;
+        var t1: float = b[i] * 2.5 + 0.75;
+        var t2: float = a[i] * b[i];
+        var t3: float = t0 + t1;
+        c[i] = t2 + t3;
+        d[i] = t0 * t1 - t2;
+    }
+    return int(c[%[1]d - 1] + d[%[1]d - 1]);
+}`, n)
+}
+
+// withSerialPad appends a serial (unparallelisable) phase before main's
+// final return: a long recurrence standing in for the sequential regions of
+// the original programs, which see no uplift and dilute loop gains into
+// whole-program speedups (§6.3).
+func withSerialPad(src string, iters int) string {
+	if iters <= 0 {
+		return src
+	}
+	marker := "\n    return "
+	idx := strings.LastIndex(src, marker)
+	if idx < 0 {
+		panic("workloads: kernel source has no return to pad")
+	}
+	pad := fmt.Sprintf(`
+    var padAcc: int = 7;
+    for q in 0..%d {
+        padAcc = (padAcc * 1103515245 + q) %% 65536;
+        padAcc = padAcc + (padAcc / 3);
+    }
+    if padAcc == 0 - 1 { padAcc = 0; }
+`, iters)
+	return src[:idx] + pad + src[idx:]
+}
+
+// histogram: scattered read-modify-writes over a bucket array — occasional
+// genuine conflicts between nearby iterations (perlbench-ish mixed class).
+func histogram(n, buckets int) string {
+	return fmt.Sprintf(`
+var xs: [%[1]d]int;
+var hist: [%[2]d]int;
+var out: [%[1]d]int;
+fn main() -> int {
+    var seed: int = 99991;
+    for i in 0..%[1]d {
+        seed = (seed * 6364136223846793005 + 1442695040888963407) %% 4611686018427387904;
+        xs[i] = seed %% %[2]d;
+        if xs[i] < 0 { xs[i] = 0 - xs[i]; }
+    }
+    @loopfrog
+    for i in 0..%[1]d {
+        var b: int = xs[i];
+        var t: int = b * 3 + i %% 5;
+        out[i] = t;
+        hist[b] = hist[b] + 1;
+    }
+    var s: int = 0;
+    for i in 0..%[2]d {
+        s = s + hist[i] * i;
+    }
+    return s;
+}`, n, buckets)
+}
