@@ -5,13 +5,19 @@
 // Usage:
 //
 //	lfbench [-fig 1|6|7|8|9|10] [-table 1|2|3] [-packing] [-assoc]
-//	        [-generality] [-area] [-quick]
+//	        [-generality] [-area] [-quick] [-parallel N]
+//	        [-cpuprofile file] [-memprofile file]
+//
+// Simulations are fanned out over all CPU cores by default; -parallel caps
+// the worker count.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"loopfrog/internal/cpu"
 	"loopfrog/internal/experiments"
@@ -27,7 +33,39 @@ func main() {
 	generality := flag.Bool("generality", false, "run the §6.7 generality study")
 	areaFlag := flag.Bool("area", false, "print the §6.8 overhead report")
 	quick := flag.Bool("quick", false, "use a reduced benchmark subset for sweeps")
+	parallel := flag.Int("parallel", 0, "simulation worker count (0 = all cores)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
+
+	sim.SetParallelism(*parallel)
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "lfbench:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "lfbench:", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "lfbench:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "lfbench:", err)
+			}
+		}()
+	}
 
 	all := *fig == 0 && *table == 0 && !*packing && !*assoc && !*generality && !*areaFlag
 	suite17 := workloads.CPU2017()

@@ -4,13 +4,16 @@
 //
 // Usage:
 //
-//	lfsim [-baseline] [-threadlets N] [-nopack] [-ab] (-bench name | file)
+//	lfsim [-baseline] [-threadlets N] [-nopack] [-ab] [-parallel N]
+//	      [-cpuprofile file] [-memprofile file] (-bench name | file)
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"loopfrog/internal/asm"
@@ -26,7 +29,39 @@ func main() {
 	nopack := flag.Bool("nopack", false, "disable iteration packing")
 	ab := flag.Bool("ab", false, "run baseline and LoopFrog, print the speedup")
 	bench := flag.String("bench", "", "run a named built-in benchmark instead of a file")
+	parallel := flag.Int("parallel", 0, "simulation worker count (0 = all cores)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
+
+	sim.SetParallelism(*parallel)
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "lfsim:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "lfsim:", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "lfsim:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "lfsim:", err)
+			}
+		}()
+	}
 
 	prog, err := loadProgram(*bench, flag.Args())
 	if err != nil {
@@ -44,16 +79,15 @@ func main() {
 	}
 
 	if *ab {
-		base, err := sim.Run(sim.BaselineOf(cfg), prog)
+		stats, err := sim.RunJobs([]sim.Job{
+			{Cfg: sim.BaselineOf(cfg), Prog: prog},
+			{Cfg: cfg, Prog: prog},
+		})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "lfsim:", err)
 			os.Exit(1)
 		}
-		lf, err := sim.Run(cfg, prog)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "lfsim:", err)
-			os.Exit(1)
-		}
+		base, lf := stats[0], stats[1]
 		fmt.Printf("baseline: %8d cycles  IPC %.2f\n", base.Cycles, base.IPC())
 		fmt.Printf("loopfrog: %8d cycles  IPC %.2f\n", lf.Cycles, lf.IPC())
 		fmt.Printf("speedup:  %.3fx\n", float64(base.Cycles)/float64(lf.Cycles))

@@ -8,8 +8,11 @@
 package asm
 
 import (
+	"crypto/sha256"
+	"encoding/binary"
 	"fmt"
 	"strings"
+	"sync"
 
 	"loopfrog/internal/isa"
 )
@@ -39,6 +42,36 @@ type Program struct {
 	DataBase uint64
 	// Symbols maps data labels to byte addresses.
 	Symbols map[string]uint64
+
+	// Fingerprint cache; computed on demand, images are immutable once built.
+	fpOnce sync.Once
+	fp     string
+}
+
+// Fingerprint returns a content hash of the executable image: the encoded
+// instruction stream, entry point, and initial data segment. Two programs
+// with equal fingerprints simulate identically under any configuration, so
+// the run-cache keys on it. Labels and symbols are debug metadata and are
+// excluded. The program must not be mutated after the first call.
+func (p *Program) Fingerprint() string {
+	p.fpOnce.Do(func() {
+		h := sha256.New()
+		var buf [isa.InstBytes]byte
+		for _, inst := range p.Insts {
+			// Encode cannot fail for instructions that came through the
+			// assembler/builder; a raw invalid opcode hashes as zeros.
+			n, _ := isa.Encode(inst, buf[:])
+			h.Write(buf[:n])
+		}
+		var tail [24]byte
+		binary.LittleEndian.PutUint64(tail[0:], uint64(p.Entry))
+		binary.LittleEndian.PutUint64(tail[8:], p.DataBase)
+		binary.LittleEndian.PutUint64(tail[16:], uint64(len(p.Data)))
+		h.Write(tail[:])
+		h.Write(p.Data)
+		p.fp = fmt.Sprintf("%x", h.Sum(nil))
+	})
+	return p.fp
 }
 
 // Label returns the instruction index of a code label.

@@ -43,8 +43,9 @@ func (s *ExactSet) Contains(g uint64) bool {
 
 // Clear implements GranuleSet.
 func (s *ExactSet) Clear() {
-	// Re-making beats range-delete for the typical post-squash reuse.
-	s.m = make(map[uint64]struct{})
+	// clear() keeps the map's buckets allocated, so the set is reused across
+	// epochs instead of reallocating at every squash/retire.
+	clear(s.m)
 }
 
 // Len implements GranuleSet.

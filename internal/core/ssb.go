@@ -147,11 +147,40 @@ func (s *SSB) GranulesOf(addr uint64, size int) []uint64 {
 	return out
 }
 
+// AppendGranules appends the granule IDs overlapped by an access to dst and
+// returns the extended slice; hot paths pass a reusable scratch buffer to
+// avoid the per-access allocation of GranulesOf.
+func (s *SSB) AppendGranules(dst []uint64, addr uint64, size int) []uint64 {
+	first := addr >> s.granShift
+	last := (addr + uint64(size) - 1) >> s.granShift
+	for g := first; g <= last; g++ {
+		dst = append(dst, g)
+	}
+	return dst
+}
+
 // Lines returns the number of lines currently held by a slice.
 func (s *SSB) Lines(tid int) int { return s.slices[tid].lines }
 
 func (s *SSB) set(sl *ssbSlice, lineTag uint64) []ssbLine {
 	return sl.sets[lineTag%uint64(len(sl.sets))]
+}
+
+// holdsLine reports whether tid's slice (or its victim entries) holds a valid
+// line with this tag, without touching any stats counters.
+func (s *SSB) holdsLine(tid int, lineTag uint64) bool {
+	set := s.set(&s.slices[tid], lineTag)
+	for i := range set {
+		if set[i].valid && set[i].tag == lineTag {
+			return true
+		}
+	}
+	for i := range s.victim {
+		if s.victim[i].tid == tid && s.victim[i].line.valid && s.victim[i].line.tag == lineTag {
+			return true
+		}
+	}
+	return false
 }
 
 func (s *SSB) lookup(tid int, lineTag uint64) *ssbLine {
@@ -282,12 +311,25 @@ func (s *SSB) victimInsert(tid int, ln ssbLine) bool {
 // any byte came from a slice rather than backing memory.
 func (s *SSB) Read(chain []int, addr uint64, size int) (v uint64, forwarded bool) {
 	s.Stats.Reads++
+	lineTag := addr >> s.lineShift
+	// Fast path: no slice in the chain holds the line at all (always true for
+	// a purely architectural run, and for most reads elsewhere) — the value
+	// comes straight from backing memory with no byte assembly.
+	held := false
+	for _, tid := range chain {
+		if s.holdsLine(tid, lineTag) {
+			held = true
+			break
+		}
+	}
+	if !held {
+		return s.backing.ReadAny(addr, size), false
+	}
 	bytes := s.readBytes(chain, addr, size)
 	for i := size - 1; i >= 0; i-- {
 		v = v<<8 | uint64(bytes[i])
 	}
 	fwd := false
-	lineTag := addr >> s.lineShift
 	// Re-derive forwarding for stats: any granule present in any chain slice.
 	for _, g := range s.GranulesOf(addr, size) {
 		gIdx := uint(g - (lineTag << (s.lineShift - s.granShift)))

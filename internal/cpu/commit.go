@@ -11,7 +11,8 @@ import (
 // itself commits to the architectural state at retire (§4).
 func (m *Machine) commit() {
 	budget := m.cfg.Width
-	snapshot := append([]int(nil), m.order...)
+	m.commitSnap = append(m.commitSnap[:0], m.order...)
+	snapshot := m.commitSnap
 	for _, tid := range snapshot {
 		t := m.threads[tid]
 		if !t.live || m.orderIdx(tid) < 0 {
@@ -176,7 +177,8 @@ func (m *Machine) packVerify(t *threadlet) {
 // write check runs (§4.1, §4.2).
 func (m *Machine) drainStores() {
 	budget := m.cfg.StorePipes
-	snapshot := append([]int(nil), m.order...)
+	m.drainSnap = append(m.drainSnap[:0], m.order...)
+	snapshot := m.drainSnap
 	for _, tid := range snapshot {
 		t := m.threads[tid]
 		if !t.live || m.orderIdx(tid) < 0 {
@@ -190,8 +192,8 @@ func (m *Machine) drainStores() {
 					break
 				}
 				m.mem.Write(s.addr, s.memSize, s.srcVal[1])
-				granules := m.ssb.GranulesOf(s.addr, s.memSize)
-				if victim, squash := m.cd.OnWrite(tid, granules, m.youngerThan(tid)); squash {
+				m.granScratch = m.ssb.AppendGranules(m.granScratch[:0], s.addr, s.memSize)
+				if victim, squash := m.cd.OnWrite(tid, m.granScratch, m.youngerThan(tid)); squash {
 					m.squashFrom(victim, core.SquashConflict, true)
 				}
 			} else {

@@ -11,7 +11,8 @@ import (
 // on a shared structural resource, younger threadlets may not steal it.
 func (m *Machine) dispatch() {
 	budget := m.cfg.Width
-	snapshot := append([]int(nil), m.order...)
+	m.dispatchSnap = append(m.dispatchSnap[:0], m.order...)
+	snapshot := m.dispatchSnap
 	for _, tid := range snapshot {
 		if budget == 0 {
 			return
@@ -49,7 +50,7 @@ func (m *Machine) dispatch() {
 // instruction cannot dispatch this cycle; shared=true marks a shared
 // structural resource as the cause.
 func (m *Machine) dispatchOne(t *threadlet, fe fetchEntry) (ok, shared bool) {
-	meta := isa.OpMeta(fe.inst.Op)
+	meta := fe.meta
 	if m.robUsed >= m.cfg.ROBSize {
 		return false, true
 	}

@@ -170,7 +170,8 @@ func (m *Machine) execLoad(e *dynInst) bool {
 	if m.isSpec(e.tid) {
 		// The read is serviced now: record it (Algorithm 1) and charge the
 		// SSB read latency (3 cycles including the L1D probe).
-		m.cd.OnRead(e.tid, m.ssb.GranulesOf(e.addr, e.memSize))
+		m.granScratch = m.ssb.AppendGranules(m.granScratch[:0], e.addr, e.memSize)
+		m.cd.OnRead(e.tid, m.granScratch)
 		if ssbDone := m.now + m.ssb.Config().ReadLatency; ssbDone > done {
 			done = ssbDone
 		}

@@ -33,7 +33,7 @@ func (m *Machine) fetchOne(t *threadlet, budget int) int {
 	capacity := m.cfg.FetchQueue + m.cfg.FrontendDepth*m.cfg.Width
 	for count < budget && len(t.fq) < capacity {
 		pc := t.fetchPC
-		if pc < 0 || pc >= len(m.prog.Insts) {
+		if pc < 0 || pc >= len(m.code) {
 			// Wrong-path fetch ran off the program; stall until redirected.
 			return count
 		}
@@ -48,10 +48,11 @@ func (m *Machine) fetchOne(t *threadlet, budget int) int {
 				return count
 			}
 		}
-		inst := m.prog.Insts[pc]
-		fe := fetchEntry{pc: pc, inst: inst, readyAt: m.now + int64(m.cfg.FrontendDepth)}
+		d := m.code[pc]
+		inst := d.inst
+		fe := fetchEntry{pc: pc, inst: inst, meta: d.meta, readyAt: m.now + int64(m.cfg.FrontendDepth)}
 		next := pc + 1
-		meta := isa.OpMeta(inst.Op)
+		meta := d.meta
 		switch {
 		case meta.IsBranch:
 			st := m.bp.PredictBranch(t.id, pc)

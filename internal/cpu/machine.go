@@ -22,6 +22,9 @@ var ErrCycleLimit = errors.New("cpu: cycle limit exceeded")
 type Machine struct {
 	cfg  Config
 	prog *asm.Program
+	// code is the PC-indexed predecoded instruction image, shared read-only
+	// with every other machine running the same program.
+	code []decInst
 
 	mem  *mem.Memory
 	hier *mem.Hierarchy
@@ -53,8 +56,12 @@ type Machine struct {
 	lastArchCommit int64
 	eventHook      func(Event)
 
-	// archTid caches order[0].
-	archSpecInsts map[int]uint64 // per-context spec-committed, keyed by tid
+	archSpecInsts []uint64 // per-context spec-committed, indexed by tid
+
+	// Per-cycle scratch buffers, reused to keep the pipeline loops
+	// allocation-free. Each belongs to exactly one pipeline stage.
+	commitSnap, drainSnap, dispatchSnap []int
+	granScratch                         []uint64
 }
 
 // NewMachine builds a machine for the program.
@@ -76,7 +83,8 @@ func NewMachine(cfg Config, prog *asm.Program) (*Machine, error) {
 		mon:           core.NewRegionMonitor(cfg.Monitor),
 		contextFreeAt: make([]int64, cfg.Threadlets),
 		gens:          make([]uint64, cfg.Threadlets),
-		archSpecInsts: make(map[int]uint64),
+		archSpecInsts: make([]uint64, cfg.Threadlets),
+		code:          predecode(prog),
 	}
 	m.mem.LoadProgram(prog)
 	m.ssb = core.NewSSB(cfg.SSB, m.mem)
@@ -160,27 +168,26 @@ func (m *Machine) orderIdx(tid int) int {
 }
 
 // chainUpTo returns the oldest-first chain of live threadlets up to and
-// including tid, as the SSB read logic requires (§4.1.3).
+// including tid, as the SSB read logic requires (§4.1.3). The result aliases
+// m.order: callers must consume it before anything mutates the epoch order
+// (every use is a single SSB/conflict-detector call).
 func (m *Machine) chainUpTo(tid int) []int {
 	idx := m.orderIdx(tid)
 	if idx < 0 {
 		return nil
 	}
-	chain := make([]int, idx+1)
-	copy(chain, m.order[:idx+1])
-	return chain
+	return m.order[:idx+1]
 }
 
 // youngerThan returns the live threadlets strictly younger than tid,
-// oldest-first (Algorithm 1's successor iteration).
+// oldest-first (Algorithm 1's successor iteration). Like chainUpTo, the
+// result aliases m.order and must be consumed immediately.
 func (m *Machine) youngerThan(tid int) []int {
 	idx := m.orderIdx(tid)
 	if idx < 0 || idx+1 >= len(m.order) {
 		return nil
 	}
-	out := make([]int, len(m.order)-idx-1)
-	copy(out, m.order[idx+1:])
-	return out
+	return m.order[idx+1:]
 }
 
 // FinalRegs returns the architectural register file after Run; valid only

@@ -1,0 +1,37 @@
+package cpu
+
+import (
+	"sync"
+
+	"loopfrog/internal/asm"
+	"loopfrog/internal/isa"
+)
+
+// decInst is one predecoded instruction: the architectural instruction plus a
+// pointer into the immutable opcode metadata table. The front end indexes a
+// []decInst by PC instead of consulting isa.OpMeta on every fetch, and the
+// metadata pointer rides along with the dynamic instruction so no stage
+// re-copies the Meta value.
+type decInst struct {
+	inst isa.Inst
+	meta *isa.Meta
+}
+
+// predecodeCache shares one predecoded image per program across machines.
+// Keyed by the *asm.Program identity: a program image is immutable once
+// assembled, and the parallel harness runs many machines over the same image
+// concurrently, so the table is built once and shared read-only.
+var predecodeCache sync.Map // *asm.Program -> []decInst
+
+// predecode returns the PC-indexed predecoded image for prog.
+func predecode(prog *asm.Program) []decInst {
+	if v, ok := predecodeCache.Load(prog); ok {
+		return v.([]decInst)
+	}
+	code := make([]decInst, len(prog.Insts))
+	for pc, inst := range prog.Insts {
+		code[pc] = decInst{inst: inst, meta: isa.MetaOf(inst.Op)}
+	}
+	v, _ := predecodeCache.LoadOrStore(prog, code)
+	return v.([]decInst)
+}

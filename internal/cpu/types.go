@@ -21,7 +21,7 @@ type dynInst struct {
 	seq  uint64 // per-threadlet age
 	pc   int
 	inst isa.Inst
-	meta isa.Meta
+	meta *isa.Meta // points into isa's immutable metadata table
 
 	// Operand capture. src[0] is Rs1, src[1] is Rs2.
 	srcReady [2]bool
@@ -87,6 +87,7 @@ type mapEntry struct {
 type fetchEntry struct {
 	pc        int
 	inst      isa.Inst
+	meta      *isa.Meta
 	readyAt   int64 // cycle the entry may rename (models front-end depth)
 	pred      bpred.BranchState
 	hasPred   bool

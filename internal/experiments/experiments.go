@@ -24,21 +24,29 @@ type Figure1Row struct {
 
 // Figure1 sweeps the baseline front-end width over the suite, reproducing
 // the trend of figure 1: IPC grows with width while the fraction of commit
-// bandwidth used falls — the under-utilisation LoopFrog exploits.
+// bandwidth used falls — the under-utilisation LoopFrog exploits. The whole
+// width x benchmark grid is fanned out as one batch of jobs.
 func Figure1(suite []*workloads.Benchmark, widths []int) ([]Figure1Row, error) {
-	var rows []Figure1Row
+	jobs := make([]sim.Job, 0, len(widths)*len(suite))
 	for _, w := range widths {
 		cfg := sim.BaselineOf(cpu.DefaultConfig().WithWidth(w))
-		var ipcs, utils []float64
 		for _, b := range suite {
 			prog, err := b.Program()
 			if err != nil {
 				return nil, err
 			}
-			st, err := sim.Run(cfg, prog)
-			if err != nil {
-				return nil, fmt.Errorf("figure1 %s w=%d: %w", b.Name, w, err)
-			}
+			jobs = append(jobs, sim.Job{Cfg: cfg, Prog: prog})
+		}
+	}
+	stats, err := sim.RunJobs(jobs)
+	if err != nil {
+		return nil, fmt.Errorf("figure1: %w", err)
+	}
+	var rows []Figure1Row
+	for wi, w := range widths {
+		var ipcs, utils []float64
+		for bi := range suite {
+			st := stats[wi*len(suite)+bi]
 			ipcs = append(ipcs, st.IPC())
 			utils = append(utils, st.CommitUtilization(w))
 		}

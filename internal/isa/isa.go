@@ -298,6 +298,18 @@ func OpMeta(op Opcode) Meta {
 	return metaTable[op]
 }
 
+var invalidMeta = Meta{Name: "invalid"}
+
+// MetaOf returns a pointer to the static metadata for op. The table is
+// immutable; callers must treat the result as read-only. Pipeline models keep
+// the pointer per dynamic instruction instead of copying the Meta value.
+func MetaOf(op Opcode) *Meta {
+	if int(op) >= NumOpcodes {
+		return &invalidMeta
+	}
+	return &metaTable[op]
+}
+
 // String returns the mnemonic of the opcode.
 func (op Opcode) String() string { return OpMeta(op).Name }
 

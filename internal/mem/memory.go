@@ -72,6 +72,20 @@ func (m *Memory) Read(addr uint64, size int) uint64 {
 	}
 }
 
+// ReadAny returns size bytes at addr as a little-endian uint64 like Read but
+// tolerates unaligned addresses (wrong-path speculative loads can compute
+// arbitrary addresses); aligned accesses take the single-page fast path.
+func (m *Memory) ReadAny(addr uint64, size int) uint64 {
+	if addr&uint64(size-1) == 0 {
+		return m.Read(addr, size)
+	}
+	var v uint64
+	for i := size - 1; i >= 0; i-- {
+		v = v<<8 | uint64(m.readByte(addr+uint64(i)))
+	}
+	return v
+}
+
 // Write stores the low size bytes of v at addr, little-endian. size must be
 // 1, 2, 4 or 8 and the access must be naturally aligned.
 func (m *Memory) Write(addr uint64, size int, v uint64) {

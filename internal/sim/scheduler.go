@@ -1,0 +1,166 @@
+package sim
+
+// Concurrent simulation scheduler. Independent (config, program) simulations
+// share nothing — each cpu.Machine owns its memory, caches and predictors —
+// so the harness fans jobs out over a worker pool and memoises results in a
+// keyed run-cache. Results are keyed by job index, never by completion
+// order, so the parallel harness is observationally identical to the
+// sequential one.
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"loopfrog/internal/asm"
+	"loopfrog/internal/cpu"
+	"loopfrog/internal/workloads"
+)
+
+// Job is one simulation request: run prog on cfg.
+type Job struct {
+	Cfg  cpu.Config
+	Prog *asm.Program
+}
+
+// Harness schedules simulation jobs over a worker pool with an optional
+// shared run-cache. The zero value runs with GOMAXPROCS workers and no
+// cache; NewHarness returns one wired to a fresh cache.
+type Harness struct {
+	// Workers is the pool size; <= 0 means runtime.GOMAXPROCS(0).
+	Workers int
+	// Cache memoises and deduplicates runs; nil disables caching.
+	Cache *RunCache
+}
+
+// NewHarness returns a harness with GOMAXPROCS workers and a fresh cache.
+func NewHarness() *Harness {
+	return &Harness{Cache: NewRunCache()}
+}
+
+// defaultHarness backs the package-level entry points: every core drives the
+// pool, and one process-wide cache deduplicates the shared baselines across
+// experiments, sweeps, and repeated benchmark iterations.
+var defaultHarness atomic.Pointer[Harness]
+
+func init() {
+	defaultHarness.Store(NewHarness())
+}
+
+// DefaultHarness returns the harness behind the package-level RunSuite,
+// Compare, and RunJobs.
+func DefaultHarness() *Harness { return defaultHarness.Load() }
+
+// SetParallelism caps the default harness's worker pool (the -parallel flag
+// of the drivers); n <= 0 restores the GOMAXPROCS default. The shared cache
+// is kept.
+func SetParallelism(n int) {
+	defaultHarness.Store(&Harness{Workers: n, Cache: DefaultHarness().Cache})
+}
+
+func (h *Harness) workers() int {
+	if h.Workers > 0 {
+		return h.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// runOne executes a single job through the cache when one is attached.
+func (h *Harness) runOne(j Job) (*cpu.Stats, error) {
+	if h.Cache != nil {
+		return h.Cache.Run(j.Cfg, j.Prog)
+	}
+	return Run(j.Cfg, j.Prog)
+}
+
+// runJobsErrs executes all jobs over the pool; stats and errors are indexed
+// exactly like jobs.
+func (h *Harness) runJobsErrs(jobs []Job) ([]*cpu.Stats, []error) {
+	out := make([]*cpu.Stats, len(jobs))
+	errs := make([]error, len(jobs))
+	n := h.workers()
+	if n > len(jobs) {
+		n = len(jobs)
+	}
+	if n <= 1 {
+		for i, j := range jobs {
+			out[i], errs[i] = h.runOne(j)
+		}
+		return out, errs
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(n)
+	for w := 0; w < n; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(jobs) {
+					return
+				}
+				out[i], errs[i] = h.runOne(jobs[i])
+			}
+		}()
+	}
+	wg.Wait()
+	return out, errs
+}
+
+// RunJobs executes all jobs and returns their statistics indexed exactly
+// like jobs. If any job fails, the error of the lowest-indexed failing job
+// is returned (deterministic regardless of completion order) along with the
+// full results slice; a failed job's slot holds whatever partial Stats its
+// run produced.
+func (h *Harness) RunJobs(jobs []Job) ([]*cpu.Stats, error) {
+	out, errs := h.runJobsErrs(jobs)
+	for _, err := range errs {
+		if err != nil {
+			return out, err
+		}
+	}
+	return out, nil
+}
+
+// Compare runs a benchmark under cfg and its derived baseline, scheduling
+// both runs concurrently.
+func (h *Harness) Compare(cfg cpu.Config, b *workloads.Benchmark) (*Result, error) {
+	res, err := h.RunSuite(cfg, []*workloads.Benchmark{b})
+	if err != nil {
+		return nil, err
+	}
+	return res[0], nil
+}
+
+// RunSuite compares every benchmark in the suite under cfg, fanning the
+// baseline and LoopFrog runs of all benchmarks out over the worker pool.
+// Results are ordered like the suite.
+func (h *Harness) RunSuite(cfg cpu.Config, suite []*workloads.Benchmark) ([]*Result, error) {
+	base := BaselineOf(cfg)
+	jobs := make([]Job, 0, 2*len(suite))
+	for _, b := range suite {
+		prog, err := b.Program()
+		if err != nil {
+			return nil, err
+		}
+		jobs = append(jobs, Job{Cfg: base, Prog: prog}, Job{Cfg: cfg, Prog: prog})
+	}
+	stats, errs := h.runJobsErrs(jobs)
+	out := make([]*Result, len(suite))
+	for i, b := range suite {
+		if err := errs[2*i]; err != nil {
+			return nil, fmt.Errorf("sim: %s baseline: %w", b.Name, err)
+		}
+		if err := errs[2*i+1]; err != nil {
+			return nil, fmt.Errorf("sim: %s loopfrog: %w", b.Name, err)
+		}
+		bs, ls := stats[2*i], stats[2*i+1]
+		if bs.ArchInsts != ls.ArchInsts {
+			return nil, fmt.Errorf("sim: %s: baseline committed %d insts but LoopFrog %d — sequential semantics violated",
+				b.Name, bs.ArchInsts, ls.ArchInsts)
+		}
+		out[i] = &Result{Bench: b, Base: bs, LF: ls}
+	}
+	return out, nil
+}

@@ -4,7 +4,6 @@
 package sim
 
 import (
-	"fmt"
 	"math"
 
 	"loopfrog/internal/asm"
@@ -73,38 +72,25 @@ func (r *Result) LFTimeShare() float64 {
 	return l / (l + f*b)
 }
 
-// Compare runs a benchmark under cfg and its derived baseline.
+// Compare runs a benchmark under cfg and its derived baseline on the default
+// harness: both runs are scheduled over the shared worker pool and memoised
+// in the process-wide run-cache.
 func Compare(cfg cpu.Config, b *workloads.Benchmark) (*Result, error) {
-	prog, err := b.Program()
-	if err != nil {
-		return nil, err
-	}
-	base, err := Run(BaselineOf(cfg), prog)
-	if err != nil {
-		return nil, fmt.Errorf("sim: %s baseline: %w", b.Name, err)
-	}
-	lf, err := Run(cfg, prog)
-	if err != nil {
-		return nil, fmt.Errorf("sim: %s loopfrog: %w", b.Name, err)
-	}
-	if base.ArchInsts != lf.ArchInsts {
-		return nil, fmt.Errorf("sim: %s: baseline committed %d insts but LoopFrog %d — sequential semantics violated",
-			b.Name, base.ArchInsts, lf.ArchInsts)
-	}
-	return &Result{Bench: b, Base: base, LF: lf}, nil
+	return DefaultHarness().Compare(cfg, b)
 }
 
-// RunSuite compares every benchmark in the suite under cfg.
+// RunSuite compares every benchmark in the suite under cfg on the default
+// harness, fanning all runs out over the worker pool. Results are ordered
+// like the suite and are identical to a sequential one-benchmark-at-a-time
+// evaluation.
 func RunSuite(cfg cpu.Config, suite []*workloads.Benchmark) ([]*Result, error) {
-	var out []*Result
-	for _, b := range suite {
-		r, err := Compare(cfg, b)
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, r)
-	}
-	return out, nil
+	return DefaultHarness().RunSuite(cfg, suite)
+}
+
+// RunJobs executes arbitrary (config, program) jobs on the default harness;
+// see Harness.RunJobs.
+func RunJobs(jobs []Job) ([]*cpu.Stats, error) {
+	return DefaultHarness().RunJobs(jobs)
 }
 
 // Geomean returns the geometric mean of xs (1.0 for empty input).
