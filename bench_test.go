@@ -12,11 +12,13 @@
 package loopfrog
 
 import (
+	"io"
 	"testing"
 
 	"loopfrog/internal/cpu"
 	"loopfrog/internal/experiments"
 	"loopfrog/internal/sim"
+	"loopfrog/internal/telemetry"
 	"loopfrog/internal/workloads"
 )
 
@@ -215,6 +217,36 @@ func BenchmarkSimulatorThroughput(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		st, err := sim.Run(cpu.DefaultConfig(), prog)
 		if err != nil {
+			b.Fatal(err)
+		}
+		insts += st.ArchInsts
+	}
+	b.ReportMetric(float64(insts)/b.Elapsed().Seconds(), "insts/s")
+}
+
+// BenchmarkSimulatorThroughputTelemetry is the telemetry-on counterpart: a
+// full trace sink (events + commit-slot samples) streams to io.Discard while
+// the same workload runs, so comparing insts/s against
+// BenchmarkSimulatorThroughput measures the observability overhead. The
+// BENCH_overhead.json record at the repo root is generated from this pair.
+func BenchmarkSimulatorThroughputTelemetry(b *testing.B) {
+	bench := workloads.ByName(workloads.CPU2017(), "leela")
+	prog := bench.MustProgram()
+	b.ResetTimer()
+	var insts uint64
+	for i := 0; i < b.N; i++ {
+		m, err := cpu.NewMachine(cpu.DefaultConfig(), prog)
+		if err != nil {
+			b.Fatal(err)
+		}
+		tr := telemetry.NewTrace(io.Discard)
+		mt := telemetry.AttachMachine(m, tr, telemetry.DefaultSlotSampleInterval)
+		st, err := m.Run()
+		if err != nil {
+			b.Fatal(err)
+		}
+		mt.Finish()
+		if err := tr.Close(); err != nil {
 			b.Fatal(err)
 		}
 		insts += st.ArchInsts

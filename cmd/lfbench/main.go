@@ -5,11 +5,13 @@
 // Usage:
 //
 //	lfbench [-fig 1|6|7|8|9|10] [-table 1|2|3] [-packing] [-assoc]
-//	        [-generality] [-area] [-quick] [-parallel N]
+//	        [-generality] [-area] [-quick] [-parallel N] [-metrics file]
 //	        [-cpuprofile file] [-memprofile file]
 //
 // Simulations are fanned out over all CPU cores by default; -parallel caps
-// the worker count.
+// the worker count. -metrics writes the harness's scheduling and run-cache
+// telemetry (per-job wall time, worker utilisation, cache hit/miss counters)
+// as JSON after all experiments complete.
 package main
 
 import (
@@ -22,6 +24,7 @@ import (
 	"loopfrog/internal/cpu"
 	"loopfrog/internal/experiments"
 	"loopfrog/internal/sim"
+	"loopfrog/internal/telemetry"
 	"loopfrog/internal/workloads"
 )
 
@@ -34,6 +37,7 @@ func main() {
 	areaFlag := flag.Bool("area", false, "print the §6.8 overhead report")
 	quick := flag.Bool("quick", false, "use a reduced benchmark subset for sweeps")
 	parallel := flag.Int("parallel", 0, "simulation worker count (0 = all cores)")
+	metricsPath := flag.String("metrics", "", "write harness telemetry JSON to this file on exit")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
@@ -158,6 +162,24 @@ func main() {
 			xs = append(xs, r.Speedup())
 		}
 		fmt.Println(experiments.Table3(sim.Geomean(xs)))
+	}
+
+	if *metricsPath != "" {
+		reg := telemetry.NewRegistry()
+		if err := telemetry.CollectHarness(reg, sim.DefaultHarness()); err != nil {
+			die(err)
+		}
+		f, err := os.Create(*metricsPath)
+		if err != nil {
+			die(err)
+		}
+		if err := reg.WriteJSON(f); err != nil {
+			f.Close()
+			die(err)
+		}
+		if err := f.Close(); err != nil {
+			die(err)
+		}
 	}
 }
 

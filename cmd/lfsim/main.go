@@ -5,7 +5,13 @@
 // Usage:
 //
 //	lfsim [-baseline] [-threadlets N] [-nopack] [-ab] [-parallel N]
+//	      [-trace file] [-metrics file]
 //	      [-cpuprofile file] [-memprofile file] (-bench name | file)
+//
+// -trace writes a Perfetto/chrome://tracing-loadable trace-event JSON file
+// (threadlet epoch spans plus a commit-slot attribution counter track);
+// -metrics writes the full telemetry registry snapshot as JSON. See the
+// Observability section of DESIGN.md for the schema.
 package main
 
 import (
@@ -20,6 +26,7 @@ import (
 	"loopfrog/internal/compiler"
 	"loopfrog/internal/cpu"
 	"loopfrog/internal/sim"
+	"loopfrog/internal/telemetry"
 	"loopfrog/internal/workloads"
 )
 
@@ -30,6 +37,8 @@ func main() {
 	ab := flag.Bool("ab", false, "run baseline and LoopFrog, print the speedup")
 	bench := flag.String("bench", "", "run a named built-in benchmark instead of a file")
 	parallel := flag.Int("parallel", 0, "simulation worker count (0 = all cores)")
+	tracePath := flag.String("trace", "", "write a Perfetto/Chrome trace-event JSON file")
+	metricsPath := flag.String("metrics", "", "write a telemetry metrics JSON file")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
@@ -91,15 +100,73 @@ func main() {
 		fmt.Printf("baseline: %8d cycles  IPC %.2f\n", base.Cycles, base.IPC())
 		fmt.Printf("loopfrog: %8d cycles  IPC %.2f\n", lf.Cycles, lf.IPC())
 		fmt.Printf("speedup:  %.3fx\n", float64(base.Cycles)/float64(lf.Cycles))
+		if *metricsPath != "" {
+			reg := telemetry.NewRegistry()
+			if err := telemetry.CollectHarness(reg, sim.DefaultHarness()); err == nil {
+				err = writeRegistry(reg, *metricsPath)
+			}
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "lfsim:", err)
+				os.Exit(1)
+			}
+		}
 		return
 	}
 
-	st, err := sim.Run(cfg, prog)
+	// The single-run path drives a machine directly so the telemetry layer
+	// can hook it: -trace streams lifecycle spans and commit-slot counters
+	// while the run executes, -metrics snapshots every component after it.
+	m, err := cpu.NewMachine(cfg, prog)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "lfsim:", err)
 		os.Exit(1)
 	}
+	var tr *telemetry.Trace
+	var mt *telemetry.MachineTracer
+	if *tracePath != "" {
+		f, err := os.Create(*tracePath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "lfsim:", err)
+			os.Exit(1)
+		}
+		tr = telemetry.NewTrace(f)
+		mt = telemetry.AttachMachine(m, tr, 0)
+	}
+	st, runErr := m.Run()
+	if mt != nil {
+		mt.Finish()
+		if err := tr.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "lfsim: trace:", err)
+			os.Exit(1)
+		}
+	}
+	if *metricsPath != "" {
+		reg := telemetry.NewRegistry()
+		if err := telemetry.CollectMachine(reg, m); err == nil {
+			err = writeRegistry(reg, *metricsPath)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "lfsim:", err)
+			os.Exit(1)
+		}
+	}
+	if runErr != nil {
+		fmt.Fprintln(os.Stderr, "lfsim:", runErr)
+		os.Exit(1)
+	}
 	printStats(st)
+}
+
+func writeRegistry(reg *telemetry.Registry, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := reg.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func loadProgram(bench string, args []string) (*asm.Program, error) {

@@ -1,11 +1,18 @@
-// Command lftrace runs a program on the LoopFrog machine and prints the
+// Command lftrace runs a program on the LoopFrog machine and renders the
 // threadlet lifecycle timeline — the dynamic view of figure 2: epochs
 // spawning ahead of the architectural thread, leapfrogging the window,
 // retiring in order, and being squashed on conflicts or loop exits.
 //
 // Usage:
 //
-//	lftrace [-max N] (-bench name | file.ll | file.s)
+//	lftrace [-format text|chrome] [-o file] [-max N] [-sample N]
+//	        (-bench name | file.ll | file.s)
+//
+// The default text format prints up to -max events to stdout. -format=chrome
+// writes Chrome trace-event JSON to -o (default lftrace.json), loadable in
+// Perfetto (https://ui.perfetto.dev) or chrome://tracing: one track per
+// threadlet context with epoch spans and squash/restart instants, plus a
+// stacked commit-slot attribution counter sampled every -sample cycles.
 package main
 
 import (
@@ -17,12 +24,16 @@ import (
 	"loopfrog/internal/asm"
 	"loopfrog/internal/compiler"
 	"loopfrog/internal/cpu"
+	"loopfrog/internal/telemetry"
 	"loopfrog/internal/workloads"
 )
 
 func main() {
-	maxEvents := flag.Int("max", 200, "maximum number of events to print")
+	maxEvents := flag.Int("max", 200, "maximum number of events to print (text format)")
 	bench := flag.String("bench", "", "run a named built-in benchmark")
+	format := flag.String("format", "text", "output format: text or chrome")
+	out := flag.String("o", "lftrace.json", "output file for -format=chrome")
+	sample := flag.Int64("sample", 0, "commit-slot sample interval in cycles (0 = default)")
 	flag.Parse()
 
 	prog, err := load(*bench, flag.Args())
@@ -35,16 +46,51 @@ func main() {
 		fmt.Fprintln(os.Stderr, "lftrace:", err)
 		os.Exit(1)
 	}
-	printed := 0
-	m.SetEventHook(func(e cpu.Event) {
-		if printed < *maxEvents {
+
+	switch *format {
+	case "chrome":
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "lftrace:", err)
+			os.Exit(1)
+		}
+		tr := telemetry.NewTrace(f)
+		mt := telemetry.AttachMachine(m, tr, *sample)
+		st, runErr := m.Run()
+		mt.Finish()
+		if err := tr.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "lftrace:", err)
+			os.Exit(1)
+		}
+		if runErr != nil {
+			fmt.Fprintln(os.Stderr, "lftrace:", runErr)
+			os.Exit(1)
+		}
+		fmt.Printf("%s: %d trace events over %d cycles (%d instructions, %d spawns, %d retires)\n",
+			*out, tr.Events(), st.Cycles, st.ArchInsts, st.Spawns, st.Retires)
+	case "text":
+		printed := 0
+		if *maxEvents <= 0 {
+			runText(m)
+			return
+		}
+		m.SetEventHook(func(e cpu.Event) {
 			fmt.Println(e)
 			printed++
 			if printed == *maxEvents {
 				fmt.Println("... (further events suppressed)")
+				// Detach so the rest of the run pays no per-event cost.
+				m.SetEventHook(nil)
 			}
-		}
-	})
+		})
+		runText(m)
+	default:
+		fmt.Fprintf(os.Stderr, "lftrace: unknown format %q (want text or chrome)\n", *format)
+		os.Exit(1)
+	}
+}
+
+func runText(m *cpu.Machine) {
 	st, err := m.Run()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "lftrace:", err)
@@ -64,7 +110,7 @@ func load(bench string, args []string) (*asm.Program, error) {
 		return nil, fmt.Errorf("unknown benchmark %q", bench)
 	}
 	if len(args) != 1 {
-		return nil, fmt.Errorf("usage: lftrace [-max N] (-bench name | file)")
+		return nil, fmt.Errorf("usage: lftrace [-format text|chrome] [-o file] [-max N] (-bench name | file)")
 	}
 	src, err := os.ReadFile(args[0])
 	if err != nil {

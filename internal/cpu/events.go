@@ -13,6 +13,10 @@ const (
 	EvSquash
 	EvPromote
 	EvSyncCancel
+	// EvRestart marks a squash that restarts the same context from its
+	// checkpoint (§4: "load the checkpoint back in and restart it") — the
+	// context stays live, unlike EvSquash, which recycles it.
+	EvRestart
 )
 
 // String names the event kind.
@@ -28,6 +32,8 @@ func (k EventKind) String() string {
 		return "promote"
 	case EvSyncCancel:
 		return "sync-cancel"
+	case EvRestart:
+		return "restart"
 	}
 	return "unknown"
 }

@@ -1,0 +1,150 @@
+package cpu
+
+import (
+	"testing"
+
+	"loopfrog/internal/asm"
+)
+
+// TestEventOrderingInvariant checks the lifecycle protocol of the event
+// stream, per context: a context's life is opened by Spawn (context 0 is
+// live from reset), may repeat via Restart, and is closed by exactly one of
+// Retire, Squash, or SyncCancel — after which no event may reference the
+// context until its next Spawn. Promote and Restart require a live context.
+func TestEventOrderingInvariant(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		cfg  Config
+	}{
+		{"default", DefaultConfig()},
+		{"nopack", func() Config { c := DefaultConfig(); c.Pack.Enabled = false; return c }()},
+		{"two-contexts", func() Config { c := DefaultConfig(); c.Threadlets = 2; return c }()},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			prog := asm.MustAssemble("hinted", hintedMapSrc)
+			m, err := NewMachine(tc.cfg, prog)
+			if err != nil {
+				t.Fatal(err)
+			}
+			live := make([]bool, tc.cfg.Threadlets)
+			live[0] = true // initial architectural context
+			sawSpawn := make([]bool, tc.cfg.Threadlets)
+			var events int
+			m.SetEventHook(func(e Event) {
+				events++
+				if e.Tid < 0 || e.Tid >= tc.cfg.Threadlets {
+					t.Fatalf("event for out-of-range context: %v", e)
+				}
+				switch e.Kind {
+				case EvSpawn:
+					if live[e.Tid] {
+						t.Fatalf("Spawn of live context: %v", e)
+					}
+					live[e.Tid] = true
+					sawSpawn[e.Tid] = true
+				case EvRetire, EvSquash, EvSyncCancel:
+					if !live[e.Tid] {
+						t.Fatalf("%s of dead context (event after close without Spawn): %v", e.Kind, e)
+					}
+					live[e.Tid] = false
+				case EvPromote, EvRestart:
+					if !live[e.Tid] {
+						t.Fatalf("%s of dead context: %v", e.Kind, e)
+					}
+				default:
+					t.Fatalf("unknown event kind: %v", e)
+				}
+			})
+			st, err := m.Run()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if st.Spawns > 0 {
+				any := false
+				for tid := 1; tid < tc.cfg.Threadlets; tid++ {
+					any = any || sawSpawn[tid]
+				}
+				if !any {
+					t.Error("stats report spawns but no Spawn event preceded any Retire/Squash")
+				}
+			}
+			if events == 0 && st.Retires > 0 {
+				t.Error("retires happened but no events were emitted")
+			}
+		})
+	}
+}
+
+// TestEventOrderingUnderConflicts repeats the invariant check on a workload
+// that squashes and restarts threadlets, covering the Squash/Restart arcs.
+func TestEventOrderingUnderConflicts(t *testing.T) {
+	src := `
+        .data
+arr:    .zero 8192
+        .text
+main:   la   a0, arr
+        li   t0, 1
+        li   t1, 512
+        sd   t1, 0(a0)
+loop:   slli t2, t0, 3
+        add  t3, a0, t2
+        detach cont
+        ld   t4, -8(t3)
+        addi t4, t4, 3
+        sd   t4, 0(t3)
+        reattach cont
+cont:   addi t0, t0, 1
+        blt  t0, t1, loop
+        sync cont
+        li   t4, 0
+        li   t2, 0
+        li   t3, 0
+        halt
+`
+	prog := asm.MustAssemble("chain", src)
+	cfg := DefaultConfig()
+	cfg.Pack.Enabled = false
+	m, err := NewMachine(cfg, prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	live := make([]bool, cfg.Threadlets)
+	live[0] = true
+	var restarts, squashes uint64
+	m.SetEventHook(func(e Event) {
+		switch e.Kind {
+		case EvSpawn:
+			if live[e.Tid] {
+				t.Fatalf("Spawn of live context: %v", e)
+			}
+			live[e.Tid] = true
+		case EvRetire, EvSquash, EvSyncCancel:
+			if !live[e.Tid] {
+				t.Fatalf("%s of dead context: %v", e.Kind, e)
+			}
+			live[e.Tid] = false
+			if e.Kind == EvSquash {
+				squashes++
+			}
+		case EvPromote, EvRestart:
+			if !live[e.Tid] {
+				t.Fatalf("%s of dead context: %v", e.Kind, e)
+			}
+			if e.Kind == EvRestart {
+				restarts++
+			}
+		}
+	})
+	st, err := m.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var statSquashes uint64
+	for _, c := range st.Squashes {
+		statSquashes += c
+	}
+	if statSquashes != restarts+squashes+st.SyncCancels {
+		t.Errorf("squash stats %d != restart events %d + squash events %d + sync cancels %d",
+			statSquashes, restarts, squashes, st.SyncCancels)
+	}
+}

@@ -56,6 +56,15 @@ type Machine struct {
 	lastArchCommit int64
 	eventHook      func(Event)
 
+	// Commit-slot attribution state (stall.go). recoverUntil marks the
+	// front-end refill window after a threadlet squash; the sampler fields
+	// drive the optional per-interval trace counter track.
+	recoverUntil int64
+	slotSampler  func(cycle int64, delta [NumSlotClasses]uint64)
+	slotEvery    int64
+	slotTick     int64
+	lastSlots    [NumSlotClasses]uint64
+
 	archSpecInsts []uint64 // per-context spec-committed, indexed by tid
 
 	// Per-cycle scratch buffers, reused to keep the pipeline loops
@@ -133,7 +142,10 @@ func (m *Machine) Run() (*Stats, error) {
 // cycle advances the machine by one clock.
 func (m *Machine) cycle() {
 	m.writeback()
+	usedBefore := m.stats.CommitSlotsUsed
+	archBefore := m.stats.ArchCommitCycleSum
 	m.commit()
+	m.attributeCommitSlots(m.stats.ArchCommitCycleSum-archBefore, m.stats.CommitSlotsUsed-usedBefore)
 	m.drainStores()
 	m.tryRetire()
 	m.issue()
@@ -146,6 +158,9 @@ func (m *Machine) cycle() {
 	}
 	if k > 0 {
 		m.stats.LiveCycles[k-1]++
+	}
+	if m.slotSampler != nil {
+		m.tickSlotSampler()
 	}
 	m.now++
 	m.stats.Cycles = m.now
@@ -217,6 +232,13 @@ func (m *Machine) Packer() *core.PackPredictor { return m.pack }
 
 // Stats returns the current statistics (live during a run).
 func (m *Machine) Stats() *Stats { return &m.stats }
+
+// Config returns the machine's configuration (after NewMachine's
+// normalisations).
+func (m *Machine) Config() Config { return m.cfg }
+
+// Monitor exposes the region profitability monitor (stats).
+func (m *Machine) Monitor() *core.RegionMonitor { return m.mon }
 
 // Now returns the current cycle.
 func (m *Machine) Now() int64 { return m.now }

@@ -147,7 +147,7 @@ func (m *Machine) squashFrom(victimTid int, cause core.SquashCause, restart bool
 		}
 		if i == 0 && restart {
 			m.restartThreadlet(v)
-			m.emitEvent(EvSquash, tid, v.activeRegion, int(cause))
+			m.emitEvent(EvRestart, tid, v.activeRegion, int(cause))
 		} else {
 			v.live = false
 			if m.contextFreeAt[tid] < m.now {
@@ -163,6 +163,11 @@ func (m *Machine) squashFrom(victimTid int, cause core.SquashCause, restart bool
 	m.order = m.order[:idx]
 	if restart {
 		m.order = append(m.order, victimTid)
+	}
+	// Commit slots lost while the front end refills after the squash are
+	// attributed to squash-drain (stall.go).
+	if until := m.now + int64(m.cfg.FrontendDepth); until > m.recoverUntil {
+		m.recoverUntil = until
 	}
 	m.fixYoungest()
 }

@@ -219,6 +219,11 @@ type Stats struct {
 	ArchCommitCycleSum uint64 // instructions committed while architectural
 	SpecCommitCycleSum uint64 // instructions committed while speculative (eventually retired)
 
+	// CommitSlots attributes every commit-bandwidth slot of every cycle to a
+	// SlotClass (stall.go); the counters sum to Cycles x Width, making the
+	// figure 1 utilisation and figure 8 stall breakdowns direct outputs.
+	CommitSlots [NumSlotClasses]uint64
+
 	// WrongPath counts fetch slots lost to redirects.
 	RedirectStalls uint64
 

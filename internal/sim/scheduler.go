@@ -12,6 +12,7 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"loopfrog/internal/asm"
 	"loopfrog/internal/cpu"
@@ -32,6 +33,58 @@ type Harness struct {
 	Workers int
 	// Cache memoises and deduplicates runs; nil disables caching.
 	Cache *RunCache
+
+	// Scheduling telemetry (Stats). Per-job wall time is measured around the
+	// cache, so a cache hit counts its (tiny) service time, not a simulation.
+	batches     atomic.Uint64
+	jobs        atomic.Uint64
+	jobNanos    atomic.Int64
+	maxJobNanos atomic.Int64
+	wallNanos   atomic.Int64
+}
+
+// HarnessStats is a snapshot of the harness's scheduling telemetry.
+type HarnessStats struct {
+	// Batches counts RunJobs invocations; Jobs counts jobs scheduled.
+	Batches uint64
+	Jobs    uint64
+	// JobNanos is the summed per-job wall time; MaxJobNanos the longest
+	// single job; WallNanos the summed batch wall time.
+	JobNanos    int64
+	MaxJobNanos int64
+	WallNanos   int64
+	// Workers is the configured pool size.
+	Workers int
+	// Utilization is JobNanos / (Workers x WallNanos): the fraction of the
+	// pool's capacity spent inside jobs (1.0 = perfectly packed).
+	Utilization float64
+	// Run-cache counters (zero when no cache is attached).
+	CacheHits        uint64
+	CacheFlightJoins uint64
+	CacheMisses      uint64
+	CacheEntries     uint64
+}
+
+// Stats snapshots the harness's scheduling and cache telemetry.
+func (h *Harness) Stats() HarnessStats {
+	s := HarnessStats{
+		Batches:     h.batches.Load(),
+		Jobs:        h.jobs.Load(),
+		JobNanos:    h.jobNanos.Load(),
+		MaxJobNanos: h.maxJobNanos.Load(),
+		WallNanos:   h.wallNanos.Load(),
+		Workers:     h.workers(),
+	}
+	if cap := float64(s.Workers) * float64(s.WallNanos); cap > 0 {
+		s.Utilization = float64(s.JobNanos) / cap
+	}
+	if c := h.Cache; c != nil {
+		s.CacheHits = c.Hits()
+		s.CacheFlightJoins = c.FlightJoins()
+		s.CacheMisses = c.Misses()
+		s.CacheEntries = uint64(c.Len())
+	}
+	return s
 }
 
 // NewHarness returns a harness with GOMAXPROCS workers and a fresh cache.
@@ -68,6 +121,18 @@ func (h *Harness) workers() int {
 
 // runOne executes a single job through the cache when one is attached.
 func (h *Harness) runOne(j Job) (*cpu.Stats, error) {
+	start := time.Now()
+	defer func() {
+		d := int64(time.Since(start))
+		h.jobs.Add(1)
+		h.jobNanos.Add(d)
+		for {
+			old := h.maxJobNanos.Load()
+			if d <= old || h.maxJobNanos.CompareAndSwap(old, d) {
+				break
+			}
+		}
+	}()
 	if h.Cache != nil {
 		return h.Cache.Run(j.Cfg, j.Prog)
 	}
@@ -77,6 +142,9 @@ func (h *Harness) runOne(j Job) (*cpu.Stats, error) {
 // runJobsErrs executes all jobs over the pool; stats and errors are indexed
 // exactly like jobs.
 func (h *Harness) runJobsErrs(jobs []Job) ([]*cpu.Stats, []error) {
+	batchStart := time.Now()
+	h.batches.Add(1)
+	defer func() { h.wallNanos.Add(int64(time.Since(batchStart))) }()
 	out := make([]*cpu.Stats, len(jobs))
 	errs := make([]error, len(jobs))
 	n := h.workers()

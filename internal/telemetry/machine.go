@@ -1,0 +1,190 @@
+package telemetry
+
+import (
+	"fmt"
+
+	"loopfrog/internal/core"
+	"loopfrog/internal/cpu"
+	"loopfrog/internal/sim"
+)
+
+// This file adapts the simulator's components onto the generic registry and
+// trace writer: CollectMachine/CollectHarness pull every stats struct into
+// one metric tree, and AttachMachine renders the threadlet Event stream plus
+// per-interval commit-slot attribution as a Perfetto-loadable trace.
+
+// Metric tree prefixes.
+const (
+	prefixCPU      = "cpu"
+	prefixSSB      = "ssb"
+	prefixConflict = "conflict"
+	prefixPack     = "pack"
+	prefixMonitor  = "monitor"
+	prefixBPred    = "bpred"
+	prefixMemL1I   = "mem.l1i"
+	prefixMemL1D   = "mem.l1d"
+	prefixMemL2    = "mem.l2"
+	prefixHarness  = "harness"
+	prefixSlots    = "cpu.slots"
+)
+
+// CollectMachine registers every component statistic of the machine into
+// reg: the core counters (cpu.*), the LoopFrog apparatus (ssb.*, conflict.*,
+// pack.*, monitor.*), the predictor (bpred.*), the cache hierarchy
+// (mem.l1i.*, mem.l1d.*, mem.l2.*), and named commit-slot attribution
+// (cpu.slots.<class>). Sources are read live at snapshot time, so reg can be
+// snapshotted during or after Run.
+func CollectMachine(reg *Registry, m *cpu.Machine) error {
+	if err := reg.RegisterStruct(prefixCPU, m.Stats()); err != nil {
+		return err
+	}
+	if err := reg.RegisterStruct(prefixSSB, &m.SSB().Stats); err != nil {
+		return err
+	}
+	if err := reg.RegisterStruct(prefixConflict, m.Detector()); err != nil {
+		return err
+	}
+	if err := reg.RegisterStruct(prefixPack, m.Packer()); err != nil {
+		return err
+	}
+	if err := reg.RegisterStruct(prefixMonitor, m.Monitor()); err != nil {
+		return err
+	}
+	if err := reg.RegisterStruct(prefixBPred, m.Predictor()); err != nil {
+		return err
+	}
+	hier := m.Hierarchy()
+	for _, lvl := range []struct {
+		prefix string
+		read   func() any
+	}{
+		{prefixMemL1I, func() any { l1i, _, _ := hier.Stats(); return l1i }},
+		{prefixMemL1D, func() any { _, l1d, _ := hier.Stats(); return l1d }},
+		{prefixMemL2, func() any { _, _, l2 := hier.Stats(); return l2 }},
+	} {
+		if err := reg.RegisterStructFunc(lvl.prefix, lvl.read); err != nil {
+			return err
+		}
+	}
+	// Named views of the index-keyed arrays, for humans and dashboards.
+	st := m.Stats()
+	names := cpu.SlotClassNames()
+	for i := 0; i < cpu.NumSlotClasses; i++ {
+		i := i
+		reg.RegisterGauge(prefixSlots+"."+names[i], func() float64 { return float64(st.CommitSlots[i]) })
+	}
+	for c := 0; c < core.NumSquashCauses; c++ {
+		c := c
+		reg.RegisterGauge(prefixCPU+".squash."+core.SquashCause(c).String(),
+			func() float64 { return float64(st.Squashes[c]) })
+	}
+	return nil
+}
+
+// CollectHarness registers the evaluation harness's scheduling and run-cache
+// telemetry into reg under harness.*.
+func CollectHarness(reg *Registry, h *sim.Harness) error {
+	return reg.RegisterStructFunc(prefixHarness, func() any { return h.Stats() })
+}
+
+// DefaultSlotSampleInterval is the default commit-slot counter sampling
+// period, in cycles. At one trace microsecond per cycle this yields ~4k
+// samples per million cycles — dense enough for Perfetto's stacked counter
+// view, small next to the lifecycle events.
+const DefaultSlotSampleInterval = 256
+
+// MachineTracer bridges a machine's event hook and slot sampler onto a
+// Trace. Attach before Run; call Finish once after.
+type MachineTracer struct {
+	tr   *Trace
+	m    *cpu.Machine
+	open []bool // per-context: an epoch span is open on its track
+}
+
+// AttachMachine wires m's threadlet lifecycle events and commit-slot
+// attribution into tr: one trace thread per threadlet context carrying epoch
+// spans (begin at spawn, end at retire/squash) with promote/squash/restart
+// instants, and a stacked "commit-slots" counter track sampled every
+// sampleEvery cycles (<= 0 uses DefaultSlotSampleInterval).
+func AttachMachine(m *cpu.Machine, tr *Trace, sampleEvery int64) *MachineTracer {
+	cfg := m.Config()
+	mt := &MachineTracer{tr: tr, m: m, open: make([]bool, cfg.Threadlets)}
+	tr.MetaProcess(0, "loopfrog core")
+	for tid := 0; tid < cfg.Threadlets; tid++ {
+		tr.MetaThread(0, tid, fmt.Sprintf("ctx%d", tid))
+	}
+	// Context 0 is live from reset as the initial architectural threadlet;
+	// it never sees an EvSpawn.
+	tr.Begin(0, 0, m.Now(), "arch", nil)
+	mt.open[0] = true
+
+	m.SetEventHook(mt.onEvent)
+	if sampleEvery <= 0 {
+		sampleEvery = DefaultSlotSampleInterval
+	}
+	m.SetSlotSampler(sampleEvery, mt.onSlotSample)
+	return mt
+}
+
+func (mt *MachineTracer) onEvent(e cpu.Event) {
+	if e.Tid < 0 || e.Tid >= len(mt.open) {
+		return
+	}
+	switch e.Kind {
+	case cpu.EvSpawn:
+		if mt.open[e.Tid] { // defensive: never emit unbalanced B events
+			mt.tr.End(0, e.Tid, e.Cycle)
+		}
+		mt.tr.Begin(0, e.Tid, e.Cycle, fmt.Sprintf("epoch r=%d", e.Region),
+			map[string]int64{"region": e.Region, "factor": int64(e.Detail)})
+		mt.open[e.Tid] = true
+	case cpu.EvRetire:
+		mt.closeSpan(e.Tid, e.Cycle)
+	case cpu.EvPromote:
+		mt.tr.Instant(0, e.Tid, e.Cycle, "promote", nil)
+	case cpu.EvSquash:
+		mt.tr.Instant(0, e.Tid, e.Cycle, "squash:"+core.SquashCause(e.Detail).String(), nil)
+		mt.closeSpan(e.Tid, e.Cycle)
+	case cpu.EvSyncCancel:
+		mt.tr.Instant(0, e.Tid, e.Cycle, "sync-cancel", nil)
+		mt.closeSpan(e.Tid, e.Cycle)
+	case cpu.EvRestart:
+		// The context stays live and re-runs its epoch from the checkpoint:
+		// end the failed attempt and open the next one.
+		mt.tr.Instant(0, e.Tid, e.Cycle, "restart:"+core.SquashCause(e.Detail).String(), nil)
+		if mt.open[e.Tid] {
+			mt.tr.End(0, e.Tid, e.Cycle)
+		}
+		mt.tr.Begin(0, e.Tid, e.Cycle, fmt.Sprintf("epoch r=%d retry", e.Region),
+			map[string]int64{"region": e.Region})
+		mt.open[e.Tid] = true
+	}
+}
+
+func (mt *MachineTracer) closeSpan(tid int, cycle int64) {
+	if mt.open[tid] {
+		mt.tr.End(0, tid, cycle)
+		mt.open[tid] = false
+	}
+}
+
+func (mt *MachineTracer) onSlotSample(cycle int64, delta [cpu.NumSlotClasses]uint64) {
+	names := cpu.SlotClassNames()
+	series := make(map[string]int64, cpu.NumSlotClasses)
+	for i, d := range delta {
+		series[names[i]] = int64(d)
+	}
+	mt.tr.Counter(0, cycle, "commit-slots", series)
+}
+
+// Finish flushes the residual slot sample, closes every span still open at
+// the machine's final cycle, and detaches the hooks. The caller still owns
+// tr and must Close it.
+func (mt *MachineTracer) Finish() {
+	mt.m.FlushSlotSample()
+	for tid := range mt.open {
+		mt.closeSpan(tid, mt.m.Now())
+	}
+	mt.m.SetEventHook(nil)
+	mt.m.SetSlotSampler(0, nil)
+}

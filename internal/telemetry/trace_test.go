@@ -1,0 +1,123 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+// traceEvent mirrors the Chrome trace-event JSON schema fields the tests
+// validate.
+type traceEvent struct {
+	Ph   string         `json:"ph"`
+	Pid  *int           `json:"pid"`
+	Tid  *int           `json:"tid"`
+	Ts   *int64         `json:"ts"`
+	Name string         `json:"name"`
+	S    string         `json:"s"`
+	Args map[string]any `json:"args"`
+}
+
+// num reads a numeric arg (JSON numbers decode as float64 in the any map).
+func (e traceEvent) num(key string) (float64, bool) {
+	v, ok := e.Args[key].(float64)
+	return v, ok
+}
+
+type traceDoc struct {
+	DisplayTimeUnit string       `json:"displayTimeUnit"`
+	TraceEvents     []traceEvent `json:"traceEvents"`
+}
+
+func decodeTrace(t *testing.T, data []byte) traceDoc {
+	t.Helper()
+	var doc traceDoc
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatalf("trace is not valid JSON: %v\n%s", err, data)
+	}
+	return doc
+}
+
+func TestTraceWriterSchema(t *testing.T) {
+	var buf bytes.Buffer
+	tr := NewTrace(&buf)
+	tr.MetaProcess(0, "core")
+	tr.MetaThread(0, 1, "ctx1")
+	tr.Begin(0, 1, 10, `epoch "q" r=3`, map[string]int64{"region": 3, "factor": 2})
+	tr.Instant(0, 1, 15, "squash:conflict", nil)
+	tr.Counter(0, 16, "commit-slots", map[string]int64{"retired-arch": 5, "frontend-stall": 3})
+	tr.End(0, 1, 20)
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	doc := decodeTrace(t, buf.Bytes())
+	if len(doc.TraceEvents) != 6 {
+		t.Fatalf("got %d events, want 6", len(doc.TraceEvents))
+	}
+	if tr.Events() != 6 {
+		t.Errorf("Events() = %d, want 6", tr.Events())
+	}
+	depth := 0
+	for i, e := range doc.TraceEvents {
+		if e.Pid == nil || e.Tid == nil || e.Ts == nil || e.Ph == "" {
+			t.Fatalf("event %d missing required keys: %+v", i, e)
+		}
+		switch e.Ph {
+		case "B":
+			depth++
+			if r, _ := e.num("region"); r != 3 {
+				t.Errorf("begin args lost: %+v", e.Args)
+			}
+			if f, _ := e.num("factor"); f != 2 {
+				t.Errorf("begin args lost: %+v", e.Args)
+			}
+		case "E":
+			depth--
+		case "i":
+			if e.S != "t" {
+				t.Errorf("instant scope = %q, want thread", e.S)
+			}
+		case "C":
+			ra, _ := e.num("retired-arch")
+			fs, _ := e.num("frontend-stall")
+			if ra != 5 || fs != 3 {
+				t.Errorf("counter series lost: %+v", e.Args)
+			}
+		case "M":
+			if e.Name != "process_name" && e.Name != "thread_name" {
+				t.Errorf("unexpected metadata event %q", e.Name)
+			}
+		default:
+			t.Errorf("unexpected phase %q", e.Ph)
+		}
+	}
+	if depth != 0 {
+		t.Errorf("unbalanced B/E events: depth %d", depth)
+	}
+}
+
+func TestTraceWriterEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	tr := NewTrace(&buf)
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	doc := decodeTrace(t, buf.Bytes())
+	if len(doc.TraceEvents) != 0 {
+		t.Fatalf("empty trace has %d events", len(doc.TraceEvents))
+	}
+}
+
+func TestTraceWriterEscapesNames(t *testing.T) {
+	var buf bytes.Buffer
+	tr := NewTrace(&buf)
+	tr.Begin(0, 0, 0, "weird \"name\"\\with\nescapes", nil)
+	tr.End(0, 0, 1)
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	doc := decodeTrace(t, buf.Bytes())
+	if doc.TraceEvents[0].Name != "weird \"name\"\\with\nescapes" {
+		t.Errorf("name mangled: %q", doc.TraceEvents[0].Name)
+	}
+}
