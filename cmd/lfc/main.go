@@ -1,7 +1,9 @@
 // Command lfc is the LoopLang compiler driver: it compiles a .ll source
 // file to LFISA and prints the disassembly (or the IR with -ir). Loops
 // annotated @loopfrog get detach/reattach/sync hints inserted automatically
-// (§5); de-selected loops are reported on stderr.
+// (§5); de-selected loops are reported on stderr. Every emitted image is
+// verified with the hint-legality linter before it is printed: a lint error
+// is an internal compiler error and exits non-zero.
 //
 // Usage:
 //
@@ -14,6 +16,7 @@ import (
 	"os"
 
 	"loopfrog/internal/compiler"
+	"loopfrog/internal/lint"
 )
 
 func main() {
@@ -44,6 +47,22 @@ func main() {
 	}
 	for _, d := range diags {
 		fmt.Fprintln(os.Stderr, "lfc: note:", d)
+	}
+	// Mandatory verification: the compiler's §5.1 selection must only emit
+	// hints the linter proves legal. An error here is a compiler bug, not a
+	// property of the input program.
+	rep := lint.Run(prog, lint.Options{})
+	for _, ld := range rep.Diags {
+		switch ld.Severity {
+		case lint.SevError:
+			fmt.Fprintf(os.Stderr, "lfc: internal error: emitted program fails verification: %s: [%s] %s\n",
+				ld.Position(flag.Arg(0)), ld.Code, ld.Message)
+		case lint.SevWarning:
+			fmt.Fprintf(os.Stderr, "lfc: note: %s: [%s] %s\n", ld.Position(flag.Arg(0)), ld.Code, ld.Message)
+		}
+	}
+	if rep.Errors() > 0 {
+		os.Exit(1)
 	}
 	fmt.Print(prog.Disassemble())
 }

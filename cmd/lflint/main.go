@@ -1,0 +1,121 @@
+// Command lflint statically verifies LoopFrog hint legality and epoch shape.
+// Inputs are LFISA assembly (.s), LoopLang sources (.ll, compiled first), or
+// the entire built-in benchmark suite with -corpus.
+//
+// Usage:
+//
+//	lflint [-format text|json] [-strict] [-corpus] [file ...]
+//
+// Diagnostics carry stable codes (LF0xx errors, LF1xx warnings, LF2xx
+// profitability notes) and positions: source line for assembled files,
+// nearest label plus pc otherwise. Exit status: 0 when clean, 1 when any
+// error (or, with -strict, any warning) is found, 2 on usage or load
+// failures. Profitability notes never affect the exit status.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"loopfrog/internal/asm"
+	"loopfrog/internal/compiler"
+	"loopfrog/internal/lint"
+	"loopfrog/internal/workloads"
+)
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: lflint [-format text|json] [-strict] [-corpus] [file.s | file.ll ...]")
+	os.Exit(2)
+}
+
+func main() {
+	format := flag.String("format", "text", "output format: text or json")
+	strict := flag.Bool("strict", false, "treat warnings as failures")
+	corpus := flag.Bool("corpus", false, "lint every built-in benchmark program")
+	flag.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: lflint [-format text|json] [-strict] [-corpus] [file.s | file.ll ...]")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if *format != "text" && *format != "json" {
+		fmt.Fprintf(os.Stderr, "lflint: unknown format %q (want text or json)\n", *format)
+		usage()
+	}
+	if !*corpus && flag.NArg() == 0 {
+		usage()
+	}
+
+	var reports []*lint.Report
+	if *corpus {
+		seen := make(map[string]bool)
+		for _, b := range append(workloads.CPU2017(), workloads.CPU2006()...) {
+			key := b.Suite + "/" + b.Name
+			if seen[key] {
+				continue
+			}
+			seen[key] = true
+			p, err := b.Program()
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "lflint: %s: %v\n", key, err)
+				os.Exit(2)
+			}
+			rep := lint.Run(p, lint.Options{})
+			rep.Program = key
+			reports = append(reports, rep)
+		}
+	}
+	for _, path := range flag.Args() {
+		p, err := loadProgram(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "lflint: %v\n", err)
+			os.Exit(2)
+		}
+		reports = append(reports, lint.Run(p, lint.Options{}))
+	}
+
+	failed := false
+	clean := 0
+	for _, rep := range reports {
+		if rep.Failed(*strict) {
+			failed = true
+		}
+		switch *format {
+		case "json":
+			if err := rep.WriteJSON(os.Stdout); err != nil {
+				fmt.Fprintln(os.Stderr, "lflint:", err)
+				os.Exit(2)
+			}
+		default:
+			if len(rep.Diags) == 0 {
+				clean++
+				continue
+			}
+			if err := rep.WriteText(os.Stdout); err != nil {
+				fmt.Fprintln(os.Stderr, "lflint:", err)
+				os.Exit(2)
+			}
+		}
+	}
+	if *format == "text" && clean > 0 {
+		fmt.Printf("%d program(s) clean\n", clean)
+	}
+	if failed {
+		os.Exit(1)
+	}
+}
+
+// loadProgram assembles a .s file or compiles anything else as LoopLang,
+// naming the image after the file so diagnostics point at it.
+func loadProgram(path string) (*asm.Program, error) {
+	src, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	if strings.HasSuffix(path, ".s") {
+		return asm.Assemble(path, string(src))
+	}
+	prog, _, err := compiler.Compile(path, string(src))
+	return prog, err
+}

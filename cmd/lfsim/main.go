@@ -5,8 +5,12 @@
 // Usage:
 //
 //	lfsim [-baseline] [-threadlets N] [-nopack] [-ab] [-parallel N]
-//	      [-trace file] [-metrics file]
+//	      [-lint] [-trace file] [-metrics file]
 //	      [-cpuprofile file] [-memprofile file] (-bench name | file)
+//
+// -lint runs the hint-legality linter (see cmd/lflint) as a preflight and
+// refuses to simulate a program with legality errors. Invalid flag values
+// exit 2 with a usage message.
 //
 // -trace writes a Perfetto/chrome://tracing-loadable trace-event JSON file
 // (threadlet epoch spans plus a commit-slot attribution counter track);
@@ -25,6 +29,7 @@ import (
 	"loopfrog/internal/asm"
 	"loopfrog/internal/compiler"
 	"loopfrog/internal/cpu"
+	"loopfrog/internal/lint"
 	"loopfrog/internal/sim"
 	"loopfrog/internal/telemetry"
 	"loopfrog/internal/workloads"
@@ -41,7 +46,20 @@ func main() {
 	metricsPath := flag.String("metrics", "", "write a telemetry metrics JSON file")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
+	preflight := flag.Bool("lint", false, "lint the program before simulating; refuse to run on errors")
 	flag.Parse()
+
+	// Usage errors exit 2, before any work happens.
+	if *threadlets < 1 {
+		fmt.Fprintf(os.Stderr, "lfsim: -threadlets must be at least 1 (got %d)\n", *threadlets)
+		flag.Usage()
+		os.Exit(2)
+	}
+	if *parallel < 0 {
+		fmt.Fprintf(os.Stderr, "lfsim: -parallel must be non-negative (got %d)\n", *parallel)
+		flag.Usage()
+		os.Exit(2)
+	}
 
 	sim.SetParallelism(*parallel)
 	if *cpuprofile != "" {
@@ -76,6 +94,20 @@ func main() {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "lfsim:", err)
 		os.Exit(1)
+	}
+
+	if *preflight {
+		rep := lint.Run(prog, lint.Options{})
+		for _, d := range rep.Diags {
+			if d.Severity != lint.SevInfo {
+				fmt.Fprintf(os.Stderr, "lfsim: lint: %s: %s [%s]: %s\n",
+					d.Position(rep.Program), d.Severity, d.Code, d.Message)
+			}
+		}
+		if rep.Errors() > 0 {
+			fmt.Fprintln(os.Stderr, "lfsim: lint found hint-legality errors; refusing to simulate")
+			os.Exit(1)
+		}
 	}
 
 	cfg := cpu.DefaultConfig()

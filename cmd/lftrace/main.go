@@ -13,6 +13,7 @@
 // Perfetto (https://ui.perfetto.dev) or chrome://tracing: one track per
 // threadlet context with epoch spans and squash/restart instants, plus a
 // stacked commit-slot attribution counter sampled every -sample cycles.
+// Invalid flag values exit 2 with a usage message.
 package main
 
 import (
@@ -35,6 +36,18 @@ func main() {
 	out := flag.String("o", "lftrace.json", "output file for -format=chrome")
 	sample := flag.Int64("sample", 0, "commit-slot sample interval in cycles (0 = default)")
 	flag.Parse()
+
+	// Usage errors exit 2 before any program is loaded or simulated.
+	if *format != "text" && *format != "chrome" {
+		fmt.Fprintf(os.Stderr, "lftrace: unknown format %q (want text or chrome)\n", *format)
+		flag.Usage()
+		os.Exit(2)
+	}
+	if *sample < 0 {
+		fmt.Fprintf(os.Stderr, "lftrace: -sample must be non-negative (got %d)\n", *sample)
+		flag.Usage()
+		os.Exit(2)
+	}
 
 	prog, err := load(*bench, flag.Args())
 	if err != nil {
@@ -84,9 +97,6 @@ func main() {
 			}
 		})
 		runText(m)
-	default:
-		fmt.Fprintf(os.Stderr, "lftrace: unknown format %q (want text or chrome)\n", *format)
-		os.Exit(1)
 	}
 }
 

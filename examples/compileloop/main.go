@@ -4,6 +4,7 @@
 package main
 
 import (
+	_ "embed"
 	"fmt"
 	"log"
 	"strings"
@@ -13,35 +14,12 @@ import (
 	"loopfrog/internal/sim"
 )
 
-const src = `
-var xs: [256]int;
-var ys: [256]int;
-
-fn step(v: int) -> int {
-    # A serial per-element recurrence: too long for the window to overlap
-    # many elements, so threadlets genuinely add parallelism.
-    var t: int = v;
-    for k in 0..90 {
-        t = t * 31 + 7;
-        t = t % 65521;
-    }
-    return t;
-}
-
-fn main() -> int {
-    for i in 0..256 {
-        xs[i] = i * 3;
-    }
-    var checked: int = 0;
-    @loopfrog
-    for i in 0..256 {
-        var t: int = step(xs[i]);   # calls are fine inside the body
-        ys[i] = t;
-        checked = checked + 1;      # carried scalar: lands in the continuation
-    }
-    return checked;
-}
-`
+// The source lives in compileloop.ll so tooling (lflint, lfc, lfsim) can
+// consume it directly; it is embedded here to keep the example
+// self-contained.
+//
+//go:embed compileloop.ll
+var src string
 
 func main() {
 	prog, diags, err := compiler.Compile("compileloop", src)

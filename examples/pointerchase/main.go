@@ -6,6 +6,7 @@
 package main
 
 import (
+	_ "embed"
 	"fmt"
 	"log"
 
@@ -14,29 +15,12 @@ import (
 	"loopfrog/internal/sim"
 )
 
-const src = `
-var big: [1048576]int;
-var out: [600]int;
-
-fn main() -> int {
-    @loopfrog
-    for i in 0..600 {
-        var j: int = (i * 522437 + 7919) % 1048576;
-        var v: int = big[j] + j;          # cold load: DRAM latency
-        var r: int = 0;
-        if v % 2 == 0 {                   # branch depends on the load
-            r = v * 3 + 1;
-        } else {
-            r = v / 2 + 13;
-        }
-        for k in 0..120 {                 # per-element serial work
-            r = r * 5 + 3;
-        }
-        out[i] = r;
-    }
-    return out[599];
-}
-`
+// The source lives in pointerchase.ll so tooling (lflint, lfc, lfsim) can
+// consume it directly; it is embedded here to keep the example
+// self-contained.
+//
+//go:embed pointerchase.ll
+var src string
 
 func main() {
 	prog, diags, err := compiler.Compile("pointerchase", src)

@@ -1,0 +1,21 @@
+var big: [1048576]int;
+var out: [600]int;
+
+fn main() -> int {
+    @loopfrog
+    for i in 0..600 {
+        var j: int = (i * 522437 + 7919) % 1048576;
+        var v: int = big[j] + j;          # cold load: DRAM latency
+        var r: int = 0;
+        if v % 2 == 0 {                   # branch depends on the load
+            r = v * 3 + 1;
+        } else {
+            r = v / 2 + 13;
+        }
+        for k in 0..120 {                 # per-element serial work
+            r = r * 5 + 3;
+        }
+        out[i] = r;
+    }
+    return out[599];
+}

@@ -1,0 +1,29 @@
+        .data
+xs:     .zero 16384
+ys:     .zero 16384
+        .text
+main:   la   a0, xs
+        la   a1, ys
+        li   t0, 0
+        li   t1, 2048
+init:   slli t2, t0, 3
+        add  t2, a0, t2
+        sd   t0, 0(t2)
+        addi t0, t0, 1
+        blt  t0, t1, init
+        li   t0, 0
+# The hinted loop: header computes addresses, the body squares an element
+# into ys, and the continuation (label cont, also the region ID) advances i.
+loop:   slli t2, t0, 3
+        add  t3, a0, t2
+        add  t4, a1, t2
+        detach cont
+        ld   t5, 0(t3)
+        mul  t5, t5, t5
+        sd   t5, 0(t4)
+        reattach cont
+cont:   addi t0, t0, 1
+        blt  t0, t1, loop
+        sync cont
+        li   t5, 0
+        halt

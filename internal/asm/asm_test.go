@@ -327,3 +327,70 @@ func TestDisassembleContainsLabels(t *testing.T) {
 		t.Error("disassembly missing hint mnemonics")
 	}
 }
+
+func TestLineProvenance(t *testing.T) {
+	p := MustAssemble("sum", sumLoop)
+	if len(p.Lines) != len(p.Insts) {
+		t.Fatalf("Lines length %d != Insts length %d", len(p.Lines), len(p.Insts))
+	}
+	// Every assembled instruction must carry a positive source line, and
+	// lines must be non-decreasing (one instruction per source line).
+	prev := 0
+	for i := range p.Insts {
+		line := p.LineOf(i)
+		if line <= 0 {
+			t.Fatalf("instruction %d has no source line", i)
+		}
+		if line < prev {
+			t.Fatalf("instruction %d line %d goes backwards from %d", i, line, prev)
+		}
+		prev = line
+	}
+	if p.LineOf(-1) != 0 || p.LineOf(len(p.Insts)) != 0 {
+		t.Error("LineOf out of range must return 0")
+	}
+}
+
+func TestNearestLabel(t *testing.T) {
+	p := MustAssemble("sum", sumLoop)
+	loop := p.MustLabel("loop")
+	if name, off, ok := p.NearestLabel(loop); !ok || name != "loop" || off != 0 {
+		t.Errorf("NearestLabel(loop) = %q+%d,%v", name, off, ok)
+	}
+	if name, off, ok := p.NearestLabel(loop + 2); !ok || name != "loop" || off != 2 {
+		t.Errorf("NearestLabel(loop+2) = %q+%d,%v", name, off, ok)
+	}
+	if name, _, ok := p.NearestLabel(0); !ok || name != "main" {
+		t.Errorf("NearestLabel(0) = %q,%v", name, ok)
+	}
+	if _, _, ok := p.NearestLabel(-1); ok {
+		t.Error("NearestLabel(-1) must not resolve")
+	}
+}
+
+func TestBuilderLineProvenance(t *testing.T) {
+	b := NewBuilder("lines")
+	b.Label("main")
+	b.Line(10).Li(isa.X(5), 1)
+	b.Line(12).Li(isa.X(6), 2)
+	b.Halt()
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := p.LineOf(0); got != 10 {
+		t.Errorf("LineOf(0) = %d, want 10", got)
+	}
+	if got := p.LineOf(1); got != 12 {
+		t.Errorf("LineOf(1) = %d, want 12", got)
+	}
+	// Halt inherits the last Line() setting; builders that never call
+	// Line produce no provenance at all.
+	if got := p.LineOf(2); got != 12 {
+		t.Errorf("LineOf(2) = %d, want 12", got)
+	}
+	p2 := NewBuilder("nolines").Halt().MustBuild()
+	if p2.Lines != nil {
+		t.Error("builder without Line() calls must not attach provenance")
+	}
+}

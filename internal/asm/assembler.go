@@ -228,6 +228,7 @@ func (a *assembler) emitData(v uint64, size int) {
 
 func (a *assembler) emit(inst isa.Inst) {
 	a.prog.Insts = append(a.prog.Insts, inst)
+	a.prog.Lines = append(a.prog.Lines, a.line)
 }
 
 func (a *assembler) emitWithTarget(inst isa.Inst, label string) {

@@ -21,6 +21,10 @@ type Builder struct {
 	base    uint64
 	symbols map[string]uint64
 	err     error
+
+	lines   []int
+	curLine int
+	hasLine bool
 }
 
 // NewBuilder returns an empty builder for a program with the given name.
@@ -52,9 +56,20 @@ func (b *Builder) Label(name string) *Builder {
 	return b
 }
 
+// Line records the source line (1-based) that subsequently emitted
+// instructions originate from, for diagnostics; 0 marks unknown provenance.
+func (b *Builder) Line(line int) *Builder {
+	b.curLine = line
+	if line > 0 {
+		b.hasLine = true
+	}
+	return b
+}
+
 // I emits a raw instruction.
 func (b *Builder) I(inst isa.Inst) *Builder {
 	b.insts = append(b.insts, inst)
+	b.lines = append(b.lines, b.curLine)
 	return b
 }
 
@@ -179,6 +194,9 @@ func (b *Builder) Build() (*Program, error) {
 		Data:     b.data,
 		DataBase: b.base,
 		Symbols:  b.symbols,
+	}
+	if b.hasLine {
+		p.Lines = b.lines
 	}
 	for _, f := range b.fixups {
 		idx, ok := b.labels[f.label]

@@ -42,6 +42,10 @@ type Program struct {
 	DataBase uint64
 	// Symbols maps data labels to byte addresses.
 	Symbols map[string]uint64
+	// Lines holds the source line of each instruction (1-based), parallel to
+	// Insts, when the producer tracked provenance; nil or a zero entry means
+	// unknown. Lines are debug metadata: excluded from Fingerprint.
+	Lines []int
 
 	// Fingerprint cache; computed on demand, images are immutable once built.
 	fpOnce sync.Once
@@ -88,6 +92,34 @@ func (p *Program) MustLabel(name string) int {
 		panic(fmt.Sprintf("asm: unknown label %q", name))
 	}
 	return idx
+}
+
+// LineOf returns the source line of the instruction at idx, or 0 when the
+// producer did not record provenance (e.g. Builder-generated code).
+func (p *Program) LineOf(idx int) int {
+	if idx < 0 || idx >= len(p.Lines) {
+		return 0
+	}
+	return p.Lines[idx]
+}
+
+// NearestLabel returns the closest code label at or before idx and the
+// instruction offset from it, for positioning diagnostics in label-rich but
+// line-free images (compiler output). ok is false when no label precedes idx.
+func (p *Program) NearestLabel(idx int) (name string, offset int, ok bool) {
+	best := -1
+	for n, at := range p.Labels {
+		if at > idx || at < best {
+			continue
+		}
+		if at > best || (at == best && n < name) {
+			best, name = at, n
+		}
+	}
+	if best < 0 {
+		return "", 0, false
+	}
+	return name, idx - best, true
 }
 
 // Symbol returns the byte address of a data symbol.

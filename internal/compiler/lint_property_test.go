@@ -1,0 +1,144 @@
+package compiler
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"loopfrog/internal/lint"
+)
+
+// Property: every program the compiler emits passes the hint-legality
+// linter with zero errors and zero warnings. The compiler's loop selection
+// (§5.1) is exactly the guarantee the linter verifies, so any finding here
+// is a codegen bug, not a workload property. Profitability infos are
+// allowed: the compiler hints loops the heuristics consider marginal.
+
+func assertLintClean(t *testing.T, name, src string) {
+	t.Helper()
+	prog, _, err := Compile(name, src)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	rep := lint.Run(prog, lint.Options{})
+	if rep.Failed(true) {
+		var sb strings.Builder
+		rep.WriteText(&sb)
+		t.Errorf("compiled program is not lint-clean:\n%s\nsource:\n%s", sb.String(), src)
+	}
+}
+
+func TestCompiledProgramsLintClean(t *testing.T) {
+	cases := map[string]string{
+		"accumulator tail": `
+var a: [64]int;
+fn main() -> int {
+    var s: int = 0;
+    @loopfrog for i in 0..64 {
+        var t: int = a[i] * a[i] + 3;
+        s = s + t;
+    }
+    return s;
+}`,
+		"break and continue": `
+var a: [64]int;
+fn main() -> int {
+    var s: int = 0;
+    @loopfrog for i in 0..64 {
+        if a[i] < 0 { break; }
+        if a[i] == 7 { continue; }
+        a[i] = a[i] * 2;
+    }
+    return s;
+}`,
+		"call in body": `
+var a: [32]int;
+fn sq(x: int) -> int { return x * x; }
+fn main() -> int {
+    @loopfrog for i in 0..32 {
+        a[i] = sq(i) + sq(i + 1);
+    }
+    var s: int = 0;
+    for i in 0..32 { s = s + a[i]; }
+    return s;
+}`,
+		"recursive call": `
+fn fib(n: int) -> int {
+    if n < 2 { return n; }
+    return fib(n - 1) + fib(n - 2);
+}
+var out: [8]int;
+fn main() -> int {
+    @loopfrog for i in 0..8 {
+        out[i] = fib(i + 3);
+    }
+    var s: int = 0;
+    for i in 0..8 { s = s + out[i]; }
+    return s;
+}`,
+		"nested loops": `
+var m: [16]int;
+fn main() -> int {
+    var s: int = 0;
+    for j in 0..4 {
+        @loopfrog for i in 0..16 {
+            m[i] = m[i] + i * j;
+        }
+    }
+    for i in 0..16 { s = s + m[i]; }
+    return s;
+}`,
+		"conditional store": `
+var a: [32]int;
+var b: [32]int;
+fn main() -> int {
+    @loopfrog for i in 0..32 {
+        if a[i] < 16 {
+            b[i] = a[i] * 3;
+        } else {
+            b[i] = a[i] - 16;
+        }
+    }
+    var s: int = 0;
+    for k in 0..32 { s = s + b[k]; }
+    return s;
+}`,
+	}
+	for name, src := range cases {
+		t.Run(name, func(t *testing.T) { assertLintClean(t, "lintprop", src) })
+	}
+}
+
+// TestRandomCompiledLoopsLintClean fuzzes the same loop-nest family as the
+// semantics property test and lints each compiled image.
+func TestRandomCompiledLoopsLintClean(t *testing.T) {
+	trials := 40
+	if testing.Short() {
+		trials = 8
+	}
+	for trial := 0; trial < trials; trial++ {
+		rng := rand.New(rand.NewSource(int64(7000 + trial)))
+		n := 8 + rng.Intn(56)
+		mulA := int64(1 + rng.Intn(9))
+		addB := int64(rng.Intn(50))
+		modM := int64(3 + rng.Intn(97))
+		src := fmt.Sprintf(`
+var a: [%[1]d]int;
+fn main() -> int {
+    for i in 0..%[1]d {
+        a[i] = i * %[2]d + %[3]d;
+    }
+    @loopfrog for i in 0..%[1]d {
+        var t: int = a[i] %% %[4]d;
+        a[i] = t * t;
+    }
+    var s: int = 0;
+    for i in 0..%[1]d {
+        s = s + a[i];
+    }
+    return s;
+}`, n, mulA, addB, modM)
+		assertLintClean(t, "lintfuzz", src)
+	}
+}

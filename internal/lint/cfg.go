@@ -1,0 +1,372 @@
+package lint
+
+import (
+	"sort"
+
+	"loopfrog/internal/asm"
+	"loopfrog/internal/isa"
+)
+
+// Control-flow reconstruction over a flat LFISA image. Blocks are maximal
+// straight-line instruction runs; calls (jal with a link register) are
+// summarised with a fall-through edge so each function forms its own graph,
+// and jalr x0, ra is treated as a function return. Hints are architectural
+// NOPs and never end a block.
+
+// ABI register indices the analyses rely on.
+const (
+	regZero = 0 // x0, hardwired zero
+	regRA   = 1 // x1, link register
+	regSP   = 2 // x2, stack pointer
+)
+
+// instKind classifies an instruction's control-flow role.
+type instKind int
+
+const (
+	kindPlain instKind = iota
+	kindBranch
+	kindJump   // jal x0
+	kindCall   // jal rd!=x0 (link)
+	kindReturn // jalr x0, ra-style indirect with link-register source
+	kindIndirect
+	kindHalt
+)
+
+func classify(in isa.Inst) instKind {
+	switch {
+	case in.Op == isa.HALT:
+		return kindHalt
+	case in.Op == isa.JAL && in.Rd == 0:
+		return kindJump
+	case in.Op == isa.JAL:
+		return kindCall
+	case in.Op == isa.JALR && in.Rd == 0 && in.Rs1 == regRA:
+		return kindReturn
+	case in.Op == isa.JALR:
+		return kindIndirect
+	case isa.OpMeta(in.Op).IsBranch:
+		return kindBranch
+	}
+	return kindPlain
+}
+
+// block is a basic block: instructions [Start, End).
+type block struct {
+	Start, End  int
+	Succs       []int // successor block indices
+	Preds       []int
+	HasIndirect bool // ends in an unanalyzable indirect jump
+	FallsOffEnd bool // control can run past the last instruction
+}
+
+// cfg is the reconstructed whole-program graph plus per-function views.
+type cfg struct {
+	prog     *asm.Program
+	blocks   []block
+	blockOf  []int // instruction index -> block index
+	calls    map[int]int
+	funcs    []*fn
+	funcOf   map[int]*fn // function entry pc -> fn
+	indirect []int       // pcs of unanalyzable indirect jumps
+}
+
+// fn is one function: the blocks reachable from an entry without following
+// call edges.
+type fn struct {
+	entryPC int
+	blocks  []int        // block indices, sorted
+	inSet   map[int]bool // membership by block index
+
+	// Interprocedural summaries (fixpointed in dataflow.go).
+	mayRead   regSet // registers the function may read before writing
+	mayWrite  regSet // registers whose value may differ on return
+	preserved regSet // registers restored by every return path
+
+	// Liveness, block-indexed by position in blocks.
+	liveIn map[int]regSet // block index -> live-in set
+}
+
+// instSuccs returns the instruction-level successors of pc under NOP-hint
+// sequential semantics (call edges summarised as fall-through).
+func (g *cfg) instSuccs(pc int) []int {
+	in := g.prog.Insts[pc]
+	switch classify(in) {
+	case kindHalt, kindReturn, kindIndirect:
+		return nil
+	case kindJump:
+		return []int{int(in.Imm)}
+	case kindBranch:
+		if int(in.Imm) == pc+1 || pc+1 >= len(g.prog.Insts) {
+			return []int{int(in.Imm)}
+		}
+		return []int{int(in.Imm), pc + 1}
+	case kindCall:
+		if pc+1 < len(g.prog.Insts) {
+			return []int{pc + 1}
+		}
+		return nil
+	default:
+		if pc+1 < len(g.prog.Insts) {
+			return []int{pc + 1}
+		}
+		return nil
+	}
+}
+
+// buildCFG reconstructs blocks, edges, call sites and functions.
+func buildCFG(p *asm.Program) *cfg {
+	n := len(p.Insts)
+	g := &cfg{prog: p, calls: make(map[int]int), funcOf: make(map[int]*fn)}
+	if n == 0 {
+		return g
+	}
+
+	// Leaders: entry, every label, every control-flow target, every
+	// instruction after a control transfer, and every hint continuation
+	// (so region IDs start blocks).
+	leader := make([]bool, n+1)
+	leader[0] = true
+	leader[p.Entry] = true
+	for _, idx := range p.Labels {
+		if idx >= 0 && idx <= n {
+			leader[idx] = true
+		}
+	}
+	for pc, in := range p.Insts {
+		m := isa.OpMeta(in.Op)
+		switch classify(in) {
+		case kindBranch, kindJump:
+			if t := int(in.Imm); t >= 0 && t < n {
+				leader[t] = true
+			}
+			if pc+1 < n {
+				leader[pc+1] = true
+			}
+		case kindCall:
+			if t := int(in.Imm); t >= 0 && t < n {
+				leader[t] = true
+			}
+			g.calls[pc] = int(in.Imm)
+			if pc+1 < n {
+				leader[pc+1] = true
+			}
+		case kindReturn, kindIndirect, kindHalt:
+			if pc+1 < n {
+				leader[pc+1] = true
+			}
+		}
+		if m.IsHint {
+			if t := int(in.Imm); t >= 0 && t < n {
+				leader[t] = true
+			}
+		}
+	}
+
+	g.blockOf = make([]int, n)
+	for start := 0; start < n; {
+		end := start + 1
+		for end < n && !leader[end] {
+			end++
+		}
+		bi := len(g.blocks)
+		g.blocks = append(g.blocks, block{Start: start, End: end})
+		for pc := start; pc < end; pc++ {
+			g.blockOf[pc] = bi
+		}
+		start = end
+	}
+
+	for bi := range g.blocks {
+		b := &g.blocks[bi]
+		last := b.End - 1
+		in := p.Insts[last]
+		k := classify(in)
+		if k == kindIndirect {
+			b.HasIndirect = true
+			g.indirect = append(g.indirect, last)
+		}
+		// A block at the end of the image whose last instruction can fall
+		// through runs off the end.
+		if b.End >= n && (k == kindPlain || k == kindCall || k == kindBranch) {
+			b.FallsOffEnd = true
+		}
+		for _, s := range g.instSuccs(last) {
+			sb := g.blockOf[s]
+			b.Succs = append(b.Succs, sb)
+			g.blocks[sb].Preds = append(g.blocks[sb].Preds, bi)
+		}
+	}
+
+	// Functions: the program entry plus every call target.
+	entries := []int{p.Entry}
+	seen := map[int]bool{p.Entry: true}
+	var targets []int
+	for _, t := range g.calls {
+		if t >= 0 && t < n && !seen[t] {
+			seen[t] = true
+			targets = append(targets, t)
+		}
+	}
+	sort.Ints(targets)
+	entries = append(entries, targets...)
+	for _, e := range entries {
+		f := &fn{entryPC: e, inSet: make(map[int]bool)}
+		work := []int{g.blockOf[e]}
+		for len(work) > 0 {
+			bi := work[len(work)-1]
+			work = work[:len(work)-1]
+			if f.inSet[bi] {
+				continue
+			}
+			f.inSet[bi] = true
+			f.blocks = append(f.blocks, bi)
+			work = append(work, g.blocks[bi].Succs...)
+		}
+		sort.Ints(f.blocks)
+		g.funcs = append(g.funcs, f)
+		g.funcOf[e] = f
+	}
+	return g
+}
+
+// funcContaining returns the first function whose block set contains bi.
+func (g *cfg) funcContaining(bi int) *fn {
+	for _, f := range g.funcs {
+		if f.inSet[bi] {
+			return f
+		}
+	}
+	return nil
+}
+
+// dominators computes the immediate-dominator-free dominator sets for a
+// function with the classic iterative bitset algorithm. Returns, for each
+// block index in f, the set of blocks (by index) dominating it.
+func (g *cfg) dominators(f *fn) map[int]map[int]bool {
+	dom := make(map[int]map[int]bool, len(f.blocks))
+	entry := g.blockOf[f.entryPC]
+	all := make(map[int]bool, len(f.blocks))
+	for _, bi := range f.blocks {
+		all[bi] = true
+	}
+	for _, bi := range f.blocks {
+		if bi == entry {
+			dom[bi] = map[int]bool{bi: true}
+			continue
+		}
+		s := make(map[int]bool, len(all))
+		for k := range all {
+			s[k] = true
+		}
+		dom[bi] = s
+	}
+	changed := true
+	for changed {
+		changed = false
+		for _, bi := range f.blocks {
+			if bi == entry {
+				continue
+			}
+			var meet map[int]bool
+			for _, p := range g.blocks[bi].Preds {
+				if !f.inSet[p] {
+					continue
+				}
+				if meet == nil {
+					meet = make(map[int]bool, len(dom[p]))
+					for k := range dom[p] {
+						meet[k] = true
+					}
+					continue
+				}
+				for k := range meet {
+					if !dom[p][k] {
+						delete(meet, k)
+					}
+				}
+			}
+			if meet == nil {
+				meet = make(map[int]bool)
+			}
+			meet[bi] = true
+			if len(meet) != len(dom[bi]) {
+				dom[bi] = meet
+				changed = true
+				continue
+			}
+			for k := range meet {
+				if !dom[bi][k] {
+					dom[bi] = meet
+					changed = true
+					break
+				}
+			}
+		}
+	}
+	return dom
+}
+
+// natLoop is a natural loop: a header block and the set of blocks that can
+// reach one of its back edges without passing through the header.
+type natLoop struct {
+	header int
+	body   map[int]bool // block indices, including the header
+}
+
+// naturalLoops detects natural loops in f from back edges (u -> h with h
+// dominating u), merging loops that share a header.
+func (g *cfg) naturalLoops(f *fn) []natLoop {
+	dom := g.dominators(f)
+	byHeader := make(map[int]*natLoop)
+	var order []int
+	for _, u := range f.blocks {
+		for _, h := range g.blocks[u].Succs {
+			if !f.inSet[h] || !dom[u][h] {
+				continue
+			}
+			lp := byHeader[h]
+			if lp == nil {
+				lp = &natLoop{header: h, body: map[int]bool{h: true}}
+				byHeader[h] = lp
+				order = append(order, h)
+			}
+			// Collect blocks reaching u backwards without passing h.
+			stack := []int{u}
+			for len(stack) > 0 {
+				b := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				if lp.body[b] {
+					continue
+				}
+				lp.body[b] = true
+				for _, p := range g.blocks[b].Preds {
+					if f.inSet[p] {
+						stack = append(stack, p)
+					}
+				}
+			}
+		}
+	}
+	sort.Ints(order)
+	loops := make([]natLoop, 0, len(order))
+	for _, h := range order {
+		loops = append(loops, *byHeader[h])
+	}
+	return loops
+}
+
+// innermostLoopWith returns the smallest natural loop containing both block
+// indices, or nil.
+func innermostLoopWith(loops []natLoop, a, b int) *natLoop {
+	var best *natLoop
+	for i := range loops {
+		lp := &loops[i]
+		if lp.body[a] && lp.body[b] {
+			if best == nil || len(lp.body) < len(best.body) {
+				best = lp
+			}
+		}
+	}
+	return best
+}

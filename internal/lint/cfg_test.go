@@ -1,0 +1,103 @@
+package lint
+
+import (
+	"testing"
+
+	"loopfrog/internal/asm"
+)
+
+const loopSrc = `
+main:   li   t0, 0
+        li   t1, 8
+        jal  ra, helper
+loop:   addi t0, t0, 1
+        blt  t0, t1, loop
+        halt
+helper: addi t2, x0, 1
+        jalr x0, ra, 0
+`
+
+func TestCFGBlocksAndFunctions(t *testing.T) {
+	p := asm.MustAssemble("cfg", loopSrc)
+	g := buildCFG(p)
+
+	if len(g.funcs) != 2 {
+		t.Fatalf("expected 2 functions (main, helper), got %d", len(g.funcs))
+	}
+	helper := p.MustLabel("helper")
+	if g.funcOf[helper] == nil {
+		t.Fatal("helper not detected as a function entry")
+	}
+	if len(g.calls) != 1 {
+		t.Fatalf("expected 1 call site, got %d", len(g.calls))
+	}
+	// The call must not create an edge into helper: main's blocks and
+	// helper's blocks are disjoint.
+	mainFn := g.funcOf[p.Entry]
+	for _, bi := range mainFn.blocks {
+		if g.blocks[bi].Start >= helper {
+			t.Errorf("main function claims helper block starting at pc %d", g.blocks[bi].Start)
+		}
+	}
+
+	// The backedge loop -> loop must be detected as a natural loop.
+	loops := g.naturalLoops(mainFn)
+	if len(loops) != 1 {
+		t.Fatalf("expected 1 natural loop, got %d", len(loops))
+	}
+	lb := g.blockOf[p.MustLabel("loop")]
+	if loops[0].header != lb {
+		t.Errorf("loop header = block %d, want block %d", loops[0].header, lb)
+	}
+	if !loops[0].body[lb] {
+		t.Error("loop body does not contain its header")
+	}
+}
+
+func TestDominators(t *testing.T) {
+	p := asm.MustAssemble("dom", `
+main:   li   t0, 0
+        beq  t0, x0, right
+left:   addi t1, t0, 1
+        jal  x0, join
+right:  addi t1, t0, 2
+join:   addi t2, t1, 0
+        halt
+`)
+	g := buildCFG(p)
+	f := g.funcOf[p.Entry]
+	dom := g.dominators(f)
+	entry := g.blockOf[p.Entry]
+	join := g.blockOf[p.MustLabel("join")]
+	left := g.blockOf[p.MustLabel("left")]
+	right := g.blockOf[p.MustLabel("right")]
+	if !dom[join][entry] {
+		t.Error("entry must dominate join")
+	}
+	if dom[join][left] || dom[join][right] {
+		t.Error("neither diamond arm may dominate the join")
+	}
+	if !dom[left][entry] || !dom[right][entry] {
+		t.Error("entry must dominate both arms")
+	}
+}
+
+func TestRegSetOps(t *testing.T) {
+	var s regSet
+	s.add(3)
+	s.add(40)
+	if !s.has(3) || !s.has(40) || s.has(4) {
+		t.Fatal("membership broken")
+	}
+	var o regSet
+	o.add(3)
+	if got := s.minus(o); got.has(3) || !got.has(40) {
+		t.Fatal("minus broken")
+	}
+	if got := s.union(o).regs(); len(got) != 2 {
+		t.Fatalf("union/regs broken: %v", got)
+	}
+	if s.empty() {
+		t.Fatal("empty broken")
+	}
+}

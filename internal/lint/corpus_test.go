@@ -1,0 +1,39 @@
+package lint_test
+
+import (
+	"strings"
+	"testing"
+
+	"loopfrog/internal/lint"
+	"loopfrog/internal/workloads"
+)
+
+// Every built-in workload must lint clean under -strict semantics: zero
+// errors and zero warnings. Profitability infos are allowed — the suite
+// intentionally includes squash-heavy loops.
+func TestWorkloadCorpusIsStrictClean(t *testing.T) {
+	suites := append(workloads.CPU2017(), workloads.CPU2006()...)
+	seen := make(map[string]bool)
+	for _, b := range suites {
+		key := b.Suite + "/" + b.Name
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		b := b
+		t.Run(key, func(t *testing.T) {
+			p, err := b.Program()
+			if err != nil {
+				t.Fatalf("building program: %v", err)
+			}
+			rep := lint.Run(p, lint.Options{})
+			if rep.Failed(true) {
+				var sb strings.Builder
+				if err := rep.WriteText(&sb); err != nil {
+					t.Fatal(err)
+				}
+				t.Errorf("lint not strict-clean:\n%s", sb.String())
+			}
+		})
+	}
+}

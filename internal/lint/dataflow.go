@@ -1,0 +1,247 @@
+package lint
+
+import (
+	"fmt"
+
+	"loopfrog/internal/isa"
+)
+
+// Register dataflow. The hardware forks an epoch's speculative successor
+// with a checkpoint of the registers at detach time; writes performed by the
+// epoch body never reach it (memory flows through the SSB and is conflict-
+// checked, registers are not). A register that is written inside the body
+// and consumed by the continuation is therefore an undetectable
+// cross-iteration dependence: LF004.
+//
+// Calls inside epoch bodies are legal, so the liveness is interprocedural:
+// each function gets a (mayRead, mayWrite, preserved) summary, fixpointed to
+// handle recursion. A callee's preserved set is {x0, sp} plus every register
+// restored from the stack on all return paths plus registers it never
+// writes; mayWrite is everything else it (or its callees) write.
+
+// regSet is a set over the 64 architectural registers (x0-x31, f0-f31).
+type regSet uint64
+
+func (s regSet) has(r isa.Reg) bool    { return s&(1<<uint(r)) != 0 }
+func (s *regSet) add(r isa.Reg)        { *s |= 1 << uint(r) }
+func (s regSet) union(o regSet) regSet { return s | o }
+func (s regSet) minus(o regSet) regSet { return s &^ o }
+func (s regSet) empty() bool           { return s == 0 }
+
+// regs returns the members in ascending order.
+func (s regSet) regs() []isa.Reg {
+	var out []isa.Reg
+	for r := isa.Reg(0); r < isa.NumRegs; r++ {
+		if s.has(r) {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// instUses returns the registers an instruction reads (x0 excluded: it is
+// constant).
+func instUses(in isa.Inst) regSet {
+	var s regSet
+	m := isa.OpMeta(in.Op)
+	if m.HasRs1 && in.Rs1 != regZero {
+		s.add(in.Rs1)
+	}
+	if m.HasRs2 && in.Rs2 != regZero {
+		s.add(in.Rs2)
+	}
+	return s
+}
+
+// instDefs returns the registers an instruction writes (x0 excluded: writes
+// to it are discarded).
+func instDefs(in isa.Inst) regSet {
+	var s regSet
+	if isa.OpMeta(in.Op).HasRd && in.Rd != regZero {
+		s.add(in.Rd)
+	}
+	return s
+}
+
+// computeSummaries fixpoints the per-function call summaries and final
+// per-block liveness for every function in the graph.
+func computeSummaries(g *cfg) {
+	for _, f := range g.funcs {
+		f.liveIn = make(map[int]regSet)
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, f := range g.funcs {
+			if g.liveness(f) {
+				changed = true
+			}
+			if g.writeSummary(f) {
+				changed = true
+			}
+		}
+	}
+}
+
+// liveness runs backward block liveness over f with the current callee
+// summaries, updating f.liveIn and f.mayRead. Returns true if anything grew.
+func (g *cfg) liveness(f *fn) bool {
+	grew := false
+	// Iterate blocks in reverse index order until stable; block indices
+	// roughly follow layout, so reverse order converges fast for reducible
+	// flow.
+	for pass := true; pass; {
+		pass = false
+		for i := len(f.blocks) - 1; i >= 0; i-- {
+			bi := f.blocks[i]
+			b := &g.blocks[bi]
+			var live regSet
+			for _, s := range b.Succs {
+				if f.inSet[s] {
+					live = live.union(f.liveIn[s])
+				}
+			}
+			for pc := b.End - 1; pc >= b.Start; pc-- {
+				live = g.transfer(pc, live)
+			}
+			if live != f.liveIn[bi] {
+				f.liveIn[bi] = f.liveIn[bi].union(live)
+				pass, grew = true, true
+			}
+		}
+	}
+	entry := f.liveIn[g.blockOf[f.entryPC]]
+	if entry != f.mayRead {
+		f.mayRead = f.mayRead.union(entry)
+		grew = true
+	}
+	return grew
+}
+
+// transfer applies one instruction's backward liveness transfer.
+func (g *cfg) transfer(pc int, live regSet) regSet {
+	in := g.prog.Insts[pc]
+	switch classify(in) {
+	case kindCall:
+		// The callee's possible reads become live and its possible writes
+		// are not kills (may, not must). The jal's own write of the link
+		// register precedes the callee's read of it, so the kill applies
+		// after the callee's reads are added.
+		if callee := g.funcOf[int(in.Imm)]; callee != nil {
+			live = live.union(callee.mayRead)
+		}
+		return live.minus(instDefs(in))
+	case kindReturn:
+		var s regSet
+		s.add(regRA)
+		return live.union(s)
+	default:
+		return live.minus(instDefs(in)).union(instUses(in))
+	}
+}
+
+// writeSummary recomputes f's mayWrite/preserved from its instructions and
+// current callee summaries. Returns true if mayWrite grew.
+func (g *cfg) writeSummary(f *fn) bool {
+	var writes regSet
+	for _, bi := range f.blocks {
+		b := &g.blocks[bi]
+		for pc := b.Start; pc < b.End; pc++ {
+			in := g.prog.Insts[pc]
+			writes = writes.union(instDefs(in))
+			if classify(in) == kindCall {
+				if callee := g.funcOf[int(in.Imm)]; callee != nil {
+					writes = writes.union(callee.mayWrite)
+				}
+			}
+		}
+	}
+	restored := g.restoredOnReturns(f)
+	var pinned regSet
+	pinned.add(regZero)
+	pinned.add(regSP)
+	f.preserved = pinned.union(restored).union(^writes)
+	mw := writes.minus(restored).minus(pinned)
+	if mw != f.mayWrite {
+		f.mayWrite = f.mayWrite.union(mw)
+		return true
+	}
+	return false
+}
+
+// restoredOnReturns returns the registers reloaded from the stack in every
+// return block of f (the standard callee-saved epilogue shape). Returns 0
+// when f has no return blocks (e.g. main, which halts).
+func (g *cfg) restoredOnReturns(f *fn) regSet {
+	var acc regSet
+	first := true
+	for _, bi := range f.blocks {
+		b := &g.blocks[bi]
+		if classify(g.prog.Insts[b.End-1]) != kindReturn {
+			continue
+		}
+		var rest regSet
+		for pc := b.Start; pc < b.End; pc++ {
+			in := g.prog.Insts[pc]
+			if isa.OpMeta(in.Op).IsLoad && in.Rs1 == regSP && in.Rd != regZero {
+				rest.add(in.Rd)
+			} else {
+				rest = rest.minus(instDefs(in))
+			}
+		}
+		if first {
+			acc, first = rest, false
+		} else {
+			acc &= rest
+		}
+	}
+	if first {
+		return 0
+	}
+	return acc
+}
+
+// checkLoopCarried flags registers written inside an epoch body that the
+// continuation consumes (LF004).
+func checkLoopCarried(g *cfg, regions []*region, rep *Report) {
+	computeSummaries(g)
+	for _, r := range regions {
+		cont := int(r.id)
+		if cont < 0 || cont >= len(g.prog.Insts) {
+			continue
+		}
+		dbi, cbi := g.blockOf[r.detachPC], g.blockOf[cont]
+		f := g.funcContaining(dbi)
+		if f == nil || !f.inSet[cbi] {
+			continue
+		}
+		// Registers the body may write, with an anchoring pc per register.
+		writtenAt := make(map[isa.Reg]int)
+		var written regSet
+		note := func(s regSet, pc int) {
+			for _, reg := range s.regs() {
+				if _, seen := writtenAt[reg]; !seen {
+					writtenAt[reg] = pc
+				}
+			}
+			written = written.union(s)
+		}
+		for pc := range r.interior {
+			in := g.prog.Insts[pc]
+			note(instDefs(in), pc)
+			if classify(in) == kindCall {
+				if callee := g.funcOf[int(in.Imm)]; callee != nil {
+					note(callee.mayWrite, pc)
+				}
+			}
+		}
+		var zero regSet
+		zero.add(regZero)
+		bad := written.minus(zero) & f.liveIn[cbi]
+		for _, reg := range bad.regs() {
+			rep.add(Diagnostic{
+				Code: CodeLoopCarriedReg, Severity: SevError, PC: writtenAt[reg], Region: r.id,
+				Message: fmt.Sprintf("register %s is written in the epoch body of region %d and read by the continuation: a loop-carried register dependence the hardware cannot rename away", reg, r.id),
+			})
+		}
+	}
+}

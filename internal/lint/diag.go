@@ -1,0 +1,254 @@
+package lint
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"loopfrog/internal/asm"
+)
+
+// Severity ranks a diagnostic.
+type Severity int
+
+// Severity levels. Errors are legality violations: the program's parallel
+// execution can diverge from its sequential (hints-as-NOPs) semantics, or a
+// region is structurally malformed. Warnings are suspicious-but-tolerated
+// shapes that the hardware degrades gracefully on (hints become NOPs,
+// speculation is wasted); they fail a -strict run. Infos are profitability
+// findings (§5.1 de-selection heuristics) and never affect the exit status.
+const (
+	SevError Severity = iota
+	SevWarning
+	SevInfo
+)
+
+// String returns the lowercase severity name.
+func (s Severity) String() string {
+	switch s {
+	case SevError:
+		return "error"
+	case SevWarning:
+		return "warning"
+	case SevInfo:
+		return "info"
+	}
+	return "unknown"
+}
+
+// MarshalJSON encodes the severity as its name.
+func (s Severity) MarshalJSON() ([]byte, error) { return json.Marshal(s.String()) }
+
+// Diagnostic codes. The numbering is stable: LF0xx are errors, LF1xx are
+// warnings, LF2xx are profitability infos. See DESIGN.md for the full table.
+const (
+	// CodeStructural: the image failed structural validation (targets or
+	// registers out of range) or control flow runs off the end of the image.
+	CodeStructural = "LF000"
+	// CodeDanglingDetach: a path from a detach reaches halt, a function
+	// return, or wraps back around the loop without a reattach or sync of
+	// the same region — the epoch never ends.
+	CodeDanglingDetach = "LF001"
+	// CodeMismatchedRegion: a reattach whose region ID does not match the
+	// epoch it appears in, or that has no corresponding detach at all.
+	CodeMismatchedRegion = "LF002"
+	// CodeBranchIntoEpoch: a branch or jump from outside an epoch region
+	// targets the middle of the region, bypassing the detach.
+	CodeBranchIntoEpoch = "LF003"
+	// CodeLoopCarriedReg: a register written inside the epoch body is
+	// consumed by the continuation — a cross-iteration register dependence
+	// the hardware cannot rename away (the fork inherits detach-time
+	// values; epoch-body writes are discarded at reattach).
+	CodeLoopCarriedReg = "LF004"
+	// CodeContinuationSkip: a reattach does not lead to its region's
+	// continuation address through pure control flow, so instructions
+	// between them are executed sequentially but skipped speculatively.
+	CodeContinuationSkip = "LF005"
+	// CodeNestedDetach: a second detach is reachable inside an open epoch
+	// region before the first is closed.
+	CodeNestedDetach = "LF006"
+
+	// CodeMissingSync: a region has detach/reattach hints but no sync, so
+	// loop exits never cancel speculative successors.
+	CodeMissingSync = "LF101"
+	// CodeExitWithoutSync: a specific loop exit edge is not guarded by a
+	// sync of the region.
+	CodeExitWithoutSync = "LF102"
+	// CodeDetachOutsideLoop: a detach whose continuation does not
+	// participate in any natural loop — nothing to leapfrog.
+	CodeDetachOutsideLoop = "LF103"
+	// CodeOrphanSync: a sync (or an in-epoch sync of a different region)
+	// with no corresponding detach; the hardware treats it as a NOP.
+	CodeOrphanSync = "LF104"
+	// CodeUnanalyzableFlow: an indirect jump prevents complete control-flow
+	// analysis; region checks are best-effort around it.
+	CodeUnanalyzableFlow = "LF105"
+
+	// CodeShortEpoch: the epoch body is shorter than the spawn/checkpoint
+	// cost; speculation cannot pay for itself (§5.1 profitability).
+	CodeShortEpoch = "LF201"
+	// CodeInvariantStore: a store in the epoch body writes the same granule
+	// every iteration (loop-invariant or sub-granule-stride address), so
+	// consecutive iterations conflict and the loop is predicted
+	// squash-heavy.
+	CodeInvariantStore = "LF202"
+)
+
+// Diagnostic is one linter finding, positioned on an instruction.
+type Diagnostic struct {
+	Code     string   `json:"code"`
+	Severity Severity `json:"severity"`
+	// PC is the instruction index the finding anchors to, -1 for
+	// program-level findings.
+	PC int `json:"pc"`
+	// Line is the source line when the image carries provenance, else 0.
+	Line int `json:"line,omitempty"`
+	// Label is the nearest preceding code label ("name" or "name+off"),
+	// empty when none exists.
+	Label string `json:"label,omitempty"`
+	// Region is the region ID (continuation address) involved, -1 if none.
+	Region  int64  `json:"region"`
+	Message string `json:"message"`
+}
+
+// Position renders the human-readable location prefix: "file:line" when line
+// provenance exists, otherwise "file@pc" with the nearest label.
+func (d *Diagnostic) Position(program string) string {
+	if d.PC < 0 {
+		return program
+	}
+	if d.Line > 0 {
+		return fmt.Sprintf("%s:%d", program, d.Line)
+	}
+	if d.Label != "" {
+		return fmt.Sprintf("%s@%d(%s)", program, d.PC, d.Label)
+	}
+	return fmt.Sprintf("%s@%d", program, d.PC)
+}
+
+// Report is the result of linting one program.
+type Report struct {
+	Program string       `json:"program"`
+	Diags   []Diagnostic `json:"diagnostics"`
+}
+
+func (r *Report) add(d Diagnostic) { r.Diags = append(r.Diags, d) }
+
+// count returns the number of diagnostics of the given severity.
+func (r *Report) count(sev Severity) int {
+	n := 0
+	for i := range r.Diags {
+		if r.Diags[i].Severity == sev {
+			n++
+		}
+	}
+	return n
+}
+
+// Errors returns the number of error diagnostics.
+func (r *Report) Errors() int { return r.count(SevError) }
+
+// Warnings returns the number of warning diagnostics.
+func (r *Report) Warnings() int { return r.count(SevWarning) }
+
+// Infos returns the number of info diagnostics.
+func (r *Report) Infos() int { return r.count(SevInfo) }
+
+// Failed reports whether the program fails the lint: any error, or any
+// warning when strict is set. Infos never fail a run.
+func (r *Report) Failed(strict bool) bool {
+	return r.Errors() > 0 || (strict && r.Warnings() > 0)
+}
+
+// Has reports whether a diagnostic with the given code is present.
+func (r *Report) Has(code string) bool {
+	for i := range r.Diags {
+		if r.Diags[i].Code == code {
+			return true
+		}
+	}
+	return false
+}
+
+// sortAndPosition orders diagnostics (errors first, then by PC) and fills in
+// the line/label position fields from the program image.
+func (r *Report) sortAndPosition(p *asm.Program) {
+	for i := range r.Diags {
+		d := &r.Diags[i]
+		if d.PC < 0 {
+			continue
+		}
+		d.Line = p.LineOf(d.PC)
+		if name, off, ok := p.NearestLabel(d.PC); ok {
+			if off == 0 {
+				d.Label = name
+			} else {
+				d.Label = fmt.Sprintf("%s+%d", name, off)
+			}
+		}
+	}
+	sort.SliceStable(r.Diags, func(i, j int) bool {
+		a, b := &r.Diags[i], &r.Diags[j]
+		if a.Severity != b.Severity {
+			return a.Severity < b.Severity
+		}
+		if a.PC != b.PC {
+			return a.PC < b.PC
+		}
+		return a.Code < b.Code
+	})
+}
+
+// WriteText renders the report in compiler-style one-line-per-diagnostic
+// form, followed by a summary line when anything was found.
+func (r *Report) WriteText(w io.Writer) error {
+	for i := range r.Diags {
+		d := &r.Diags[i]
+		if _, err := fmt.Fprintf(w, "%s: %s [%s]: %s\n",
+			d.Position(r.Program), d.Severity, d.Code, d.Message); err != nil {
+			return err
+		}
+	}
+	var parts []string
+	if n := r.Errors(); n > 0 {
+		parts = append(parts, fmt.Sprintf("%d error(s)", n))
+	}
+	if n := r.Warnings(); n > 0 {
+		parts = append(parts, fmt.Sprintf("%d warning(s)", n))
+	}
+	if n := r.Infos(); n > 0 {
+		parts = append(parts, fmt.Sprintf("%d note(s)", n))
+	}
+	if len(parts) > 0 {
+		if _, err := fmt.Fprintf(w, "%s: %s\n", r.Program, strings.Join(parts, ", ")); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteJSON renders the report (plus severity totals) as JSON.
+func (r *Report) WriteJSON(w io.Writer) error {
+	type out struct {
+		Program     string       `json:"program"`
+		Diagnostics []Diagnostic `json:"diagnostics"`
+		Errors      int          `json:"errors"`
+		Warnings    int          `json:"warnings"`
+		Infos       int          `json:"infos"`
+	}
+	diags := r.Diags
+	if diags == nil {
+		diags = []Diagnostic{}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out{
+		Program:     r.Program,
+		Diagnostics: diags,
+		Errors:      r.Errors(),
+		Warnings:    r.Warnings(),
+		Infos:       r.Infos(),
+	})
+}

@@ -1,0 +1,82 @@
+// Package lint statically verifies LoopFrog hint legality and epoch shape on
+// assembled LFISA images.
+//
+// The linter reconstructs a basic-block control-flow graph (with dominators
+// and natural loops), walks every detach's epoch region, and checks that
+// regions are well formed: each detach closes with a reattach or sync of the
+// same region ID on every path, nothing branches into the middle of an
+// epoch, reattaches fall through to their continuation, and no register
+// written inside an epoch body is consumed by the continuation (a
+// cross-iteration dependence the hardware cannot rename away). On top of the
+// legality checks it emits profitability notes for epochs the LoopFrog
+// engine will speculate on fruitlessly.
+//
+// Diagnostics carry a stable code (LF0xx errors, LF1xx warnings, LF2xx
+// infos), the instruction PC, and — when the image carries provenance — the
+// source line and nearest label. See DESIGN.md for the code table.
+package lint
+
+import (
+	"loopfrog/internal/asm"
+	"loopfrog/internal/core"
+)
+
+// Options tune the analysis thresholds.
+type Options struct {
+	// MinEpochInsts is the epoch body size (in instructions) below which a
+	// short-epoch note (LF201) is emitted. The default approximates the
+	// engine's spawn plus conflict-check latency.
+	MinEpochInsts int
+	// GranuleBytes is the SSB conflict-detection granule used for the
+	// same-granule store heuristic (LF202). Defaults to the core's SSB
+	// configuration.
+	GranuleBytes int
+}
+
+// DefaultOptions returns the thresholds matching the simulator's default
+// configuration.
+func DefaultOptions() Options {
+	return Options{
+		MinEpochInsts: 8, // DefaultConfig: SpawnLatency 4 + ConflictCheckLatency 4
+		GranuleBytes:  core.DefaultSSBConfig().GranuleBytes,
+	}
+}
+
+func (o Options) withDefaults() Options {
+	d := DefaultOptions()
+	if o.MinEpochInsts <= 0 {
+		o.MinEpochInsts = d.MinEpochInsts
+	}
+	if o.GranuleBytes <= 0 {
+		o.GranuleBytes = d.GranuleBytes
+	}
+	return o
+}
+
+// Run lints one program image and returns the positioned, sorted report.
+func Run(p *asm.Program, opts Options) *Report {
+	opts = opts.withDefaults()
+	rep := &Report{Program: p.Name}
+	if err := p.Validate(); err != nil {
+		rep.add(Diagnostic{
+			Code: CodeStructural, Severity: SevError, PC: -1, Region: -1,
+			Message: err.Error(),
+		})
+		rep.sortAndPosition(p)
+		return rep
+	}
+	g := buildCFG(p)
+	for _, b := range g.blocks {
+		if b.FallsOffEnd {
+			rep.add(Diagnostic{
+				Code: CodeStructural, Severity: SevError, PC: b.End - 1, Region: -1,
+				Message: "control flow can run off the end of the image",
+			})
+		}
+	}
+	regions := checkRegions(g, rep)
+	checkLoopCarried(g, regions, rep)
+	checkProfitability(g, regions, opts, rep)
+	rep.sortAndPosition(p)
+	return rep
+}

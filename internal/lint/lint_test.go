@@ -1,0 +1,380 @@
+package lint_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"loopfrog/internal/asm"
+	"loopfrog/internal/lint"
+)
+
+func mustLint(t *testing.T, src string) *lint.Report {
+	t.Helper()
+	p, err := asm.Assemble("t", src)
+	if err != nil {
+		t.Fatalf("assemble: %v", err)
+	}
+	return lint.Run(p, lint.Options{})
+}
+
+// cleanLoop is a well-formed hinted loop used as the baseline shape the
+// malformed variants below deviate from.
+const cleanLoop = `
+        .data
+buf:    .zero 1024
+        .text
+main:   la   a0, buf
+        li   t0, 0
+        li   t1, 16
+loop:   slli t2, t0, 3
+        add  t2, a0, t2
+        detach cont
+        ld   t3, 0(t2)
+        mul  t3, t3, t3
+        addi t3, t3, 1
+        mul  t3, t3, t3
+        sub  t3, t3, t1
+        xor  t3, t3, t1
+        add  t3, t3, t1
+        sd   t3, 0(t2)
+        reattach cont
+cont:   addi t0, t0, 1
+        blt  t0, t1, loop
+        sync cont
+        halt
+`
+
+func TestCleanLoopHasNoFindings(t *testing.T) {
+	rep := mustLint(t, cleanLoop)
+	if rep.Errors() != 0 || rep.Warnings() != 0 || rep.Infos() != 0 {
+		var sb strings.Builder
+		rep.WriteText(&sb)
+		t.Fatalf("expected a silent report, got:\n%s", sb.String())
+	}
+	if rep.Failed(true) {
+		t.Fatal("clean program reported as failed")
+	}
+}
+
+// TestMalformedPrograms seeds one specific defect per program and asserts the
+// exact diagnostic code the linter must produce for it.
+func TestMalformedPrograms(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		want string // diagnostic code that must be present
+		err  bool   // must be an error (fails non-strict)
+	}{
+		{
+			name: "dangling detach",
+			want: lint.CodeDanglingDetach,
+			err:  true,
+			// No reattach anywhere: the backedge is taken with the region
+			// still open, so the epoch wraps back to its own detach.
+			src: `
+main:   li   t0, 0
+        li   t1, 16
+loop:   detach cont
+        addi t2, t0, 3
+cont:   addi t0, t0, 1
+        blt  t0, t1, loop
+        sync cont
+        halt
+`,
+		},
+		{
+			name: "dangling detach via halt",
+			want: lint.CodeDanglingDetach,
+			err:  true,
+			src: `
+main:   detach cont
+        addi t2, t0, 3
+        halt
+cont:   addi t0, t0, 1
+        halt
+`,
+		},
+		{
+			name: "mismatched region ids",
+			want: lint.CodeMismatchedRegion,
+			err:  true,
+			// The reattach names a different continuation than the open
+			// region's detach.
+			src: `
+main:   li   t0, 0
+        li   t1, 16
+loop:   detach contA
+        addi t2, t0, 3
+        reattach contB
+contA:  addi t0, t0, 1
+        blt  t0, t1, loop
+        sync contA
+contB:  halt
+`,
+		},
+		{
+			name: "orphan reattach",
+			want: lint.CodeMismatchedRegion,
+			err:  true,
+			// A reattach with no detach of its region at all.
+			src: `
+main:   li   t0, 0
+        reattach cont
+cont:   addi t0, t0, 1
+        halt
+`,
+		},
+		{
+			name: "branch into epoch",
+			want: lint.CodeBranchIntoEpoch,
+			err:  true,
+			// A jump from outside the region lands in the middle of the
+			// epoch body, bypassing the detach.
+			src: `
+main:   li   t0, 0
+        li   t1, 16
+        jal  x0, mid
+loop:   detach cont
+        addi t2, t0, 3
+mid:    addi t3, t2, 2
+        reattach cont
+cont:   addi t0, t0, 1
+        blt  t0, t1, loop
+        sync cont
+        halt
+`,
+		},
+		{
+			name: "loop-carried register dependence",
+			want: lint.CodeLoopCarriedReg,
+			err:  true,
+			// The body accumulates into t3, which the continuation reads:
+			// the forked successor would see a stale t3.
+			src: `
+main:   li   t0, 0
+        li   t1, 16
+        li   t3, 0
+        li   t4, 0
+loop:   detach cont
+        addi t3, t3, 5
+        reattach cont
+cont:   addi t0, t0, 1
+        add  t4, t4, t3
+        blt  t0, t1, loop
+        sync cont
+        halt
+`,
+		},
+		{
+			name: "work between reattach and continuation",
+			want: lint.CodeContinuationSkip,
+			err:  true,
+			src: `
+main:   li   t0, 0
+        li   t1, 16
+loop:   detach cont
+        addi t2, t0, 3
+        reattach cont
+        addi t5, t5, 1
+cont:   addi t0, t0, 1
+        blt  t0, t1, loop
+        sync cont
+        halt
+`,
+		},
+		{
+			name: "nested detach",
+			want: lint.CodeNestedDetach,
+			err:  true,
+			src: `
+main:   li   t0, 0
+        li   t1, 16
+loop:   detach cont
+        addi t2, t0, 3
+        detach cont2
+        addi t3, t2, 1
+        reattach cont2
+cont2:  addi t2, t2, 1
+        reattach cont
+cont:   addi t0, t0, 1
+        blt  t0, t1, loop
+        sync cont
+        halt
+`,
+		},
+		{
+			name: "missing sync",
+			want: lint.CodeMissingSync,
+			err:  false,
+			src: `
+main:   li   t0, 0
+        li   t1, 16
+loop:   detach cont
+        addi t2, t0, 3
+        reattach cont
+cont:   addi t0, t0, 1
+        blt  t0, t1, loop
+        halt
+`,
+		},
+		{
+			name: "detach outside any loop",
+			want: lint.CodeDetachOutsideLoop,
+			err:  false,
+			src: `
+main:   li   t0, 0
+        detach cont
+        addi t2, t0, 3
+        reattach cont
+cont:   addi t0, t0, 1
+        sync cont
+        halt
+`,
+		},
+		{
+			name: "short epoch",
+			want: lint.CodeShortEpoch,
+			err:  false,
+			src: `
+main:   li   t0, 0
+        li   t1, 16
+loop:   detach cont
+        addi t2, t0, 3
+        reattach cont
+cont:   addi t0, t0, 1
+        blt  t0, t1, loop
+        sync cont
+        halt
+`,
+		},
+		{
+			name: "loop-invariant store granule",
+			want: lint.CodeInvariantStore,
+			err:  false,
+			src: `
+        .data
+out:    .zero 8
+        .text
+main:   la   a0, out
+        li   t0, 0
+        li   t1, 16
+loop:   slli t2, t0, 1
+        detach cont
+        addi t3, t2, 7
+        mul  t3, t3, t3
+        addi t3, t3, 1
+        mul  t3, t3, t3
+        addi t3, t3, 1
+        mul  t3, t3, t3
+        sd   t3, 0(a0)
+        reattach cont
+cont:   addi t0, t0, 1
+        blt  t0, t1, loop
+        sync cont
+        halt
+`,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			rep := mustLint(t, tc.src)
+			if !rep.Has(tc.want) {
+				var sb strings.Builder
+				rep.WriteText(&sb)
+				t.Fatalf("expected %s, got:\n%s", tc.want, sb.String())
+			}
+			if got := rep.Failed(false); got != tc.err {
+				t.Errorf("Failed(strict=false) = %v, want %v", got, tc.err)
+			}
+			// Every diagnostic must carry a position: assembled images have
+			// line provenance.
+			for _, d := range rep.Diags {
+				if d.PC >= 0 && d.Line <= 0 {
+					t.Errorf("%s at pc %d has no source line", d.Code, d.PC)
+				}
+			}
+		})
+	}
+}
+
+func TestReportJSONShape(t *testing.T) {
+	rep := mustLint(t, `
+main:   li   t0, 0
+        reattach cont
+cont:   addi t0, t0, 1
+        halt
+`)
+	var buf bytes.Buffer
+	if err := rep.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var out struct {
+		Program     string `json:"program"`
+		Diagnostics []struct {
+			Code     string `json:"code"`
+			Severity string `json:"severity"`
+			PC       int    `json:"pc"`
+			Line     int    `json:"line"`
+			Message  string `json:"message"`
+		} `json:"diagnostics"`
+		Errors int `json:"errors"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &out); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, buf.String())
+	}
+	if out.Program != "t" || out.Errors == 0 || len(out.Diagnostics) == 0 {
+		t.Fatalf("unexpected shape: %s", buf.String())
+	}
+	d := out.Diagnostics[0]
+	if d.Code != lint.CodeMismatchedRegion || d.Severity != "error" || d.Line <= 0 {
+		t.Fatalf("unexpected first diagnostic: %+v", d)
+	}
+}
+
+func TestStrictFailsOnWarnings(t *testing.T) {
+	rep := mustLint(t, `
+main:   li   t0, 0
+        li   t1, 16
+loop:   detach cont
+        addi t2, t0, 3
+        reattach cont
+cont:   addi t0, t0, 1
+        blt  t0, t1, loop
+        halt
+`)
+	if rep.Errors() != 0 {
+		var sb strings.Builder
+		rep.WriteText(&sb)
+		t.Fatalf("expected warnings only:\n%s", sb.String())
+	}
+	if rep.Failed(false) {
+		t.Error("warnings must not fail a non-strict run")
+	}
+	if !rep.Failed(true) {
+		t.Error("warnings must fail a -strict run")
+	}
+}
+
+func TestDiagnosticsArePositioned(t *testing.T) {
+	p := asm.MustAssemble("pos", `
+main:   li   t0, 0
+        detach cont
+        addi t2, t0, 3
+        reattach cont
+cont:   addi t0, t0, 1
+        sync cont
+        halt
+`)
+	rep := lint.Run(p, lint.Options{})
+	for _, d := range rep.Diags {
+		if d.PC < 0 {
+			continue
+		}
+		pos := d.Position("pos.s")
+		if !strings.HasPrefix(pos, "pos.s:") {
+			t.Errorf("position %q does not use line provenance", pos)
+		}
+	}
+}

@@ -1,0 +1,103 @@
+package lint
+
+import (
+	"fmt"
+
+	"loopfrog/internal/isa"
+)
+
+// Profitability heuristics (§5.1 de-selection). These mirror what the
+// compiler's loop selection tries to avoid but apply to any image, including
+// hand-written assembly: epochs too short to amortise the spawn/checkpoint
+// cost, and store address patterns that make consecutive iterations collide
+// in the same SSB granule. Both are informational — the hardware stays
+// correct, it just squashes a lot.
+
+// checkProfitability appends LF201/LF202 infos for each region.
+func checkProfitability(g *cfg, regions []*region, opts Options, rep *Report) {
+	for _, r := range regions {
+		if n := len(r.interior); n > 0 && n < opts.MinEpochInsts {
+			rep.add(Diagnostic{
+				Code: CodeShortEpoch, Severity: SevInfo, PC: r.detachPC, Region: r.id,
+				Message: fmt.Sprintf("epoch body of region %d is %d instruction(s), below the ~%d-instruction spawn/checkpoint cost: speculation cannot pay for itself", r.id, n, opts.MinEpochInsts),
+			})
+		}
+		checkGranuleConflicts(g, r, opts, rep)
+	}
+}
+
+// checkGranuleConflicts flags stores in the epoch body whose address lands in
+// the same SSB granule every iteration: a loop-invariant base register, or a
+// base advanced by a stride smaller than the granule.
+func checkGranuleConflicts(g *cfg, r *region, opts Options, rep *Report) {
+	cont := int(r.id)
+	if cont < 0 || cont >= len(g.prog.Insts) {
+		return
+	}
+	dbi, cbi := g.blockOf[r.detachPC], g.blockOf[cont]
+	f := g.funcContaining(dbi)
+	if f == nil || !f.inSet[cbi] {
+		return
+	}
+	lp := innermostLoopWith(g.naturalLoops(f), dbi, cbi)
+	if lp == nil {
+		return
+	}
+
+	// Registers that change across an iteration, and for each register the
+	// constant self-increment if `addi r, r, c` is its only def in the loop.
+	var loopDefs regSet
+	selfInc := make(map[isa.Reg]int64)
+	multiDef := make(map[isa.Reg]bool)
+	for bi := range lp.body {
+		b := &g.blocks[bi]
+		for pc := b.Start; pc < b.End; pc++ {
+			in := g.prog.Insts[pc]
+			defs := instDefs(in)
+			if classify(in) == kindCall {
+				if callee := g.funcOf[int(in.Imm)]; callee != nil {
+					defs = defs.union(callee.mayWrite)
+				}
+			}
+			for _, reg := range defs.regs() {
+				if loopDefs.has(reg) {
+					multiDef[reg] = true
+				}
+				loopDefs.add(reg)
+			}
+			if in.Op == isa.ADDI && in.Rd == in.Rs1 && in.Rd != regZero {
+				selfInc[in.Rd] = in.Imm
+			}
+		}
+	}
+
+	gb := int64(opts.GranuleBytes)
+	for pc := range r.interior {
+		in := g.prog.Insts[pc]
+		if !isa.OpMeta(in.Op).IsStore || in.Rs1 == regSP {
+			continue // stack traffic is private to the frame; skip it
+		}
+		base := in.Rs1
+		switch {
+		case !loopDefs.has(base):
+			rep.add(Diagnostic{
+				Code: CodeInvariantStore, Severity: SevInfo, PC: pc, Region: r.id,
+				Message: fmt.Sprintf("store base %s is loop-invariant: every iteration writes the same %d-byte granule, so consecutive epochs always conflict", base, gb),
+			})
+		case !multiDef[base]:
+			if c, ok := selfInc[base]; ok && c != 0 && abs64(c) < gb {
+				rep.add(Diagnostic{
+					Code: CodeInvariantStore, Severity: SevInfo, PC: pc, Region: r.id,
+					Message: fmt.Sprintf("store base %s advances by %d byte(s) per iteration, below the %d-byte granule: consecutive epochs often share a granule and conflict", base, c, gb),
+				})
+			}
+		}
+	}
+}
+
+func abs64(v int64) int64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

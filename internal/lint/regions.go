@@ -1,0 +1,333 @@
+package lint
+
+import (
+	"fmt"
+	"sort"
+
+	"loopfrog/internal/isa"
+)
+
+// Region well-formedness. Every DETACH opens an epoch region identified by
+// its continuation address (the Imm of the hint). The analysis walks the
+// instruction-level flow graph from each detach, collecting the region's
+// interior — the instructions a speculative epoch may execute — and checking
+// that every path closes the region with a reattach or sync of the same ID,
+// that nothing jumps into the middle of it, and that the reattach actually
+// leads to the continuation.
+
+// region is the reconstruction of one epoch region.
+type region struct {
+	detachPC   int
+	id         int64        // continuation address == region ID
+	interior   map[int]bool // instruction pcs between detach and terminators
+	reattaches []int        // pcs of reattach <id> reached from the detach
+	syncs      []int        // pcs of sync <id> reached from the detach (break exits)
+}
+
+// checkRegions runs the region analysis, appending diagnostics to rep, and
+// returns the reconstructed regions for the dataflow and profitability
+// passes.
+func checkRegions(g *cfg, rep *Report) []*region {
+	p := g.prog
+	var regions []*region
+	// matchedReattach marks reattach pcs reached by a detach of their own
+	// region; the rest are orphans (LF002).
+	matchedReattach := make(map[int]bool)
+
+	for _, pc := range g.indirect {
+		rep.add(Diagnostic{
+			Code: CodeUnanalyzableFlow, Severity: SevWarning, PC: pc, Region: -1,
+			Message: "indirect jump: control flow is not statically analyzable here; region checks are best-effort",
+		})
+	}
+
+	for dpc, in := range p.Insts {
+		if in.Op != isa.DETACH {
+			continue
+		}
+		r := &region{detachPC: dpc, id: in.Imm, interior: make(map[int]bool)}
+		regions = append(regions, r)
+		walkRegion(g, r, rep, matchedReattach)
+		checkEntryEdges(g, r, rep)
+		checkLoopShape(g, r, rep)
+	}
+
+	// Orphan reattaches: never reached from a detach of their own region.
+	for pc, in := range p.Insts {
+		if in.Op == isa.REATTACH && !matchedReattach[pc] {
+			rep.add(Diagnostic{
+				Code: CodeMismatchedRegion, Severity: SevError, PC: pc, Region: in.Imm,
+				Message: fmt.Sprintf("reattach for region %d is not reachable from any detach of that region", in.Imm),
+			})
+		}
+	}
+
+	for i := range regions {
+		checkContinuation(g, regions[i], rep)
+		checkSyncCoverage(g, regions[i], rep)
+	}
+	return regions
+}
+
+// walkRegion DFSes the instruction flow graph from the detach, classifying
+// every path terminator.
+func walkRegion(g *cfg, r *region, rep *Report, matchedReattach map[int]bool) {
+	p := g.prog
+	seen := make(map[int]bool)
+	stack := []int{r.detachPC + 1}
+	if r.detachPC+1 >= len(p.Insts) {
+		rep.add(Diagnostic{
+			Code: CodeDanglingDetach, Severity: SevError, PC: r.detachPC, Region: r.id,
+			Message: "detach at end of image: the epoch has no body and never reattaches",
+		})
+		return
+	}
+	dangling := func(pc int, why string) {
+		rep.add(Diagnostic{
+			Code: CodeDanglingDetach, Severity: SevError, PC: pc, Region: r.id,
+			Message: fmt.Sprintf("epoch of region %d (detach at pc %d) %s without reattach or sync", r.id, r.detachPC, why),
+		})
+	}
+	for len(stack) > 0 {
+		pc := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if seen[pc] {
+			continue
+		}
+		if pc == r.detachPC {
+			// The walk wrapped around the loop back to its own detach: the
+			// backedge was taken with the region still open.
+			dangling(pc, "loops back to its own detach")
+			continue
+		}
+		seen[pc] = true
+		in := p.Insts[pc]
+		switch in.Op {
+		case isa.REATTACH:
+			if in.Imm == r.id {
+				r.reattaches = append(r.reattaches, pc)
+				matchedReattach[pc] = true
+				continue // region closed on this path
+			}
+			rep.add(Diagnostic{
+				Code: CodeMismatchedRegion, Severity: SevError, PC: pc, Region: r.id,
+				Message: fmt.Sprintf("reattach for region %d inside open region %d: region IDs do not match", in.Imm, r.id),
+			})
+			continue
+		case isa.SYNC:
+			if in.Imm == r.id {
+				// A break path: sync both closes the epoch and squashes
+				// successors. Legal terminator.
+				r.syncs = append(r.syncs, pc)
+				continue
+			}
+			// Sync of an unrelated region is a NOP for this threadlet.
+			rep.add(Diagnostic{
+				Code: CodeOrphanSync, Severity: SevWarning, PC: pc, Region: r.id,
+				Message: fmt.Sprintf("sync for region %d inside open region %d is ignored by the epoch threadlet", in.Imm, r.id),
+			})
+		case isa.DETACH:
+			rep.add(Diagnostic{
+				Code: CodeNestedDetach, Severity: SevError, PC: pc, Region: r.id,
+				Message: fmt.Sprintf("detach for region %d reachable inside open region %d: nested regions are not supported", in.Imm, r.id),
+			})
+			continue
+		case isa.HALT:
+			dangling(pc, "halts")
+			continue
+		}
+		switch classify(in) {
+		case kindReturn:
+			dangling(pc, "returns from the enclosing function")
+			continue
+		case kindIndirect:
+			// Already reported as LF105 globally; the walk cannot follow it.
+			continue
+		}
+		r.interior[pc] = true
+		succs := g.instSuccs(pc)
+		if len(succs) == 0 && classify(in) != kindHalt {
+			dangling(pc, "runs off the end of the image")
+		}
+		stack = append(stack, succs...)
+	}
+}
+
+// checkEntryEdges flags control-flow edges from outside the region into its
+// interior that bypass the detach (LF003).
+func checkEntryEdges(g *cfg, r *region, rep *Report) {
+	for pc := range r.interior {
+		for _, pred := range instPreds(g, pc) {
+			if pred == r.detachPC || r.interior[pred] {
+				continue
+			}
+			// A reattach/sync terminator is not in interior but is part of
+			// the region's frame; edges from it are not entries.
+			in := g.prog.Insts[pred]
+			if in.Op == isa.REATTACH || in.Op == isa.SYNC {
+				continue
+			}
+			rep.add(Diagnostic{
+				Code: CodeBranchIntoEpoch, Severity: SevError, PC: pred, Region: r.id,
+				Message: fmt.Sprintf("control flow enters the middle of region %d (pc %d) bypassing its detach at pc %d", r.id, pc, r.detachPC),
+			})
+		}
+	}
+}
+
+// instPreds returns instruction-level predecessors of pc.
+func instPreds(g *cfg, pc int) []int {
+	var preds []int
+	bi := g.blockOf[pc]
+	b := &g.blocks[bi]
+	if pc > b.Start {
+		return []int{pc - 1}
+	}
+	for _, pb := range b.Preds {
+		preds = append(preds, g.blocks[pb].End-1)
+	}
+	sort.Ints(preds)
+	return preds
+}
+
+// checkContinuation verifies each reattach leads to the region's continuation
+// through pure control flow (LF005): only NOPs, other hints (architectural
+// NOPs) and unconditional jumps may sit between them.
+func checkContinuation(g *cfg, r *region, rep *Report) {
+	p := g.prog
+	n := len(p.Insts)
+	cont := int(r.id)
+	for _, rpc := range r.reattaches {
+		pc := rpc + 1
+		ok := false
+		for steps := 0; steps <= n; steps++ {
+			if pc == cont {
+				ok = true
+				break
+			}
+			if pc < 0 || pc >= n {
+				break
+			}
+			in := p.Insts[pc]
+			if in.Op == isa.NOP || isa.OpMeta(in.Op).IsHint {
+				pc++
+				continue
+			}
+			if classify(in) == kindJump {
+				pc = int(in.Imm)
+				continue
+			}
+			break
+		}
+		if !ok {
+			rep.add(Diagnostic{
+				Code: CodeContinuationSkip, Severity: SevError, PC: rpc, Region: r.id,
+				Message: fmt.Sprintf("reattach does not fall through to its continuation (pc %d): intervening work runs sequentially but is skipped under speculation", cont),
+			})
+		}
+	}
+}
+
+// checkLoopShape warns when the detach/continuation pair does not sit inside
+// any natural loop (LF103): there is no backedge to leapfrog.
+func checkLoopShape(g *cfg, r *region, rep *Report) {
+	cont := int(r.id)
+	if cont < 0 || cont >= len(g.prog.Insts) {
+		return
+	}
+	dbi, cbi := g.blockOf[r.detachPC], g.blockOf[cont]
+	f := g.funcContaining(dbi)
+	if f == nil || !f.inSet[cbi] {
+		rep.add(Diagnostic{
+			Code: CodeDetachOutsideLoop, Severity: SevWarning, PC: r.detachPC, Region: r.id,
+			Message: fmt.Sprintf("detach and its continuation (pc %d) are not in the same function", cont),
+		})
+		return
+	}
+	if innermostLoopWith(g.naturalLoops(f), dbi, cbi) == nil {
+		rep.add(Diagnostic{
+			Code: CodeDetachOutsideLoop, Severity: SevWarning, PC: r.detachPC, Region: r.id,
+			Message: fmt.Sprintf("detach for region %d is not inside a natural loop with its continuation: nothing to leapfrog", r.id),
+		})
+	}
+}
+
+// checkSyncCoverage warns when a region's loop exits are not guarded by a
+// sync (LF101 when the region has no sync anywhere, LF102 per unguarded exit
+// edge).
+func checkSyncCoverage(g *cfg, r *region, rep *Report) {
+	p := g.prog
+	hasSync := false
+	for _, in := range p.Insts {
+		if in.Op == isa.SYNC && in.Imm == r.id {
+			hasSync = true
+			break
+		}
+	}
+	if !hasSync {
+		rep.add(Diagnostic{
+			Code: CodeMissingSync, Severity: SevWarning, PC: r.detachPC, Region: r.id,
+			Message: fmt.Sprintf("region %d has no sync: loop exits never cancel speculative successors", r.id),
+		})
+		return
+	}
+
+	cont := int(r.id)
+	if cont < 0 || cont >= len(p.Insts) {
+		return
+	}
+	dbi, cbi := g.blockOf[r.detachPC], g.blockOf[cont]
+	f := g.funcContaining(dbi)
+	if f == nil || !f.inSet[cbi] {
+		return
+	}
+	lp := innermostLoopWith(g.naturalLoops(f), dbi, cbi)
+	if lp == nil {
+		return
+	}
+	for bi := range lp.body {
+		for _, s := range g.blocks[bi].Succs {
+			if lp.body[s] {
+				continue
+			}
+			if !syncOnPath(g, s, r.id) {
+				rep.add(Diagnostic{
+					Code: CodeExitWithoutSync, Severity: SevWarning,
+					PC: g.blocks[bi].End - 1, Region: r.id,
+					Message: fmt.Sprintf("loop exit for region %d does not pass a sync before other work: stale speculative successors survive the exit", r.id),
+				})
+			}
+		}
+	}
+}
+
+// syncOnPath reports whether, starting at block bi, a sync of region id is
+// reached before any effectful instruction, following straight-line flow and
+// unconditional jumps.
+func syncOnPath(g *cfg, bi int, id int64) bool {
+	p := g.prog
+	seen := make(map[int]bool)
+	for !seen[bi] {
+		seen[bi] = true
+		b := &g.blocks[bi]
+		for pc := b.Start; pc < b.End; pc++ {
+			in := p.Insts[pc]
+			if in.Op == isa.SYNC && in.Imm == id {
+				return true
+			}
+			m := isa.OpMeta(in.Op)
+			if in.Op == isa.NOP || m.IsHint {
+				continue
+			}
+			if classify(in) == kindJump {
+				break
+			}
+			return false // effectful instruction before the sync
+		}
+		if len(b.Succs) != 1 {
+			return false
+		}
+		bi = b.Succs[0]
+	}
+	return false
+}
