@@ -6,12 +6,18 @@
 //
 //	lfbench [-fig 1|6|7|8|9|10] [-table 1|2|3] [-packing] [-assoc]
 //	        [-generality] [-area] [-quick] [-parallel N] [-metrics file]
+//	        [-chaos] [-seed N]
 //	        [-cpuprofile file] [-memprofile file]
 //
 // Simulations are fanned out over all CPU cores by default; -parallel caps
 // the worker count. -metrics writes the harness's scheduling and run-cache
 // telemetry (per-job wall time, worker utilisation, cache hit/miss counters)
 // as JSON after all experiments complete.
+//
+// -chaos runs the robustness matrix instead of the paper experiments: every
+// fault-injection kind (and their combination) across the chaos workload
+// suite at three seeds starting from -seed, each run differentially checked
+// against the sequential reference. Any failing cell exits 1.
 package main
 
 import (
@@ -20,9 +26,11 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"strings"
 
 	"loopfrog/internal/cpu"
 	"loopfrog/internal/experiments"
+	"loopfrog/internal/fault"
 	"loopfrog/internal/sim"
 	"loopfrog/internal/telemetry"
 	"loopfrog/internal/workloads"
@@ -36,6 +44,8 @@ func main() {
 	generality := flag.Bool("generality", false, "run the §6.7 generality study")
 	areaFlag := flag.Bool("area", false, "print the §6.8 overhead report")
 	quick := flag.Bool("quick", false, "use a reduced benchmark subset for sweeps")
+	chaos := flag.Bool("chaos", false, "run the fault-injection chaos matrix and exit")
+	seed := flag.Int64("seed", 1, "first chaos matrix seed")
 	parallel := flag.Int("parallel", 0, "simulation worker count (0 = all cores)")
 	metricsPath := flag.String("metrics", "", "write harness telemetry JSON to this file on exit")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
@@ -69,6 +79,13 @@ func main() {
 				fmt.Fprintln(os.Stderr, "lfbench:", err)
 			}
 		}()
+	}
+
+	if *chaos {
+		if !runChaos(*seed) {
+			os.Exit(1)
+		}
+		return
 	}
 
 	all := *fig == 0 && *table == 0 && !*packing && !*assoc && !*generality && !*areaFlag
@@ -181,6 +198,46 @@ func main() {
 			die(err)
 		}
 	}
+}
+
+// runChaos sweeps the seeded fault matrix: every safe fault kind and their
+// combination across the chaos workload suite, three seeds each, every run
+// compared against the sequential reference. It prints one line per cell and
+// reports whether all cells passed.
+func runChaos(seed int64) bool {
+	specs := []string{"conflict", "overflow", "kill", "poison", "mispredict", "all"}
+	seeds := []int64{seed, seed + 1, seed + 2}
+	entries, err := fault.RunMatrix(cpu.DefaultConfig(), workloads.ChaosSuite(), specs, seeds)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lfbench:", err)
+		return false
+	}
+	fmt.Printf("Chaos matrix: %d workloads x %d specs x %d seeds\n",
+		len(workloads.ChaosSuite()), len(specs), len(seeds))
+	fmt.Printf("%-16s %-12s %6s %10s %9s  %s\n", "workload", "spec", "seed", "cycles", "injected", "result")
+	failed := 0
+	var injected uint64
+	for _, e := range entries {
+		result := "ok"
+		if e.Err != "" {
+			result = "ERROR: " + firstLine(e.Err)
+			failed++
+		} else if e.Diverged {
+			result = "DIVERGED"
+			failed++
+		}
+		injected += e.Injected
+		fmt.Printf("%-16s %-12s %6d %10d %9d  %s\n", e.Workload, e.Spec, e.Seed, e.Cycles, e.Injected, result)
+	}
+	fmt.Printf("\n%d cells, %d faults injected, %d failures\n", len(entries), injected, failed)
+	return failed == 0
+}
+
+func firstLine(s string) string {
+	if i := strings.IndexByte(s, '\n'); i >= 0 {
+		return s[:i]
+	}
+	return s
 }
 
 func quickSubset(suite []*workloads.Benchmark) []*workloads.Benchmark {

@@ -5,12 +5,23 @@
 // Usage:
 //
 //	lfsim [-baseline] [-threadlets N] [-nopack] [-ab] [-parallel N]
-//	      [-lint] [-trace file] [-metrics file]
+//	      [-lint] [-faults spec] [-seed N] [-check]
+//	      [-trace file] [-metrics file]
 //	      [-cpuprofile file] [-memprofile file] (-bench name | file)
 //
 // -lint runs the hint-legality linter (see cmd/lflint) as a preflight and
 // refuses to simulate a program with legality errors. Invalid flag values
 // exit 2 with a usage message.
+//
+// -faults installs a deterministic fault-injection plan (internal/fault
+// grammar: "all", or "kind[=prob],..." over conflict, conflict-miss,
+// overflow, kill, poison, mispredict, panic), seeded by -seed. -check
+// verifies the final architectural state (result register + memory) against
+// the sequential reference interpreter after the run — the standard way to
+// demonstrate that every injected fault was recovered exactly.
+//
+// Exit status: 0 success, 1 simulation failure (including watchdog trips,
+// whose diagnostic snapshot is printed, and -check divergence), 2 usage.
 //
 // -trace writes a Perfetto/chrome://tracing-loadable trace-event JSON file
 // (threadlet epoch spans plus a commit-slot attribution counter track);
@@ -19,6 +30,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -29,6 +41,7 @@ import (
 	"loopfrog/internal/asm"
 	"loopfrog/internal/compiler"
 	"loopfrog/internal/cpu"
+	"loopfrog/internal/fault"
 	"loopfrog/internal/lint"
 	"loopfrog/internal/sim"
 	"loopfrog/internal/telemetry"
@@ -47,6 +60,9 @@ func main() {
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	preflight := flag.Bool("lint", false, "lint the program before simulating; refuse to run on errors")
+	faults := flag.String("faults", "", "fault-injection spec (e.g. \"all\" or \"conflict=0.05,kill\")")
+	seed := flag.Int64("seed", 1, "fault-injection seed")
+	check := flag.Bool("check", false, "verify the final state against the sequential reference")
 	flag.Parse()
 
 	// Usage errors exit 2, before any work happens.
@@ -57,6 +73,17 @@ func main() {
 	}
 	if *parallel < 0 {
 		fmt.Fprintf(os.Stderr, "lfsim: -parallel must be non-negative (got %d)\n", *parallel)
+		flag.Usage()
+		os.Exit(2)
+	}
+	plan, err := fault.Parse(*faults, *seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lfsim:", err)
+		flag.Usage()
+		os.Exit(2)
+	}
+	if *bench == "" && len(flag.Args()) != 1 {
+		fmt.Fprintln(os.Stderr, "lfsim: need exactly one input (-bench name | file.ll | file.s)")
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -120,12 +147,14 @@ func main() {
 	}
 
 	if *ab {
+		// Injection applies to the LoopFrog run only: the baseline stays the
+		// clean reference timing.
 		stats, err := sim.RunJobs([]sim.Job{
 			{Cfg: sim.BaselineOf(cfg), Prog: prog},
-			{Cfg: cfg, Prog: prog},
+			{Cfg: cfg, Prog: prog, Faults: *faults, Seed: *seed},
 		})
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "lfsim:", err)
+			printRunError(err)
 			os.Exit(1)
 		}
 		base, lf := stats[0], stats[1]
@@ -152,6 +181,9 @@ func main() {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "lfsim:", err)
 		os.Exit(1)
+	}
+	if plan != nil {
+		m.SetFaultInjector(plan)
 	}
 	var tr *telemetry.Trace
 	var mt *telemetry.MachineTracer
@@ -183,10 +215,54 @@ func main() {
 		}
 	}
 	if runErr != nil {
-		fmt.Fprintln(os.Stderr, "lfsim:", runErr)
+		printRunError(runErr)
 		os.Exit(1)
 	}
 	printStats(st)
+	if plan != nil {
+		printInjected(plan)
+	}
+	if *check {
+		// Compare the ABI result register and all of memory: the hint
+		// contract does not preserve dead body temporaries, so the full
+		// register file is only comparable for normalising programs.
+		div, err := fault.Check(m, prog, fault.CheckOpts{Regs: fault.ResultRegs()})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "lfsim:", err)
+			os.Exit(1)
+		}
+		if div != "" {
+			fmt.Fprintf(os.Stderr, "lfsim: state diverged from sequential reference: %s\n", div)
+			os.Exit(1)
+		}
+		fmt.Println("check: final state matches the sequential reference (x10 + memory)")
+	}
+}
+
+// printRunError reports a failed run; a watchdog ProgressError additionally
+// prints its diagnostic machine snapshot.
+func printRunError(err error) {
+	fmt.Fprintln(os.Stderr, "lfsim:", err)
+	var pe *cpu.ProgressError
+	if errors.As(err, &pe) {
+		fmt.Fprint(os.Stderr, pe.Snapshot.String())
+	}
+}
+
+// printInjected summarises the fault plan's per-kind injection counters.
+func printInjected(plan *fault.Plan) {
+	counts := plan.Counts()
+	var parts []string
+	for _, name := range fault.KindNames() {
+		if c := counts[name]; c > 0 {
+			parts = append(parts, fmt.Sprintf("%s=%d", name, c))
+		}
+	}
+	if len(parts) == 0 {
+		fmt.Printf("faults injected    none (plan %q, seed %d)\n", plan.Spec(), plan.Seed())
+		return
+	}
+	fmt.Printf("faults injected    %s (plan %q, seed %d)\n", strings.Join(parts, " "), plan.Spec(), plan.Seed())
 }
 
 func writeRegistry(reg *telemetry.Registry, path string) error {

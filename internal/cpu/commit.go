@@ -3,6 +3,7 @@ package cpu
 import (
 	"loopfrog/internal/core"
 	"loopfrog/internal/isa"
+	"loopfrog/internal/mem"
 )
 
 // commit retires up to Width completed instructions per cycle to their
@@ -30,6 +31,12 @@ func (m *Machine) commit() {
 			}
 			m.commitOne(t, e)
 			budget--
+			if m.memFault != nil {
+				// The program faulted at this instruction: nothing younger
+				// may commit (a HALT behind a faulting load must not halt
+				// the machine before Run reports the fault).
+				return
+			}
 		}
 		if budget == 0 {
 			return
@@ -57,6 +64,18 @@ func (m *Machine) commitOne(t *threadlet, e *dynInst) {
 	}
 	if e.meta.IsLoad {
 		m.lqUsed--
+		if e.memFaulted {
+			// The bad-address load is on the committed path. Architectural:
+			// the program faults now. Speculative: defer — a later squash
+			// discards it, promotion surfaces it (tryRetire).
+			mf := &MemFault{PC: e.pc, Addr: e.addr, Size: e.memSize, Cycle: m.now,
+				Err: mem.ValidateAccess(e.addr, e.memSize)}
+			if arch {
+				m.memFault = mf
+			} else if t.memFault == nil {
+				t.memFault = mf
+			}
+		}
 	}
 	if e.meta.IsStore {
 		// The store performs later, from the post-commit drain queue; the
@@ -187,17 +206,41 @@ func (m *Machine) drainStores() {
 		for budget > 0 && len(t.drain) > 0 {
 			s := t.drain[0]
 			if !m.isSpec(tid) {
+				if err := mem.ValidateAccess(s.addr, s.memSize); err != nil {
+					// The bad store became architectural, so sequential
+					// execution faults identically: a program error, not a
+					// model bug. Latch it for Run and stop the machine's
+					// drains (nothing younger may perform either).
+					m.memFault = &MemFault{PC: s.pc, Addr: s.addr, Size: s.memSize, Cycle: m.now, Err: err}
+					return
+				}
 				if _, ok := m.hier.Store(s.addr, m.now); !ok {
 					m.stats.StoreDrainStalls++
 					break
 				}
 				m.mem.Write(s.addr, s.memSize, s.srcVal[1])
 				m.granScratch = m.ssb.AppendGranules(m.granScratch[:0], s.addr, s.memSize)
-				if victim, squash := m.cd.OnWrite(tid, m.granScratch, m.youngerThan(tid)); squash {
+				victim, squash := m.cd.OnWrite(tid, m.granScratch, m.youngerThan(tid))
+				if m.inj != nil {
+					victim, squash = m.injectConflict(tid, victim, squash)
+				}
+				if squash {
 					m.squashFrom(victim, core.SquashConflict, true)
 				}
 			} else {
-				if t.overflowStalled {
+				if t.overflowStalled || t.drainFaulted {
+					break
+				}
+				if m.inj != nil && m.inj.ForceOverflow(m.now) {
+					m.squashFrom(tid, core.SquashOverflow, true)
+					break
+				}
+				if mem.ValidateAccess(s.addr, s.memSize) != nil {
+					// Speculative bad address: defer. The SSB cannot hold the
+					// write (it would corrupt granule masks), so the drain
+					// stalls here; a squash discards the fault, promotion to
+					// architectural surfaces it above.
+					t.drainFaulted = true
 					break
 				}
 				chain := m.chainUpTo(tid)
@@ -217,7 +260,11 @@ func (m *Machine) drainStores() {
 					// can later surface as a false-sharing conflict (§4.1.1).
 					m.cd.OnRead(tid, res.FillGranules)
 				}
-				if victim, squash := m.cd.OnWrite(tid, res.Granules, m.youngerThan(tid)); squash {
+				victim, squash := m.cd.OnWrite(tid, res.Granules, m.youngerThan(tid))
+				if m.inj != nil {
+					victim, squash = m.injectConflict(tid, victim, squash)
+				}
+				if squash {
 					m.squashFrom(victim, core.SquashConflict, true)
 				}
 			}
@@ -281,6 +328,20 @@ func (m *Machine) tryRetire() {
 	b.specCommitted = 0
 	b.specCommittedRegion = 0
 	b.overflowStalled = false
+	// A deferred speculative drain fault survives promotion: clearing the
+	// stall lets the architectural drain path re-validate and raise MemFault.
+	b.drainFaulted = false
+	if b.memFault != nil {
+		// A faulted load this threadlet committed speculatively just became
+		// architectural: the program faults here.
+		m.memFault = b.memFault
+		b.memFault = nil
+	}
 	m.lastArchCommit = m.now
+	// Watchdog bookkeeping: the successor chain made real progress, so the
+	// stuck-epoch clock and the squash-livelock streak both reset.
+	m.specSince = m.now
+	m.lastRestartPC = -1
+	m.restartStreak = 0
 	m.emitEvent(EvPromote, b.id, b.activeRegion, 0)
 }

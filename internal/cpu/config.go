@@ -74,6 +74,11 @@ type Config struct {
 
 	// MaxCycles bounds the simulation (0 = default).
 	MaxCycles int64
+
+	// Watchdog tunes the forward-progress watchdog (watchdog.go). The zero
+	// value means the default thresholds; set Watchdog.Disable to turn the
+	// checks off.
+	Watchdog WatchdogConfig
 }
 
 // DefaultConfig returns the Table 1 machine: 4 GHz 8-wide core with four

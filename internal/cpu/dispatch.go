@@ -340,6 +340,13 @@ func (m *Machine) trySpawn(t *threadlet, e *dynInst, region int64) {
 		if allConcrete {
 			m.pack.TrainStride(region, &snapshot, &resolved)
 			factor, predicted = m.pack.Decide(region, &snapshot)
+			if factor > 1 && m.inj != nil {
+				for _, iv := range m.pack.IVs(region) {
+					if v, ok := m.inj.PoisonPack(m.now, int(iv), predicted[iv]); ok {
+						predicted[iv] = v
+					}
+				}
+			}
 		}
 	}
 	t.detachWait = 0
@@ -412,6 +419,13 @@ func (m *Machine) spawnInto(parent, nt *threadlet, contPC int, factor int, predi
 			nt.renameMap[r] = mapEntry{val: predicted[r]}
 			nt.ckptRegs[r] = predicted[r]
 			nt.committedRegs[r] = predicted[r]
+			if parent.startConsumable(isa.Reg(r)) {
+				// The predicted value is a function (via the stride
+				// predictor's snapshot) of the parent's current register
+				// value: the start value escaped into the successor's
+				// prediction, so it counts as consumed (see below).
+				parent.consumedStart[r] = true
+			}
 			continue
 		}
 		me := parent.renameMap[r]
@@ -422,6 +436,14 @@ func (m *Machine) spawnInto(parent, nt *threadlet, contPC int, factor int, predi
 		if me.prod == nil {
 			nt.ckptRegs[r] = me.val
 			nt.committedRegs[r] = me.val
+			if parent.startConsumable(isa.Reg(r)) {
+				// Handing an inherited start value on to a successor is a
+				// consumption: if the §4.3 verification later finds this
+				// register mispredicted, a silent repair of this threadlet
+				// could no longer reach the copy the successor took, so
+				// packVerify must squash instead (the repair-escape hazard).
+				parent.consumedStart[r] = true
+			}
 		} else {
 			nt.ckptPending[r] = me.prod
 			me.prod.ckptWaiters = append(me.prod.ckptWaiters, ckptWaiter{tid: nt.id, reg: isa.Reg(r), gen: m.gens[nt.id]})
@@ -429,5 +451,10 @@ func (m *Machine) spawnInto(parent, nt *threadlet, contPC int, factor int, predi
 	}
 	m.bp.SetHistory(nt.id, nt.ckptGHR)
 	m.bp.CopyRAS(nt.id, parent.id)
+	if len(m.order) == 1 {
+		// The architectural epoch just acquired its first speculative
+		// successor: start the watchdog's stuck-epoch clock (watchdog.go).
+		m.specSince = m.now
+	}
 	m.order = append(m.order, nt.id)
 }

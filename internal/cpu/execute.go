@@ -4,6 +4,7 @@ import (
 	"sort"
 
 	"loopfrog/internal/isa"
+	"loopfrog/internal/mem"
 )
 
 // enqueueReady moves an instruction whose operands are all available into
@@ -151,6 +152,18 @@ func (m *Machine) execLoad(e *dynInst) bool {
 		e.result = isa.ExtendLoad(e.inst.Op, raw)
 		e.loadFwdSQ = true
 		e.fwdSeq = st.seq
+		e.readyAt = m.now + 1
+		m.executing = append(m.executing, e)
+		return true
+	}
+
+	// An invalid (unaligned) load address never reaches the memory system:
+	// the load completes with a zero result and raises a MemFault at commit
+	// if it turns out to be on the committed path (commit.go). Wrong-path
+	// loads routinely compute garbage addresses; they must not crash the run.
+	if mem.ValidateAccess(e.addr, e.memSize) != nil {
+		e.memFaulted = true
+		e.result = 0
 		e.readyAt = m.now + 1
 		m.executing = append(m.executing, e)
 		return true

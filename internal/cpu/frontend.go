@@ -58,7 +58,10 @@ func (m *Machine) fetchOne(t *threadlet, budget int) int {
 			st := m.bp.PredictBranch(t.id, pc)
 			fe.pred, fe.hasPred = st, true
 			fe.predTaken = st.Taken
-			if st.Taken {
+			if m.inj != nil && m.inj.FlipBranch(m.now, pc) {
+				fe.predTaken = !fe.predTaken
+			}
+			if fe.predTaken {
 				next = int(inst.Imm)
 			}
 			fe.predTgt = next

@@ -1,6 +1,7 @@
 package cpu
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -56,6 +57,22 @@ type Machine struct {
 	lastArchCommit int64
 	eventHook      func(Event)
 
+	// Fault injection (fault_hooks.go); nil on normal runs.
+	inj FaultInjector
+
+	// Forward-progress watchdog state (watchdog.go). specSince is the cycle
+	// the current architectural epoch acquired speculative successors; the
+	// restart fields feed the squash-livelock detector; wdErr latches a trip
+	// raised inside a pipeline stage until Run can return it.
+	wd            WatchdogConfig
+	specSince     int64
+	lastRestartPC int
+	restartStreak int
+	wdErr         *ProgressError
+	// memFault latches an architecturally-reached invalid memory access
+	// (MemFault) for Run to return — a bad program, not a model bug.
+	memFault error
+
 	// Commit-slot attribution state (stall.go). recoverUntil marks the
 	// front-end refill window after a threadlet squash; the sampler fields
 	// drive the optional per-interval trace counter track.
@@ -82,8 +99,11 @@ func NewMachine(cfg Config, prog *asm.Program) (*Machine, error) {
 		return nil, fmt.Errorf("cpu: need at least one threadlet context, got %d", cfg.Threadlets)
 	}
 	cfg.SSB.Slices = cfg.Threadlets
+	cfg.Watchdog = cfg.Watchdog.Normalized()
 	m := &Machine{
 		cfg:           cfg,
+		wd:            cfg.Watchdog,
+		lastRestartPC: -1,
 		prog:          prog,
 		mem:           mem.NewMemory(),
 		hier:          mem.NewHierarchy(cfg.Hier),
@@ -121,18 +141,56 @@ func NewMachine(cfg Config, prog *asm.Program) (*Machine, error) {
 
 // Run simulates to completion and returns the statistics.
 func (m *Machine) Run() (*Stats, error) {
+	return m.RunContext(context.Background())
+}
+
+// ctxCheckMask throttles the context poll in RunContext: the deadline is
+// checked every 8192 cycles, keeping cancellation latency far below a
+// millisecond of wall time while staying invisible on the hot path.
+const ctxCheckMask = 8192 - 1
+
+// RunContext simulates to completion, returning early with a wrapped
+// context error if ctx is cancelled or its deadline passes. The
+// forward-progress watchdog (watchdog.go) runs unless the configuration
+// disables it, turning livelocks into a fast typed ProgressError instead of
+// a 200M-cycle ErrCycleLimit timeout.
+func (m *Machine) RunContext(ctx context.Context) (*Stats, error) {
 	maxCycles := m.cfg.MaxCycles
 	if maxCycles == 0 {
 		maxCycles = 200_000_000
 	}
+	done := ctx.Done()
+	watch := !m.wd.Disable
 	for !m.halted {
 		if m.now >= maxCycles {
 			return &m.stats, fmt.Errorf("%w (%d cycles, %d arch insts)", ErrCycleLimit, m.now, m.stats.ArchInsts)
 		}
-		if m.now-m.lastArchCommit > 1_000_000 {
-			return &m.stats, fmt.Errorf("%w at cycle %d (last commit at %d)", ErrNoProgress, m.now, m.lastArchCommit)
+		if m.memFault != nil {
+			return &m.stats, m.memFault
+		}
+		if watch {
+			if m.wdErr != nil {
+				return &m.stats, m.wdErr
+			}
+			if m.now-m.lastArchCommit > m.wd.NoCommitWindow {
+				return &m.stats, m.progressError(ProgressNoCommit)
+			}
+			if len(m.order) > 1 && m.now-m.specSince > m.wd.EpochWindow {
+				return &m.stats, m.progressError(ProgressStuckEpoch)
+			}
+		}
+		if done != nil && m.now&ctxCheckMask == 0 {
+			select {
+			case <-done:
+				return &m.stats, fmt.Errorf("cpu: run cancelled at cycle %d (%d arch insts): %w",
+					m.now, m.stats.ArchInsts, ctx.Err())
+			default:
+			}
 		}
 		m.cycle()
+	}
+	if m.memFault != nil {
+		return &m.stats, m.memFault
 	}
 	m.stats.Cycles = m.now
 	m.stats.Halted = true
@@ -141,6 +199,9 @@ func (m *Machine) Run() (*Stats, error) {
 
 // cycle advances the machine by one clock.
 func (m *Machine) cycle() {
+	if m.inj != nil {
+		m.injectCycle()
+	}
 	m.writeback()
 	usedBefore := m.stats.CommitSlotsUsed
 	archBefore := m.stats.ArchCommitCycleSum

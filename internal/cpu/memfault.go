@@ -1,0 +1,29 @@
+package cpu
+
+import "fmt"
+
+// MemFault reports an invalid memory access (unaligned address or unsupported
+// size) that became architectural: the store drained from the architectural
+// threadlet, so sequential execution of the program performs the same bad
+// access. It is a program error, not a model bug, and Run returns it as a
+// normal error instead of panicking.
+//
+// Speculative threadlets that reach an invalid store address merely stall
+// their drain (threadlet.drainFaulted): the fault is deferred, because a
+// squash may discard it — e.g. a poisoned pack prediction can compute a
+// wild address that the §4.3 verification later squashes. Only promotion to
+// architectural surfaces it.
+type MemFault struct {
+	PC    int    // PC of the faulting store
+	Addr  uint64 // effective address
+	Size  int    // access size in bytes
+	Cycle int64  // cycle the fault became architectural
+	Err   error  // underlying *mem.Fault
+}
+
+func (f *MemFault) Error() string {
+	return fmt.Sprintf("cpu: memory fault at pc %d, cycle %d: %v", f.PC, f.Cycle, f.Err)
+}
+
+// Unwrap exposes the underlying *mem.Fault for errors.As.
+func (f *MemFault) Unwrap() error { return f.Err }

@@ -8,86 +8,14 @@ import (
 	"loopfrog/internal/asm"
 	"loopfrog/internal/isa"
 	"loopfrog/internal/ref"
+	"loopfrog/internal/workloads"
 )
 
-// genHintedLoop emits a random but contract-correct LoopFrog loop program:
-// the body consumes only header-computed registers and writes only memory;
-// all register LCDs sit in the continuation. A fraction of body accesses
-// alias a shared cell, producing genuine cross-iteration memory dependences
-// that must be detected and recovered. Body temporaries are normalised
-// before halt so the full register file must match sequential execution.
+// genHintedLoop is the shared contract-correct random loop generator; it
+// lives in internal/workloads so the fault-injection differential fuzzer can
+// draw from the same program distribution as these property tests.
 func genHintedLoop(rng *rand.Rand) *asm.Program {
-	trip := 8 + rng.Intn(200)
-	bodyOps := 1 + rng.Intn(8)
-	aliasPct := rng.Intn(40) // % of iterations touching the shared cell
-	stride := []int{8, 16, 24}[rng.Intn(3)]
-
-	b := asm.NewBuilder("randloop")
-	b.Sym("arr")
-	vals := make([]uint64, 512)
-	for i := range vals {
-		vals[i] = rng.Uint64() % 1000
-	}
-	b.Quad(vals...)
-	b.Sym("out").Zero(8 * 512)
-	b.Sym("cell").Quad(uint64(rng.Intn(50)))
-
-	// Registers: s0 = i (IV, continuation-updated), s1 = trip, a0 = arr,
-	// a1 = out, a2 = cell; header computes t0 = &arr[i*stride'], t1 = &out[..];
-	// body uses t2..t4 as temps.
-	b.Label("main").
-		La(isa.X(10), "arr").
-		La(isa.X(11), "out").
-		La(isa.X(12), "cell").
-		Li(isa.X(8), 0).
-		Li(isa.X(9), int64(trip))
-	b.Label("loop").
-		Li(isa.X(7), int64(stride)).
-		Op(isa.MUL, isa.X(5), isa.X(8), isa.X(7)).
-		Op(isa.ADD, isa.X(5), isa.X(10), isa.X(5)).
-		OpImm(isa.SLLI, isa.X(6), isa.X(8), 3).
-		Op(isa.ADD, isa.X(6), isa.X(11), isa.X(6))
-	b.Hint(isa.DETACH, "cont")
-	// Body: random dataflow over t2 (x28), seeded from a load.
-	b.Load(isa.LD, isa.X(28), isa.X(5), 0)
-	for k := 0; k < bodyOps; k++ {
-		switch rng.Intn(5) {
-		case 0:
-			b.OpImm(isa.ADDI, isa.X(28), isa.X(28), int64(rng.Intn(100)))
-		case 1:
-			b.OpImm(isa.XORI, isa.X(28), isa.X(28), int64(rng.Intn(256)))
-		case 2:
-			b.Op(isa.MUL, isa.X(28), isa.X(28), isa.X(28))
-		case 3:
-			b.OpImm(isa.SRLI, isa.X(28), isa.X(28), int64(1+rng.Intn(3)))
-		case 4:
-			b.OpImm(isa.SLLI, isa.X(28), isa.X(28), 1)
-		}
-	}
-	if aliasPct > 0 {
-		// Iterations where i % 100 < aliasPct also read-modify-write the
-		// shared cell: a true serial memory dependence.
-		b.Li(isa.X(29), 100).
-			Op(isa.REM, isa.X(29), isa.X(8), isa.X(29)).
-			Li(isa.X(30), int64(aliasPct)).
-			Branch(isa.BGE, isa.X(29), isa.X(30), "noalias").
-			Load(isa.LD, isa.X(31), isa.X(12), 0).
-			Op(isa.ADD, isa.X(31), isa.X(31), isa.X(28)).
-			Store(isa.SD, isa.X(31), isa.X(12), 0).
-			Label("noalias")
-	}
-	b.Store(isa.SD, isa.X(28), isa.X(6), 0)
-	b.Hint(isa.REATTACH, "cont")
-	b.Label("cont").
-		OpImm(isa.ADDI, isa.X(8), isa.X(8), 1).
-		Branch(isa.BLT, isa.X(8), isa.X(9), "loop")
-	b.Hint(isa.SYNC, "cont")
-	// Normalise dead body/header temps.
-	for _, r := range []int{5, 6, 7, 28, 29, 30, 31} {
-		b.Li(isa.X(r), 0)
-	}
-	b.Halt()
-	return b.MustBuild()
+	return workloads.RandomHintedLoop(rng)
 }
 
 func TestRandomHintedLoopsPreserveSemantics(t *testing.T) {

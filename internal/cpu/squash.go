@@ -147,6 +147,7 @@ func (m *Machine) squashFrom(victimTid int, cause core.SquashCause, restart bool
 		}
 		if i == 0 && restart {
 			m.restartThreadlet(v)
+			m.noteRestart(v.epochStartPC)
 			m.emitEvent(EvRestart, tid, v.activeRegion, int(cause))
 		} else {
 			v.live = false
@@ -224,6 +225,8 @@ func (m *Machine) restartThreadlet(t *threadlet) {
 	t.specCommittedRegion = 0
 	t.retireAt = 0
 	t.overflowStalled = false
+	t.drainFaulted = false
+	t.memFault = nil
 	t.writtenMask = [isa.NumRegs]bool{}
 	t.writtenThisIter = [isa.NumRegs]bool{}
 	t.consumedStart = [isa.NumRegs]bool{}

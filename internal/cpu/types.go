@@ -41,6 +41,10 @@ type dynInst struct {
 	addrValid bool
 	memSize   int
 	loadFwdSQ bool // forwarded from own threadlet's store queue
+	// memFaulted marks a load whose address failed mem.ValidateAccess: it
+	// executed with a zero result and no memory-system access, and raises a
+	// MemFault only if it commits (wrong-path bad addresses are harmless).
+	memFaulted bool
 
 	// Branch state.
 	pred         bpred.BranchState
@@ -134,6 +138,14 @@ type threadlet struct {
 	// overflowStalled marks a drain stalled on a full SSB slice (§4.1.2);
 	// it clears when the threadlet becomes architectural.
 	overflowStalled bool
+	// drainFaulted marks a drain stalled on an invalid (unaligned) store
+	// address. The fault is deferred: a squash discards it with the
+	// speculation; promotion to architectural surfaces it as a MemFault.
+	drainFaulted bool
+	// memFault is a faulted load this threadlet committed while speculative.
+	// Like drainFaulted it is deferred: discarded on squash/restart, raised
+	// through Run when the threadlet is promoted to architectural.
+	memFault *MemFault
 
 	// ROB slice (ring of in-flight instructions, oldest first).
 	rob []*dynInst

@@ -1,0 +1,291 @@
+// Package fault implements deterministic speculation fault injection for the
+// LoopFrog machine: a seeded Plan decides, reproducibly, when to force the
+// model's recovery paths (conflict aborts, SSB-overflow squashes, threadlet
+// kills, pack-prediction poisoning, branch-mispredict storms), and a
+// differential checker proves that every injected run still matches the
+// sequential reference interpreter exactly.
+//
+// The paper's safety argument (§3.1–§3.2) is that speculation is
+// performance-only: no squash or abort may change architectural state. The
+// plan turns that argument into an adversarial workout — and the one
+// deliberately unsafe kind, a suppressed real conflict (ConflictMiss), is
+// used to prove the checker itself has teeth: it must surface as a
+// divergence, never as a silent pass.
+package fault
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Kind enumerates the injectable fault kinds.
+type Kind int
+
+// Fault kinds. All but ConflictMiss are safe: the machine must recover to
+// exact sequential semantics. ConflictMiss deliberately breaks the conflict
+// detector (a false negative) and must be caught by the differential checker.
+const (
+	Conflict     Kind = iota // forced false-positive conflict abort
+	ConflictMiss             // suppressed real conflict (false negative, unsafe)
+	Overflow                 // forced SSB-overflow squash on a speculative drain
+	Kill                     // recycle a random speculative threadlet
+	Poison                   // corrupt a packed-spawn IV prediction (§4.3)
+	Mispredict               // invert a predicted branch direction
+	PanicKind                // deliberate panic, for crash-containment tests
+	numKinds
+)
+
+// kindInfo maps kinds to their spec names and default per-consultation
+// probabilities. Defaults are tuned so a default-window watchdog never trips
+// on the chaos suite: faults arrive often enough to exercise every recovery
+// path, rarely enough that the machine keeps making architectural progress.
+var kindInfo = [numKinds]struct {
+	name string
+	def  float64
+}{
+	Conflict:     {"conflict", 0.02},
+	ConflictMiss: {"conflict-miss", 1.0},
+	Overflow:     {"overflow", 0.01},
+	Kill:         {"kill", 0.0005},
+	Poison:       {"poison", 0.25},
+	Mispredict:   {"mispredict", 0.02},
+	PanicKind:    {"panic", 0.00002},
+}
+
+func (k Kind) String() string {
+	if k < 0 || k >= numKinds {
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+	return kindInfo[k].name
+}
+
+// SafeKinds returns the kinds the "all" spec expands to: every kind whose
+// injection the machine must absorb without architectural effect. The unsafe
+// ConflictMiss and the harness-only PanicKind are excluded.
+func SafeKinds() []Kind {
+	return []Kind{Conflict, Overflow, Kill, Poison, Mispredict}
+}
+
+// KindByName resolves a spec name.
+func KindByName(name string) (Kind, bool) {
+	for k := Kind(0); k < numKinds; k++ {
+		if kindInfo[k].name == name {
+			return k, true
+		}
+	}
+	return 0, false
+}
+
+// Plan is a deterministic fault-injection plan: per-kind probabilities with
+// per-kind seeded random streams, implementing cpu.FaultInjector
+// structurally. A Plan is single-run state — its streams advance with the
+// machine and are never rewound — and is not safe for concurrent use. Use
+// Fresh to derive an identical unconsumed plan for a rerun.
+type Plan struct {
+	spec   string
+	seed   int64
+	prob   [numKinds]float64
+	rng    [numKinds]*rand.Rand
+	counts [numKinds]uint64
+}
+
+// Parse builds a plan from a fault spec. The grammar is
+//
+//	spec  := "" | "none" | entry ("," entry)*
+//	entry := name [ "=" probability ]     probability in (0, 1]
+//	name  := "all" | "conflict" | "conflict-miss" | "overflow" | "kill"
+//	       | "poison" | "mispredict" | "panic"
+//
+// "all" enables every safe kind at its default probability; explicit entries
+// may then override individual kinds ("all,kill=0.01"). An empty or "none"
+// spec returns a nil plan — no injection, and cpu.Machine pays nothing.
+func Parse(spec string, seed int64) (*Plan, error) {
+	spec = strings.TrimSpace(spec)
+	if spec == "" || spec == "none" {
+		return nil, nil
+	}
+	p := &Plan{spec: spec, seed: seed}
+	for _, entry := range strings.Split(spec, ",") {
+		entry = strings.TrimSpace(entry)
+		if entry == "" {
+			return nil, fmt.Errorf("fault: empty entry in spec %q", spec)
+		}
+		name, probStr, hasProb := strings.Cut(entry, "=")
+		name = strings.TrimSpace(name)
+		if name == "all" {
+			if hasProb {
+				return nil, fmt.Errorf("fault: %q takes no probability (override kinds individually)", entry)
+			}
+			for _, k := range SafeKinds() {
+				p.prob[k] = kindInfo[k].def
+			}
+			continue
+		}
+		k, ok := KindByName(name)
+		if !ok {
+			return nil, fmt.Errorf("fault: unknown kind %q (want %s)", name, strings.Join(KindNames(), ", "))
+		}
+		prob := kindInfo[k].def
+		if hasProb {
+			v, err := strconv.ParseFloat(strings.TrimSpace(probStr), 64)
+			if err != nil {
+				return nil, fmt.Errorf("fault: bad probability in %q: %v", entry, err)
+			}
+			if v <= 0 || v > 1 {
+				return nil, fmt.Errorf("fault: probability in %q outside (0,1]", entry)
+			}
+			prob = v
+		}
+		p.prob[k] = prob
+	}
+	for k := Kind(0); k < numKinds; k++ {
+		if p.prob[k] > 0 {
+			p.rng[k] = rand.New(rand.NewSource(mixSeed(seed, k)))
+		}
+	}
+	return p, nil
+}
+
+// MustParse is Parse that panics on error, for tests.
+func MustParse(spec string, seed int64) *Plan {
+	p, err := Parse(spec, seed)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// KindNames lists every kind's spec name plus "all".
+func KindNames() []string {
+	names := make([]string, 0, numKinds+1)
+	names = append(names, "all")
+	for k := Kind(0); k < numKinds; k++ {
+		names = append(names, kindInfo[k].name)
+	}
+	return names
+}
+
+// mixSeed derives independent per-kind stream seeds (splitmix64 finalizer).
+func mixSeed(seed int64, k Kind) int64 {
+	z := uint64(seed) + (uint64(k)+1)*0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return int64(z ^ (z >> 31))
+}
+
+// Spec returns the spec string the plan was parsed from.
+func (p *Plan) Spec() string { return p.spec }
+
+// Seed returns the plan's base seed.
+func (p *Plan) Seed() int64 { return p.seed }
+
+// Fresh returns an identical plan with unconsumed random streams, for
+// deterministic reruns (a plan's streams advance during a run).
+func (p *Plan) Fresh() *Plan { return MustParse(p.spec, p.seed) }
+
+// Active reports whether a kind can fire under this plan.
+func (p *Plan) Active(k Kind) bool { return p != nil && p.prob[k] > 0 }
+
+// Count returns how many times kind k has fired so far.
+func (p *Plan) Count(k Kind) uint64 { return p.counts[k] }
+
+// Total returns the total number of injected faults so far.
+func (p *Plan) Total() uint64 {
+	var t uint64
+	for _, c := range p.counts {
+		t += c
+	}
+	return t
+}
+
+// Counts returns the per-kind injection counters, keyed by spec name, for
+// kinds that fired at least once.
+func (p *Plan) Counts() map[string]uint64 {
+	out := make(map[string]uint64)
+	for k := Kind(0); k < numKinds; k++ {
+		if p.counts[k] > 0 {
+			out[kindInfo[k].name] = p.counts[k]
+		}
+	}
+	return out
+}
+
+// String summarises the plan and its injection counters.
+func (p *Plan) String() string {
+	if p == nil {
+		return "fault: none"
+	}
+	var parts []string
+	for name, c := range p.Counts() {
+		parts = append(parts, fmt.Sprintf("%s:%d", name, c))
+	}
+	sort.Strings(parts)
+	if len(parts) == 0 {
+		return fmt.Sprintf("fault[%s seed=%d]: none fired", p.spec, p.seed)
+	}
+	return fmt.Sprintf("fault[%s seed=%d]: %s", p.spec, p.seed, strings.Join(parts, " "))
+}
+
+// roll draws one decision for kind k, counting fires.
+func (p *Plan) roll(k Kind) bool {
+	if p.prob[k] <= 0 {
+		return false
+	}
+	if p.prob[k] < 1 && p.rng[k].Float64() >= p.prob[k] {
+		return false
+	}
+	p.counts[k]++
+	return true
+}
+
+// The methods below implement cpu.FaultInjector. The interface is satisfied
+// structurally — cpu declares it over primitive types precisely so injector
+// implementations need no dependency on the machine's internals.
+
+// ForceConflict reports whether to abort a clean store as a conflict.
+func (p *Plan) ForceConflict(now int64) bool { return p.roll(Conflict) }
+
+// SuppressConflict reports whether to drop a real conflict squash.
+func (p *Plan) SuppressConflict(now int64) bool { return p.roll(ConflictMiss) }
+
+// ForceOverflow reports whether to squash a speculative drain as an overflow.
+func (p *Plan) ForceOverflow(now int64) bool { return p.roll(Overflow) }
+
+// KillThreadlet picks a speculative threadlet (index among nspec, 0 = oldest
+// successor) to recycle, or ok=false.
+func (p *Plan) KillThreadlet(now int64, nspec int) (int, bool) {
+	if !p.roll(Kill) {
+		return 0, false
+	}
+	return p.rng[Kill].Intn(nspec), true
+}
+
+// PoisonPack perturbs a packed-spawn IV prediction. The perturbation is a
+// small signed delta (occasionally huge), exercising both the silent-repair
+// and squash arms of the §4.3 verification — and, via wild addresses, the
+// deferred speculative memory-fault path.
+func (p *Plan) PoisonPack(now int64, reg int, val uint64) (uint64, bool) {
+	if !p.roll(Poison) {
+		return val, false
+	}
+	r := p.rng[Poison]
+	switch r.Intn(4) {
+	case 0:
+		return val + uint64(1+r.Intn(64)), true
+	case 1:
+		return val - uint64(1+r.Intn(64)), true
+	case 2:
+		return val ^ (1 << uint(r.Intn(16))), true
+	default:
+		return r.Uint64(), true
+	}
+}
+
+// FlipBranch reports whether to invert a predicted branch direction.
+func (p *Plan) FlipBranch(now int64, pc int) bool { return p.roll(Mispredict) }
+
+// Panic reports whether to panic the machine deliberately.
+func (p *Plan) Panic(now int64) bool { return p.roll(PanicKind) }

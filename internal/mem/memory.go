@@ -103,14 +103,43 @@ func (m *Memory) Write(addr uint64, size int, v uint64) {
 	}
 }
 
-func checkAccess(addr uint64, size int) {
+// Fault describes an architecturally invalid memory access: a bad size or an
+// unaligned address reaching an aligned-only access path. The timing core
+// turns it into a job-level error (a bad program), while direct misuse of the
+// aligned Read/Write API still panics.
+type Fault struct {
+	Addr uint64
+	Size int
+	// Unaligned distinguishes misalignment from an invalid access size.
+	Unaligned bool
+}
+
+func (f *Fault) Error() string {
+	if f.Unaligned {
+		return fmt.Sprintf("mem: unaligned %d-byte access at %#x", f.Size, f.Addr)
+	}
+	return fmt.Sprintf("mem: bad access size %d at %#x", f.Size, f.Addr)
+}
+
+// ValidateAccess reports whether an access is naturally aligned with a legal
+// size, returning a *Fault describing the violation otherwise. Callers that
+// route program errors instead of crashing check this before using the
+// aligned Read/Write entry points.
+func ValidateAccess(addr uint64, size int) error {
 	switch size {
 	case 1, 2, 4, 8:
 	default:
-		panic(fmt.Sprintf("mem: bad access size %d", size))
+		return &Fault{Addr: addr, Size: size}
 	}
 	if addr&uint64(size-1) != 0 {
-		panic(fmt.Sprintf("mem: unaligned %d-byte access at %#x", size, addr))
+		return &Fault{Addr: addr, Size: size, Unaligned: true}
+	}
+	return nil
+}
+
+func checkAccess(addr uint64, size int) {
+	if err := ValidateAccess(addr, size); err != nil {
+		panic(err.Error())
 	}
 }
 

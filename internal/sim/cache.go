@@ -2,6 +2,7 @@ package sim
 
 import (
 	"fmt"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 
@@ -26,6 +27,7 @@ func CanonicalConfig(cfg cpu.Config) cpu.Config {
 	if cfg.MaxCycles == 0 {
 		cfg.MaxCycles = defaultMaxCycles
 	}
+	cfg.Watchdog = cfg.Watchdog.Normalized()
 	cfg.SSB.Slices = cfg.Threadlets
 	if cfg.Threadlets == 1 {
 		cfg.SSB = core.SSBConfig{}
@@ -60,31 +62,41 @@ type cacheEntry struct {
 // simulation; concurrent requests for the same key are deduplicated in
 // flight (singleflight), so a parallel sweep never runs the shared baseline
 // twice. Stats are stored by value and returned as fresh copies, so callers
-// may not corrupt each other. The zero value is ready to use.
+// may not corrupt each other. Failed runs are never retained: the error is
+// delivered to the caller and every in-flight joiner, then the entry is
+// evicted, so a transient failure (a timeout, a worker panic) cannot poison
+// every later request for the key. The zero value is ready to use.
 type RunCache struct {
 	mu      sync.Mutex
 	entries map[string]*cacheEntry
 
 	// Counters, readable while the cache is in use.
-	hits   atomic.Uint64 // completed-entry hits
-	flight atomic.Uint64 // singleflight joins (entry still running)
-	misses atomic.Uint64 // simulations actually executed
+	hits     atomic.Uint64 // completed-entry hits
+	flight   atomic.Uint64 // singleflight joins (entry still running)
+	misses   atomic.Uint64 // simulations actually executed
+	failures atomic.Uint64 // errored runs evicted instead of cached
 }
 
 // NewRunCache returns an empty run cache.
 func NewRunCache() *RunCache { return &RunCache{} }
 
 // Run returns the memoised result for (cfg, prog), simulating on first use.
-// Errors are cached too: a run that exceeds its cycle limit does so
-// deterministically, and its partial Stats are part of the result.
 func (c *RunCache) Run(cfg cpu.Config, prog *asm.Program) (*cpu.Stats, error) {
-	key := CacheKey(cfg, prog)
+	return c.Do(CacheKey(cfg, prog), func() (*cpu.Stats, error) { return Run(cfg, prog) })
+}
+
+// Do returns the memoised result for key, invoking run on first use.
+// Concurrent callers with the same key share one invocation (singleflight).
+// Only successful results are cached; a failure is evicted before the flight
+// is released, so the next identical request re-executes. If run panics, the
+// panic is recovered into a PanicError — the flight channel always closes, so
+// joiners can never deadlock on a crashed runner.
+func (c *RunCache) Do(key string, run func() (*cpu.Stats, error)) (*cpu.Stats, error) {
 	c.mu.Lock()
 	if c.entries == nil {
 		c.entries = make(map[string]*cacheEntry)
 	}
-	e, ok := c.entries[key]
-	if ok {
+	if e, ok := c.entries[key]; ok {
 		c.mu.Unlock()
 		select {
 		case <-e.done:
@@ -96,19 +108,32 @@ func (c *RunCache) Run(cfg cpu.Config, prog *asm.Program) (*cpu.Stats, error) {
 		st := e.stats
 		return &st, e.err
 	}
-	e = &cacheEntry{done: make(chan struct{})}
+	e := &cacheEntry{done: make(chan struct{})}
 	c.entries[key] = e
 	c.mu.Unlock()
 
 	c.misses.Add(1)
-	st, err := Run(cfg, prog)
-	if st != nil {
-		e.stats = *st
+	func() {
+		defer func() {
+			if r := recover(); r != nil {
+				e.err = &PanicError{Value: r, Stack: debug.Stack()}
+			}
+		}()
+		var st *cpu.Stats
+		st, e.err = run()
+		if st != nil {
+			e.stats = *st
+		}
+	}()
+	if e.err != nil {
+		c.failures.Add(1)
+		c.mu.Lock()
+		delete(c.entries, key)
+		c.mu.Unlock()
 	}
-	e.err = err
 	close(e.done)
 	out := e.stats
-	return &out, err
+	return &out, e.err
 }
 
 // Hits returns the number of requests served from a completed entry.
@@ -120,6 +145,9 @@ func (c *RunCache) FlightJoins() uint64 { return c.flight.Load() }
 
 // Misses returns the number of simulations actually executed.
 func (c *RunCache) Misses() uint64 { return c.misses.Load() }
+
+// Failures returns the number of errored runs evicted instead of cached.
+func (c *RunCache) Failures() uint64 { return c.failures.Load() }
 
 // Len returns the number of distinct keys resident in the cache.
 func (c *RunCache) Len() int {

@@ -23,6 +23,18 @@ import (
 type Job struct {
 	Cfg  cpu.Config
 	Prog *asm.Program
+
+	// Faults is a deterministic fault-injection spec (internal/fault
+	// grammar, e.g. "all" or "conflict=0.05,kill"); "" or "none" runs clean.
+	// Seed seeds the plan's per-kind random streams. Both are part of the
+	// run-cache key: an injected run never shares a slot with a clean one.
+	Faults string
+	Seed   int64
+
+	// Timeout bounds the job's wall-clock time; 0 means no deadline. A
+	// deadline only decides whether the job completes — never its result —
+	// so it is excluded from the cache key.
+	Timeout time.Duration
 }
 
 // Harness schedules simulation jobs over a worker pool with an optional
@@ -41,6 +53,14 @@ type Harness struct {
 	jobNanos    atomic.Int64
 	maxJobNanos atomic.Int64
 	wallNanos   atomic.Int64
+
+	// Crash-proofing telemetry and state (safety.go). quarantined holds the
+	// job keys whose runs panicked twice; they fail fast with ErrQuarantined.
+	panics      atomic.Uint64
+	retries     atomic.Uint64
+	quarantines atomic.Uint64
+	timeouts    atomic.Uint64
+	quarantined sync.Map // job key -> struct{}{}
 }
 
 // HarnessStats is a snapshot of the harness's scheduling telemetry.
@@ -58,10 +78,18 @@ type HarnessStats struct {
 	// Utilization is JobNanos / (Workers x WallNanos): the fraction of the
 	// pool's capacity spent inside jobs (1.0 = perfectly packed).
 	Utilization float64
-	// Run-cache counters (zero when no cache is attached).
+	// Crash-proofing counters: recovered worker panics, panic retries, keys
+	// quarantined after a panicking retry, and per-job deadline expiries.
+	Panics      uint64
+	Retries     uint64
+	Quarantined uint64
+	Timeouts    uint64
+	// Run-cache counters (zero when no cache is attached). CacheFailures
+	// counts errored runs evicted instead of cached.
 	CacheHits        uint64
 	CacheFlightJoins uint64
 	CacheMisses      uint64
+	CacheFailures    uint64
 	CacheEntries     uint64
 }
 
@@ -74,6 +102,10 @@ func (h *Harness) Stats() HarnessStats {
 		MaxJobNanos: h.maxJobNanos.Load(),
 		WallNanos:   h.wallNanos.Load(),
 		Workers:     h.workers(),
+		Panics:      h.panics.Load(),
+		Retries:     h.retries.Load(),
+		Quarantined: h.quarantines.Load(),
+		Timeouts:    h.timeouts.Load(),
 	}
 	if cap := float64(s.Workers) * float64(s.WallNanos); cap > 0 {
 		s.Utilization = float64(s.JobNanos) / cap
@@ -82,6 +114,7 @@ func (h *Harness) Stats() HarnessStats {
 		s.CacheHits = c.Hits()
 		s.CacheFlightJoins = c.FlightJoins()
 		s.CacheMisses = c.Misses()
+		s.CacheFailures = c.Failures()
 		s.CacheEntries = uint64(c.Len())
 	}
 	return s
@@ -119,7 +152,9 @@ func (h *Harness) workers() int {
 	return runtime.GOMAXPROCS(0)
 }
 
-// runOne executes a single job through the cache when one is attached.
+// runOne executes a single job through the quarantine check and the cache
+// when one is attached. The actual simulation happens in execute (safety.go),
+// which recovers panics and enforces the job deadline.
 func (h *Harness) runOne(j Job) (*cpu.Stats, error) {
 	start := time.Now()
 	defer func() {
@@ -133,15 +168,22 @@ func (h *Harness) runOne(j Job) (*cpu.Stats, error) {
 			}
 		}
 	}()
-	if h.Cache != nil {
-		return h.Cache.Run(j.Cfg, j.Prog)
+	key := jobKey(j)
+	if _, bad := h.quarantined.Load(key); bad {
+		return nil, fmt.Errorf("%w (program %s)", ErrQuarantined, j.Prog.Name)
 	}
-	return Run(j.Cfg, j.Prog)
+	if h.Cache != nil {
+		return h.Cache.Do(key, func() (*cpu.Stats, error) { return h.execute(key, j) })
+	}
+	return h.execute(key, j)
 }
 
-// runJobsErrs executes all jobs over the pool; stats and errors are indexed
-// exactly like jobs.
-func (h *Harness) runJobsErrs(jobs []Job) ([]*cpu.Stats, []error) {
+// RunJobsErrs executes all jobs over the pool and returns stats and errors
+// indexed exactly like jobs. It never stops early: a job that fails — or
+// panics, or exceeds its deadline — yields its own error while every other
+// job still runs to completion, so a sweep always produces the partial
+// result set it can.
+func (h *Harness) RunJobsErrs(jobs []Job) ([]*cpu.Stats, []error) {
 	batchStart := time.Now()
 	h.batches.Add(1)
 	defer func() { h.wallNanos.Add(int64(time.Since(batchStart))) }()
@@ -182,7 +224,7 @@ func (h *Harness) runJobsErrs(jobs []Job) ([]*cpu.Stats, []error) {
 // full results slice; a failed job's slot holds whatever partial Stats its
 // run produced.
 func (h *Harness) RunJobs(jobs []Job) ([]*cpu.Stats, error) {
-	out, errs := h.runJobsErrs(jobs)
+	out, errs := h.RunJobsErrs(jobs)
 	for _, err := range errs {
 		if err != nil {
 			return out, err
@@ -214,7 +256,7 @@ func (h *Harness) RunSuite(cfg cpu.Config, suite []*workloads.Benchmark) ([]*Res
 		}
 		jobs = append(jobs, Job{Cfg: base, Prog: prog}, Job{Cfg: cfg, Prog: prog})
 	}
-	stats, errs := h.runJobsErrs(jobs)
+	stats, errs := h.RunJobsErrs(jobs)
 	out := make([]*Result, len(suite))
 	for i, b := range suite {
 		if err := errs[2*i]; err != nil {

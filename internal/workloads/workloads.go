@@ -50,6 +50,13 @@ type Benchmark struct {
 	// SimPoint weighting combines sampled phases (§6.1). The values are
 	// fixed constants of the workload definition, not fitted at run time.
 	SeqTimeRatio float64
+	// NormalisedRegs marks programs that zero their dead temporaries before
+	// halting, so a differential check may compare the full register file.
+	// Compiled kernels leave body temporaries behind, which the hint
+	// contract does not preserve (the successor inherits registers at the
+	// detach, not the parent's body writes): for those, only memory and the
+	// ABI result register are comparable against the sequential reference.
+	NormalisedRegs bool
 
 	source  string // LoopLang source ("" for prebuilt asm programs)
 	asmProg *asm.Program
