@@ -124,14 +124,14 @@ func main() {
 	}
 
 	if *preflight {
-		rep := lint.Run(prog, lint.Options{})
+		rep, perr := lint.Preflight(prog)
 		for _, d := range rep.Diags {
 			if d.Severity != lint.SevInfo {
 				fmt.Fprintf(os.Stderr, "lfsim: lint: %s: %s [%s]: %s\n",
 					d.Position(rep.Program), d.Severity, d.Code, d.Message)
 			}
 		}
-		if rep.Errors() > 0 {
+		if perr != nil {
 			fmt.Fprintln(os.Stderr, "lfsim: lint found hint-legality errors; refusing to simulate")
 			os.Exit(1)
 		}

@@ -4,6 +4,8 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sync"
+	"sync/atomic"
 
 	"loopfrog/internal/asm"
 	"loopfrog/internal/bpred"
@@ -84,6 +86,12 @@ type Machine struct {
 
 	archSpecInsts []uint64 // per-context spec-committed, indexed by tid
 
+	// Published statistics snapshot (snapshot.go): pub is the coherent copy
+	// external readers see, snapWanted arms the throttled republish.
+	pubMu      sync.Mutex
+	pub        StatsSnapshot
+	snapWanted atomic.Bool
+
 	// Per-cycle scratch buffers, reused to keep the pipeline loops
 	// allocation-free. Each belongs to exactly one pipeline stage.
 	commitSnap, drainSnap, dispatchSnap []int
@@ -136,6 +144,7 @@ func NewMachine(cfg Config, prog *asm.Program) (*Machine, error) {
 	}
 	t0.epochStartPC = prog.Entry
 	m.order = []int{0}
+	m.publishStats()
 	return m, nil
 }
 
@@ -159,6 +168,8 @@ func (m *Machine) RunContext(ctx context.Context) (*Stats, error) {
 	if maxCycles == 0 {
 		maxCycles = 200_000_000
 	}
+	// However the run ends, leave the published snapshot exact.
+	defer m.publishStats()
 	done := ctx.Done()
 	watch := !m.wd.Disable
 	for !m.halted {
@@ -179,12 +190,17 @@ func (m *Machine) RunContext(ctx context.Context) (*Stats, error) {
 				return &m.stats, m.progressError(ProgressStuckEpoch)
 			}
 		}
-		if done != nil && m.now&ctxCheckMask == 0 {
-			select {
-			case <-done:
-				return &m.stats, fmt.Errorf("cpu: run cancelled at cycle %d (%d arch insts): %w",
-					m.now, m.stats.ArchInsts, ctx.Err())
-			default:
+		if m.now&ctxCheckMask == 0 {
+			if m.snapWanted.Load() {
+				m.publishStats()
+			}
+			if done != nil {
+				select {
+				case <-done:
+					return &m.stats, fmt.Errorf("cpu: run cancelled at cycle %d (%d arch insts): %w",
+						m.now, m.stats.ArchInsts, ctx.Err())
+				default:
+				}
 			}
 		}
 		m.cycle()

@@ -1,0 +1,67 @@
+package cpu
+
+// Concurrent statistics snapshots. The machine's component stats are plain
+// counters mutated freely on the run goroutine — instrumenting the hot path
+// with atomics or locks would cost exactly what the pull-based telemetry
+// design avoids. Instead the run loop publishes a coherent copy of every
+// component statistic into a mutex-guarded buffer at the same throttled poll
+// point that services context cancellation (every ctxCheckMask+1 cycles), and
+// external readers only ever touch the published copy. A machine nobody
+// snapshots skips the periodic republish entirely: the first SnapshotStats
+// call arms it, and every RunContext exit republishes unconditionally so
+// post-run snapshots are exact.
+
+import (
+	"loopfrog/internal/bpred"
+	"loopfrog/internal/core"
+	"loopfrog/internal/mem"
+)
+
+// StatsSnapshot is a coherent copy of every statistic the machine and its
+// components expose, safe to read while the machine runs. The component
+// fields are shallow by-value copies taken for their exported counters only;
+// calling mutating methods on them is not supported.
+type StatsSnapshot struct {
+	CPU      Stats
+	SSB      core.SSBStats
+	Conflict core.ConflictDetector
+	Pack     core.PackPredictor
+	Monitor  core.RegionMonitor
+	BPred    bpred.Predictor
+	L1I      mem.CacheStats
+	L1D      mem.CacheStats
+	L2       mem.CacheStats
+}
+
+// publishStats refreshes the published snapshot from the live components.
+// It must only be called from the goroutine driving the machine.
+func (m *Machine) publishStats() {
+	l1i, l1d, l2 := m.hier.Stats()
+	snap := StatsSnapshot{
+		CPU:      m.stats,
+		SSB:      m.ssb.Stats,
+		Conflict: *m.cd,
+		Pack:     *m.pack,
+		Monitor:  *m.mon,
+		BPred:    *m.bp,
+		L1I:      l1i,
+		L1D:      l1d,
+		L2:       l2,
+	}
+	snap.CPU.Cycles = m.now
+	m.pubMu.Lock()
+	m.pub = snap
+	m.pubMu.Unlock()
+}
+
+// SnapshotStats returns the most recently published coherent snapshot. It is
+// safe for concurrent use while the machine runs: during a run the snapshot
+// lags the live counters by at most the publish interval (~8k simulated
+// cycles, far under a millisecond of wall time); once RunContext returns it
+// is exact. On a machine that has never run it reflects the reset state.
+func (m *Machine) SnapshotStats() StatsSnapshot {
+	m.snapWanted.Store(true)
+	m.pubMu.Lock()
+	defer m.pubMu.Unlock()
+	return m.pub
+}

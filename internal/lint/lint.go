@@ -17,6 +17,8 @@
 package lint
 
 import (
+	"fmt"
+
 	"loopfrog/internal/asm"
 	"loopfrog/internal/core"
 )
@@ -51,6 +53,39 @@ func (o Options) withDefaults() Options {
 		o.GranuleBytes = d.GranuleBytes
 	}
 	return o
+}
+
+// PreflightError reports that a program failed the mandatory hint-legality
+// preflight; it carries the full report so callers can render or serialise
+// the diagnostics (an HTTP 422 body, a compiler error listing).
+type PreflightError struct {
+	Report *Report
+}
+
+func (e *PreflightError) Error() string {
+	n := e.Report.Errors()
+	msg := fmt.Sprintf("lint: %s: %d hint-legality error(s)", e.Report.Program, n)
+	for i := range e.Report.Diags {
+		d := &e.Report.Diags[i]
+		if d.Severity == SevError {
+			return fmt.Sprintf("%s; first: %s [%s]: %s",
+				msg, d.Position(e.Report.Program), d.Code, d.Message)
+		}
+	}
+	return msg
+}
+
+// Preflight lints p with default options and returns the report plus a
+// *PreflightError when any hint-legality error (LF00x) is present. It is the
+// library-level admission gate shared by lfsim -lint and the lfservd
+// daemon: a program that fails Preflight must not be simulated, because its
+// parallel execution can diverge from sequential semantics.
+func Preflight(p *asm.Program) (*Report, error) {
+	rep := Run(p, Options{})
+	if rep.Errors() > 0 {
+		return rep, &PreflightError{Report: rep}
+	}
+	return rep, nil
 }
 
 // Run lints one program image and returns the positioned, sorted report.

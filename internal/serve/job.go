@@ -1,0 +1,404 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"loopfrog/internal/asm"
+	"loopfrog/internal/compiler"
+	"loopfrog/internal/cpu"
+	"loopfrog/internal/fault"
+	"loopfrog/internal/lint"
+	"loopfrog/internal/sim"
+	"loopfrog/internal/workloads"
+)
+
+// Job priorities. Interactive jobs win the runner's biased select; sweep
+// jobs fill the remaining capacity.
+const (
+	PriorityInteractive = "interactive"
+	PrioritySweep       = "sweep"
+)
+
+// JobSpec is the POST /v1/jobs request body. Exactly one program source —
+// asm, source, or bench — must be set.
+type JobSpec struct {
+	// Name labels the job (defaults to the bench name or "submitted").
+	Name string `json:"name,omitempty"`
+	// Asm is LFISA assembly text (what lfsim accepts as a .s file).
+	Asm string `json:"asm,omitempty"`
+	// Source is LoopLang text (a .ll file), compiled with hint insertion.
+	Source string `json:"source,omitempty"`
+	// Bench names a built-in benchmark from the CPU2017/CPU2006 suites.
+	Bench string `json:"bench,omitempty"`
+
+	// Threadlets configures the LoopFrog core (default 4); Baseline runs
+	// hints-as-NOPs only; AB runs baseline and LoopFrog and reports the
+	// speedup; NoPack disables iteration packing.
+	Threadlets int  `json:"threadlets,omitempty"`
+	NoPack     bool `json:"nopack,omitempty"`
+	Baseline   bool `json:"baseline,omitempty"`
+	AB         bool `json:"ab,omitempty"`
+	// MaxCycles overrides the simulation cycle budget (0 = default).
+	MaxCycles int64 `json:"max_cycles,omitempty"`
+
+	// Faults is an internal/fault injection spec, seeded by Seed.
+	Faults string `json:"faults,omitempty"`
+	Seed   int64  `json:"seed,omitempty"`
+
+	// TimeoutMS bounds the job's wall-clock time (capped by the server's
+	// MaxTimeout; 0 = server default).
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+	// Priority is "interactive" (default) or "sweep".
+	Priority string `json:"priority,omitempty"`
+	// Async makes the submission return 202 immediately; poll or stream
+	// GET /v1/jobs/{id} for the result.
+	Async bool `json:"async,omitempty"`
+}
+
+// JobResult is the successful outcome of a job.
+type JobResult struct {
+	Program   string  `json:"program"`
+	Cycles    int64   `json:"cycles"`
+	ArchInsts uint64  `json:"arch_insts"`
+	IPC       float64 `json:"ipc"`
+	Spawns    uint64  `json:"spawns,omitempty"`
+	Squashes  uint64  `json:"squashes,omitempty"`
+	// AB mode only: both sides and the region speedup, computed exactly the
+	// way lfsim -ab prints it (baseline cycles / loopfrog cycles).
+	BaselineCycles int64   `json:"baseline_cycles,omitempty"`
+	LoopFrogCycles int64   `json:"loopfrog_cycles,omitempty"`
+	Speedup        float64 `json:"speedup,omitempty"`
+}
+
+// Job statuses.
+const (
+	StatusQueued    = "queued"
+	StatusRunning   = "running"
+	StatusDone      = "done"
+	StatusFailed    = "failed"
+	StatusCancelled = "cancelled"
+)
+
+// job is the server-side state of one submission.
+type job struct {
+	ID   string  `json:"id"`
+	Spec JobSpec `json:"-"`
+
+	prog *asm.Program
+	cfg  cpu.Config
+
+	ctx    context.Context
+	cancel context.CancelFunc
+	done   chan struct{}
+
+	// machine holds the most recently observed live simulation, for
+	// progress streaming; nil before the first attempt or on a cache hit.
+	machine atomic.Pointer[cpu.Machine]
+
+	mu         sync.Mutex
+	status     string
+	httpStatus int // terminal HTTP status for the sync path and async views
+	errText    string
+	result     *JobResult
+	submitted  time.Time
+	started    time.Time
+	finishedAt time.Time
+}
+
+// view is the externally visible job state, safe to marshal.
+type jobView struct {
+	ID       string     `json:"id"`
+	Name     string     `json:"name"`
+	Status   string     `json:"status"`
+	Priority string     `json:"priority"`
+	Error    string     `json:"error,omitempty"`
+	Result   *JobResult `json:"result,omitempty"`
+	QueuedMS int64      `json:"queued_ms"`
+	RunMS    int64      `json:"run_ms,omitempty"`
+}
+
+func (j *job) view() jobView {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	v := jobView{
+		ID:       j.ID,
+		Name:     j.Spec.Name,
+		Status:   j.status,
+		Priority: j.Spec.Priority,
+		Error:    j.errText,
+		Result:   j.result,
+	}
+	if !j.started.IsZero() {
+		v.QueuedMS = j.started.Sub(j.submitted).Milliseconds()
+		end := j.finishedAt
+		if end.IsZero() {
+			end = time.Now()
+		}
+		v.RunMS = end.Sub(j.started).Milliseconds()
+	} else {
+		v.QueuedMS = time.Since(j.submitted).Milliseconds()
+	}
+	return v
+}
+
+func (j *job) setStatus(status string) {
+	j.mu.Lock()
+	j.status = status
+	if status == StatusRunning {
+		j.started = time.Now()
+	}
+	j.mu.Unlock()
+}
+
+func (j *job) statusNow() string {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.status
+}
+
+// finish records the terminal state exactly once and releases waiters.
+func (j *job) finish(status string, httpStatus int, result *JobResult, errText string) {
+	j.mu.Lock()
+	if j.status == StatusDone || j.status == StatusFailed || j.status == StatusCancelled {
+		j.mu.Unlock()
+		return
+	}
+	j.status = status
+	j.httpStatus = httpStatus
+	j.result = result
+	j.errText = errText
+	j.finishedAt = time.Now()
+	if j.started.IsZero() {
+		j.started = j.finishedAt
+	}
+	j.mu.Unlock()
+	j.cancel()
+	close(j.done)
+}
+
+// terminal returns the job's terminal HTTP status and view once finished.
+func (j *job) terminal() (int, jobView) {
+	j.mu.Lock()
+	st := j.httpStatus
+	j.mu.Unlock()
+	return st, j.view()
+}
+
+// apiError is the uniform JSON error body.
+type apiError struct {
+	Error string `json:"error"`
+	// Lint carries the full diagnostic report on 422 rejects.
+	Lint *lint.Report `json:"lint,omitempty"`
+}
+
+// resolveProgram turns the spec's program source into an assembled image.
+func resolveProgram(spec *JobSpec) (*asm.Program, error) {
+	n := 0
+	for _, set := range []bool{spec.Asm != "", spec.Source != "", spec.Bench != ""} {
+		if set {
+			n++
+		}
+	}
+	if n != 1 {
+		return nil, fmt.Errorf("exactly one of asm, source, or bench must be set (got %d)", n)
+	}
+	switch {
+	case spec.Bench != "":
+		for _, suite := range [][]*workloads.Benchmark{workloads.CPU2017(), workloads.CPU2006()} {
+			if b := workloads.ByName(suite, spec.Bench); b != nil {
+				if spec.Name == "" {
+					spec.Name = b.Name
+				}
+				return b.Program()
+			}
+		}
+		return nil, fmt.Errorf("unknown benchmark %q", spec.Bench)
+	case spec.Asm != "":
+		if spec.Name == "" {
+			spec.Name = "submitted"
+		}
+		return asm.Assemble(spec.Name, spec.Asm)
+	default:
+		if spec.Name == "" {
+			spec.Name = "submitted"
+		}
+		prog, _, err := compiler.Compile(spec.Name, spec.Source)
+		return prog, err
+	}
+}
+
+// buildConfig derives the machine configuration from the spec.
+func buildConfig(spec *JobSpec) (cpu.Config, error) {
+	threadlets := spec.Threadlets
+	if threadlets == 0 {
+		threadlets = 4
+	}
+	if threadlets < 1 {
+		return cpu.Config{}, fmt.Errorf("threadlets must be at least 1 (got %d)", threadlets)
+	}
+	cfg := cpu.DefaultConfig()
+	cfg.Threadlets = threadlets
+	if spec.NoPack {
+		cfg.Pack.Enabled = false
+	}
+	if spec.MaxCycles > 0 {
+		cfg.MaxCycles = spec.MaxCycles
+	}
+	if spec.Baseline {
+		cfg = sim.BaselineOf(cfg)
+	}
+	return cfg, nil
+}
+
+// validateSpec normalises and checks the submission-shaping fields.
+func (s *Server) validateSpec(spec *JobSpec) error {
+	switch spec.Priority {
+	case "":
+		spec.Priority = PriorityInteractive
+	case PriorityInteractive, PrioritySweep:
+	default:
+		return fmt.Errorf("priority must be %q or %q (got %q)", PriorityInteractive, PrioritySweep, spec.Priority)
+	}
+	if spec.TimeoutMS < 0 {
+		return fmt.Errorf("timeout_ms must be non-negative (got %d)", spec.TimeoutMS)
+	}
+	if spec.Baseline && spec.AB {
+		return fmt.Errorf("baseline and ab are mutually exclusive")
+	}
+	if spec.Faults != "" {
+		if _, err := fault.Parse(spec.Faults, spec.Seed); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// timeoutFor clamps the requested timeout to the server's policy.
+func (s *Server) timeoutFor(spec *JobSpec) time.Duration {
+	d := s.cfg.DefaultTimeout
+	if spec.TimeoutMS > 0 {
+		d = time.Duration(spec.TimeoutMS) * time.Millisecond
+	}
+	if d > s.cfg.MaxTimeout {
+		d = s.cfg.MaxTimeout
+	}
+	return d
+}
+
+// run executes one admitted job on the harness and records its terminal
+// state. AB jobs schedule the baseline and LoopFrog runs as two harness jobs
+// (concurrently when workers allow, deduplicated by the run-cache); plain
+// jobs schedule one.
+func (s *Server) run(j *job) {
+	if err := j.ctx.Err(); err != nil {
+		j.finish(StatusCancelled, statusClientClosed, nil, "cancelled before start: "+err.Error())
+		return
+	}
+	j.setStatus(StatusRunning)
+	timeout := s.timeoutFor(&j.Spec)
+	observe := func(m *cpu.Machine) { j.machine.Store(m) }
+	var jobs []sim.Job
+	if j.Spec.AB {
+		jobs = []sim.Job{
+			{Cfg: sim.BaselineOf(j.cfg), Prog: j.prog, Timeout: timeout},
+			{Cfg: j.cfg, Prog: j.prog, Faults: j.Spec.Faults, Seed: j.Spec.Seed, Timeout: timeout, Observe: observe},
+		}
+	} else {
+		jobs = []sim.Job{
+			{Cfg: j.cfg, Prog: j.prog, Faults: j.Spec.Faults, Seed: j.Spec.Seed, Timeout: timeout, Observe: observe},
+		}
+	}
+	stats, errs := s.harness.RunJobsCtx(j.ctx, jobs)
+	for _, err := range errs {
+		if err != nil {
+			status, httpStatus, text := classifyError(err)
+			j.finish(status, httpStatus, nil, text)
+			return
+		}
+	}
+	res := &JobResult{Program: j.prog.Name}
+	st := stats[len(stats)-1]
+	res.Cycles = st.Cycles
+	res.ArchInsts = st.ArchInsts
+	res.IPC = st.IPC()
+	res.Spawns = st.Spawns
+	for _, n := range st.Squashes {
+		res.Squashes += n
+	}
+	if j.Spec.AB {
+		base, lf := stats[0], stats[1]
+		res.BaselineCycles = base.Cycles
+		res.LoopFrogCycles = lf.Cycles
+		if lf.Cycles > 0 {
+			res.Speedup = float64(base.Cycles) / float64(lf.Cycles)
+		}
+	}
+	j.finish(StatusDone, http.StatusOK, res, "")
+}
+
+// statusClientClosed mirrors nginx's 499: the client abandoned the request.
+const statusClientClosed = 499
+
+// classifyError maps a harness error onto the job's terminal state. The
+// mapping is part of the API: deadline → 504, cancellation → 499, panic or
+// quarantine → 500, anything else (watchdog trips, cycle limit, memory
+// faults) → 500 with the error text.
+func classifyError(err error) (status string, httpStatus int, text string) {
+	var pe *sim.PanicError
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		return StatusFailed, http.StatusGatewayTimeout, err.Error()
+	case errors.Is(err, context.Canceled):
+		return StatusCancelled, statusClientClosed, err.Error()
+	case errors.Is(err, sim.ErrQuarantined):
+		return StatusFailed, http.StatusInternalServerError, err.Error()
+	case errors.As(err, &pe):
+		// The stack has been captured server-side; clients get one line.
+		line := fmt.Sprintf("sim: worker panic: %v (stack retained server-side, job quarantined on repeat)", pe.Value)
+		return StatusFailed, http.StatusInternalServerError, line
+	default:
+		return StatusFailed, http.StatusInternalServerError, err.Error()
+	}
+}
+
+// progress is one SSE progress sample read from the live machine snapshot.
+type progress struct {
+	Status    string `json:"status"`
+	Cycles    int64  `json:"cycles"`
+	ArchInsts uint64 `json:"arch_insts"`
+	Spawns    uint64 `json:"spawns"`
+	Retires   uint64 `json:"retires"`
+	Squashes  uint64 `json:"squashes"`
+}
+
+// sampleProgress reads the job's live machine, if any.
+func (j *job) sampleProgress() progress {
+	p := progress{Status: j.statusNow()}
+	if m := j.machine.Load(); m != nil {
+		snap := m.SnapshotStats()
+		p.Cycles = snap.CPU.Cycles
+		p.ArchInsts = snap.CPU.ArchInsts
+		p.Spawns = snap.CPU.Spawns
+		p.Retires = snap.CPU.Retires
+		for _, n := range snap.CPU.Squashes {
+			p.Squashes += n
+		}
+	}
+	return p
+}
+
+// truncatedName shortens a submitted program name for logs and views.
+func truncatedName(name string) string {
+	name = strings.TrimSpace(name)
+	if len(name) > 64 {
+		return name[:64]
+	}
+	return name
+}

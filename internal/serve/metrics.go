@@ -1,0 +1,82 @@
+package serve
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"loopfrog/internal/telemetry"
+)
+
+// latencyRingSize bounds the completed-job latency window used for the
+// percentile gauges; old samples are overwritten round-robin.
+const latencyRingSize = 1024
+
+// serveMetrics holds the daemon's own counters; the harness and run-cache
+// counters come from telemetry.CollectHarness.
+type serveMetrics struct {
+	inflight    atomic.Int64
+	admitted    atomic.Uint64
+	rejected    atomic.Uint64 // queue-full 429s
+	lintRejects atomic.Uint64 // preflight 422s
+
+	ringMu  sync.Mutex
+	ring    [latencyRingSize]time.Duration
+	ringLen int
+	ringPos int
+}
+
+func (m *serveMetrics) observeLatency(d time.Duration) {
+	m.ringMu.Lock()
+	m.ring[m.ringPos] = d
+	m.ringPos = (m.ringPos + 1) % latencyRingSize
+	if m.ringLen < latencyRingSize {
+		m.ringLen++
+	}
+	m.ringMu.Unlock()
+}
+
+// percentiles returns the p50 and p99 job latency over the ring window, in
+// seconds (0 when no job has completed yet).
+func (m *serveMetrics) percentiles() (p50, p99 float64) {
+	m.ringMu.Lock()
+	n := m.ringLen
+	window := make([]time.Duration, n)
+	copy(window, m.ring[:n])
+	m.ringMu.Unlock()
+	if n == 0 {
+		return 0, 0
+	}
+	sort.Slice(window, func(i, j int) bool { return window[i] < window[j] })
+	at := func(p float64) float64 {
+		idx := int(p * float64(n-1))
+		return window[idx].Seconds()
+	}
+	return at(0.50), at(0.99)
+}
+
+// registerMetrics wires the serve.* gauges plus the harness counters into the
+// server's registry, which /metrics snapshots on demand.
+func (s *Server) registerMetrics() {
+	reg := s.reg
+	reg.RegisterGauge("serve.QueueDepthInteractive", func() float64 { return float64(len(s.interactive)) })
+	reg.RegisterGauge("serve.QueueDepthSweep", func() float64 { return float64(len(s.sweep)) })
+	reg.RegisterGauge("serve.QueueCapacity", func() float64 { return float64(s.cfg.QueueDepth) })
+	reg.RegisterGauge("serve.Inflight", func() float64 { return float64(s.m.inflight.Load()) })
+	reg.RegisterGauge("serve.Admitted", func() float64 { return float64(s.m.admitted.Load()) })
+	reg.RegisterGauge("serve.AdmissionRejects", func() float64 { return float64(s.m.rejected.Load()) })
+	reg.RegisterGauge("serve.LintRejects", func() float64 { return float64(s.m.lintRejects.Load()) })
+	reg.RegisterGauge("serve.LatencyP50Seconds", func() float64 { p50, _ := s.m.percentiles(); return p50 })
+	reg.RegisterGauge("serve.LatencyP99Seconds", func() float64 { _, p99 := s.m.percentiles(); return p99 })
+	reg.RegisterGauge("serve.CacheHitRate", func() float64 {
+		st := s.harness.Stats()
+		served := st.CacheHits + st.CacheFlightJoins + st.CacheMisses
+		if served == 0 {
+			return 0
+		}
+		return float64(st.CacheHits+st.CacheFlightJoins) / float64(served)
+	})
+	// CollectHarness only fails on a non-struct source; HarnessStats is one.
+	_ = telemetry.CollectHarness(reg, s.harness)
+}

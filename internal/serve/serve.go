@@ -1,0 +1,258 @@
+// Package serve is the simulation-as-a-service layer: an HTTP/JSON daemon
+// (cmd/lfservd) that accepts simulation jobs over the network, admits them
+// through a bounded queue with priority lanes, runs a mandatory hint-legality
+// preflight (internal/lint), schedules the admitted work onto the existing
+// sim.Harness worker pool — inheriting its singleflight run-cache (LRU
+// bounded), panic quarantine, and per-job watchdog-backed deadlines — and
+// streams progress and results back.
+//
+// Endpoints:
+//
+//	POST /v1/jobs        submit a job (sync by default, "async": true for 202+poll)
+//	GET  /v1/jobs/{id}   job status/result; ?stream=1 or Accept: text/event-stream
+//	                     streams queued→running→progress→done as server-sent events
+//	GET  /metrics        telemetry registry snapshot (serve.* + harness.*) as JSON
+//	GET  /healthz        200 while serving, 503 while draining
+//	GET  /v1/version     daemon identity and configuration
+//
+// Degradation is explicit: a full admission queue answers 429 with a
+// Retry-After estimate, an illegal program answers 422 with the full lint
+// report, a deadline expiry answers 504, a quarantined or crashed simulation
+// answers 500 — and a SIGTERM drain stops admission (503) while every
+// admitted job still completes.
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"loopfrog/internal/sim"
+	"loopfrog/internal/telemetry"
+)
+
+// Version identifies the serving API generation.
+const Version = "1.0"
+
+// Config tunes the daemon. The zero value is usable: every field falls back
+// to the documented default.
+type Config struct {
+	// Runners is the number of concurrent jobs the server executes; each job
+	// may fan several simulations onto the harness pool. <= 0 means
+	// GOMAXPROCS, capped at 8.
+	Runners int
+	// QueueDepth bounds each admission lane (interactive, sweep); a full
+	// lane rejects with 429. <= 0 means 64.
+	QueueDepth int
+	// Workers sizes the underlying sim.Harness worker pool; <= 0 means
+	// GOMAXPROCS.
+	Workers int
+	// CacheCapacity bounds the harness run-cache (LRU entries); 0 means
+	// sim.DefaultCacheCapacity, < 0 disables the bound.
+	CacheCapacity int
+	// DefaultTimeout applies to jobs that do not request one; MaxTimeout
+	// caps what a job may request. Defaults: 60s and 5m.
+	DefaultTimeout time.Duration
+	MaxTimeout     time.Duration
+	// RetainJobs bounds the finished-job registry; older finished jobs are
+	// forgotten FIFO. <= 0 means 1024.
+	RetainJobs int
+	// MaxBodyBytes bounds a request body; <= 0 means 4 MiB.
+	MaxBodyBytes int64
+	// ProgressInterval is the SSE progress sampling period; <= 0 means 200ms.
+	ProgressInterval time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.Runners <= 0 {
+		c.Runners = runtime.GOMAXPROCS(0)
+		if c.Runners > 8 {
+			c.Runners = 8
+		}
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 64
+	}
+	if c.CacheCapacity == 0 {
+		c.CacheCapacity = sim.DefaultCacheCapacity
+	}
+	if c.DefaultTimeout <= 0 {
+		c.DefaultTimeout = 60 * time.Second
+	}
+	if c.MaxTimeout <= 0 {
+		c.MaxTimeout = 5 * time.Minute
+	}
+	if c.RetainJobs <= 0 {
+		c.RetainJobs = 1024
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 4 << 20
+	}
+	if c.ProgressInterval <= 0 {
+		c.ProgressInterval = 200 * time.Millisecond
+	}
+	return c
+}
+
+// Server is the serving daemon's state: the harness it schedules onto, the
+// admission lanes, the job registry, and the metrics registry.
+type Server struct {
+	cfg     Config
+	harness *sim.Harness
+	reg     *telemetry.Registry
+
+	// Admission lanes. Interactive wins the biased select in the runner
+	// loop, so a long sweep enqueue never starves a human.
+	interactive chan *job
+	sweep       chan *job
+
+	// Lifecycle: baseCtx cancels every running job on forced shutdown;
+	// stop ends the runner loops; draining gates admission.
+	baseCtx  context.Context
+	cancel   context.CancelFunc
+	stop     chan struct{}
+	runnerWG sync.WaitGroup
+	draining atomic.Bool
+
+	// Job registry.
+	mu       sync.Mutex
+	jobs     map[string]*job
+	finished []string // FIFO of finished job IDs, bounded by RetainJobs
+	seq      atomic.Uint64
+
+	m serveMetrics
+}
+
+// New builds a server with its own harness and bounded run-cache and starts
+// the runner loops. Call Shutdown to drain it.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	cacheCap := cfg.CacheCapacity
+	if cacheCap < 0 {
+		cacheCap = 0 // unbounded
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Server{
+		cfg:         cfg,
+		harness:     &sim.Harness{Workers: cfg.Workers, Cache: sim.NewBoundedRunCache(cacheCap)},
+		reg:         telemetry.NewRegistry(),
+		interactive: make(chan *job, cfg.QueueDepth),
+		sweep:       make(chan *job, cfg.QueueDepth),
+		baseCtx:     ctx,
+		cancel:      cancel,
+		stop:        make(chan struct{}),
+		jobs:        make(map[string]*job),
+	}
+	s.registerMetrics()
+	s.runnerWG.Add(cfg.Runners)
+	for i := 0; i < cfg.Runners; i++ {
+		go s.runnerLoop()
+	}
+	return s
+}
+
+// Harness exposes the server's scheduler, mainly for tests and for the load
+// generator's cache statistics.
+func (s *Server) Harness() *sim.Harness { return s.harness }
+
+// Handler returns the daemon's HTTP routing table.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /v1/version", s.handleVersion)
+	return mux
+}
+
+// Shutdown drains the server: admission stops immediately (healthz flips to
+// 503, new submissions get 503), queued and running jobs complete, then the
+// runner loops exit. If ctx expires first, every remaining job is cancelled
+// and the loops are awaited regardless, so Shutdown never leaks a runner.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.draining.Store(true)
+	drained := make(chan struct{})
+	go func() {
+		for {
+			if len(s.interactive) == 0 && len(s.sweep) == 0 && s.m.inflight.Load() == 0 {
+				close(drained)
+				return
+			}
+			select {
+			case <-ctx.Done():
+				return
+			case <-time.After(10 * time.Millisecond):
+			}
+		}
+	}()
+	var err error
+	select {
+	case <-drained:
+	case <-ctx.Done():
+		err = fmt.Errorf("serve: drain aborted: %w", ctx.Err())
+		s.cancel() // cancel running jobs so the runners come back
+	}
+	close(s.stop)
+	s.runnerWG.Wait()
+	s.cancel()
+	return err
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]any{"status": "draining"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"status": "ok"})
+}
+
+func (s *Server) handleVersion(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"name":        "lfservd",
+		"version":     Version,
+		"go":          runtime.Version(),
+		"runners":     s.cfg.Runners,
+		"queue_depth": s.cfg.QueueDepth,
+		"cache_cap":   s.harness.Cache.Capacity(),
+	})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := s.reg.WriteJSON(w); err != nil {
+		// Headers are gone; all we can do is drop the connection.
+		return
+	}
+}
+
+// writeJSON renders one JSON response with the given status.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+// retryAfterSeconds estimates how long a rejected client should back off:
+// the queued work divided by the service rate, floored at one second.
+func (s *Server) retryAfterSeconds() int {
+	queued := len(s.interactive) + len(s.sweep) + int(s.m.inflight.Load())
+	st := s.harness.Stats()
+	avg := time.Second
+	if st.Jobs > 0 {
+		avg = time.Duration(st.JobNanos / int64(st.Jobs))
+	}
+	est := time.Duration(queued) * avg / time.Duration(s.cfg.Runners)
+	sec := int(est / time.Second)
+	if sec < 1 {
+		sec = 1
+	}
+	return sec
+}

@@ -1,6 +1,8 @@
 package sim
 
 import (
+	"container/list"
+	"context"
 	"fmt"
 	"runtime/debug"
 	"sync"
@@ -51,10 +53,21 @@ func CacheKey(cfg cpu.Config, prog *asm.Program) string {
 // cacheEntry is one singleflight slot: the first arrival runs the simulation
 // and closes done; everyone else blocks on done and copies the result.
 type cacheEntry struct {
+	key   string
 	done  chan struct{}
 	stats cpu.Stats
 	err   error
+	// elem is the entry's LRU list node, linked (under RunCache.mu) once the
+	// run completes successfully; nil while the entry is still in flight.
+	elem *list.Element
 }
+
+// DefaultCacheCapacity bounds a NewRunCache by default: large enough that
+// every sweep in the repo's experiment set fits with room to spare, small
+// enough that a long-lived process (a serving daemon, a day of sweeps) cannot
+// grow without limit. One entry holds a cpu.Stats (~1 KiB), so the default
+// bound costs at most a few MiB.
+const DefaultCacheCapacity = 4096
 
 // RunCache memoises simulation results keyed by CacheKey. A sweep that
 // re-simulates its baseline at every point, or a benchmark suite that runs
@@ -65,20 +78,66 @@ type cacheEntry struct {
 // may not corrupt each other. Failed runs are never retained: the error is
 // delivered to the caller and every in-flight joiner, then the entry is
 // evicted, so a transient failure (a timeout, a worker panic) cannot poison
-// every later request for the key. The zero value is ready to use.
+// every later request for the key.
+//
+// The cache is bounded: completed entries form an LRU list and the least
+// recently used one is evicted when the resident count exceeds the capacity.
+// In-flight entries are never evicted (their population is bounded by the
+// worker pool), and an evicted key simply re-simulates on next use. The zero
+// value is ready to use and unbounded; NewRunCache applies
+// DefaultCacheCapacity.
 type RunCache struct {
 	mu      sync.Mutex
 	entries map[string]*cacheEntry
+	// lru holds completed entries, most recently used at the front.
+	lru      list.List
+	capacity int
 
 	// Counters, readable while the cache is in use.
-	hits     atomic.Uint64 // completed-entry hits
-	flight   atomic.Uint64 // singleflight joins (entry still running)
-	misses   atomic.Uint64 // simulations actually executed
-	failures atomic.Uint64 // errored runs evicted instead of cached
+	hits      atomic.Uint64 // completed-entry hits
+	flight    atomic.Uint64 // singleflight joins (entry still running)
+	misses    atomic.Uint64 // simulations actually executed
+	failures  atomic.Uint64 // errored runs evicted instead of cached
+	evictions atomic.Uint64 // completed entries displaced by the LRU bound
 }
 
-// NewRunCache returns an empty run cache.
-func NewRunCache() *RunCache { return &RunCache{} }
+// NewRunCache returns an empty run cache bounded at DefaultCacheCapacity.
+func NewRunCache() *RunCache { return &RunCache{capacity: DefaultCacheCapacity} }
+
+// NewBoundedRunCache returns an empty run cache holding at most capacity
+// completed entries; capacity <= 0 means unbounded.
+func NewBoundedRunCache(capacity int) *RunCache { return &RunCache{capacity: capacity} }
+
+// SetCapacity changes the LRU bound (<= 0 means unbounded) and immediately
+// evicts down to it.
+func (c *RunCache) SetCapacity(capacity int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.capacity = capacity
+	c.evictOverLocked()
+}
+
+// Capacity returns the LRU bound (0 = unbounded).
+func (c *RunCache) Capacity() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.capacity
+}
+
+// evictOverLocked drops least-recently-used completed entries until the
+// resident count fits the capacity. Caller holds c.mu.
+func (c *RunCache) evictOverLocked() {
+	if c.capacity <= 0 {
+		return
+	}
+	for c.lru.Len() > c.capacity {
+		back := c.lru.Back()
+		e := back.Value.(*cacheEntry)
+		c.lru.Remove(back)
+		delete(c.entries, e.key)
+		c.evictions.Add(1)
+	}
+}
 
 // Run returns the memoised result for (cfg, prog), simulating on first use.
 func (c *RunCache) Run(cfg cpu.Config, prog *asm.Program) (*cpu.Stats, error) {
@@ -87,28 +146,47 @@ func (c *RunCache) Run(cfg cpu.Config, prog *asm.Program) (*cpu.Stats, error) {
 
 // Do returns the memoised result for key, invoking run on first use.
 // Concurrent callers with the same key share one invocation (singleflight).
+// See DoContext.
+func (c *RunCache) Do(key string, run func() (*cpu.Stats, error)) (*cpu.Stats, error) {
+	return c.DoContext(context.Background(), key, run)
+}
+
+// DoContext returns the memoised result for key, invoking run on first use.
+// Concurrent callers with the same key share one invocation (singleflight).
 // Only successful results are cached; a failure is evicted before the flight
 // is released, so the next identical request re-executes. If run panics, the
 // panic is recovered into a PanicError — the flight channel always closes, so
 // joiners can never deadlock on a crashed runner.
-func (c *RunCache) Do(key string, run func() (*cpu.Stats, error)) (*cpu.Stats, error) {
+//
+// A joiner that is cancelled while an in-flight run proceeds returns the
+// context error immediately instead of blocking until the flight lands: a
+// disconnected client never pins a goroutine to someone else's simulation.
+// The flight itself is owned by its first caller and is not cancelled by a
+// joiner's context.
+func (c *RunCache) DoContext(ctx context.Context, key string, run func() (*cpu.Stats, error)) (*cpu.Stats, error) {
 	c.mu.Lock()
 	if c.entries == nil {
 		c.entries = make(map[string]*cacheEntry)
 	}
 	if e, ok := c.entries[key]; ok {
+		if e.elem != nil { // completed: a plain hit
+			c.lru.MoveToFront(e.elem)
+			c.mu.Unlock()
+			c.hits.Add(1)
+			st := e.stats
+			return &st, e.err
+		}
 		c.mu.Unlock()
+		c.flight.Add(1)
 		select {
 		case <-e.done:
-			c.hits.Add(1)
-		default:
-			c.flight.Add(1)
-			<-e.done
+		case <-ctx.Done():
+			return nil, fmt.Errorf("sim: abandoned in-flight run: %w", ctx.Err())
 		}
 		st := e.stats
 		return &st, e.err
 	}
-	e := &cacheEntry{done: make(chan struct{})}
+	e := &cacheEntry{key: key, done: make(chan struct{})}
 	c.entries[key] = e
 	c.mu.Unlock()
 
@@ -125,12 +203,15 @@ func (c *RunCache) Do(key string, run func() (*cpu.Stats, error)) (*cpu.Stats, e
 			e.stats = *st
 		}
 	}()
+	c.mu.Lock()
 	if e.err != nil {
 		c.failures.Add(1)
-		c.mu.Lock()
 		delete(c.entries, key)
-		c.mu.Unlock()
+	} else {
+		e.elem = c.lru.PushFront(e)
+		c.evictOverLocked()
 	}
+	c.mu.Unlock()
 	close(e.done)
 	out := e.stats
 	return &out, e.err
@@ -148,6 +229,10 @@ func (c *RunCache) Misses() uint64 { return c.misses.Load() }
 
 // Failures returns the number of errored runs evicted instead of cached.
 func (c *RunCache) Failures() uint64 { return c.failures.Load() }
+
+// Evictions returns the number of completed entries displaced by the LRU
+// capacity bound.
+func (c *RunCache) Evictions() uint64 { return c.evictions.Load() }
 
 // Len returns the number of distinct keys resident in the cache.
 func (c *RunCache) Len() int {

@@ -44,14 +44,14 @@ func isPanic(err error) bool {
 // errors, retry a panicking job once (panics can be order-dependent under a
 // parallel sweep), and quarantine the key if the deterministic re-run panics
 // too. key is the job's cache key, shared with the quarantine set.
-func (h *Harness) execute(key string, j Job) (*cpu.Stats, error) {
-	st, err := h.attempt(j)
+func (h *Harness) execute(ctx context.Context, key string, j Job) (*cpu.Stats, error) {
+	st, err := h.attempt(ctx, j)
 	if !isPanic(err) {
 		return st, err
 	}
 	h.panics.Add(1)
 	h.retries.Add(1)
-	st, err = h.attempt(j)
+	st, err = h.attempt(ctx, j)
 	if isPanic(err) {
 		h.panics.Add(1)
 		h.quarantines.Add(1)
@@ -61,9 +61,10 @@ func (h *Harness) execute(key string, j Job) (*cpu.Stats, error) {
 }
 
 // attempt is one guarded simulation: machine construction, optional fault
-// plan, optional deadline. It never panics; a panic anywhere inside the
-// machine surfaces as a *PanicError.
-func (h *Harness) attempt(j Job) (st *cpu.Stats, err error) {
+// plan, the caller's context merged with the optional per-job deadline. It
+// never panics; a panic anywhere inside the machine surfaces as a
+// *PanicError.
+func (h *Harness) attempt(ctx context.Context, j Job) (st *cpu.Stats, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			err = &PanicError{Value: r, Stack: debug.Stack()}
@@ -82,13 +83,20 @@ func (h *Harness) attempt(j Job) (st *cpu.Stats, err error) {
 			m.SetFaultInjector(plan)
 		}
 	}
-	if j.Timeout <= 0 {
-		return m.Run()
+	if j.Observe != nil {
+		j.Observe(m)
 	}
-	ctx, cancel := context.WithTimeout(context.Background(), j.Timeout)
-	defer cancel()
-	st, err = m.RunContext(ctx)
-	if errors.Is(err, context.DeadlineExceeded) {
+	runCtx := ctx
+	if j.Timeout > 0 {
+		var cancel context.CancelFunc
+		runCtx, cancel = context.WithTimeout(ctx, j.Timeout)
+		defer cancel()
+	}
+	st, err = m.RunContext(runCtx)
+	// A deadline expiry is the job's own timeout only when the caller's
+	// context is still live — a cancelled or expired caller context is a
+	// cancellation, reported as such.
+	if errors.Is(err, context.DeadlineExceeded) && j.Timeout > 0 && ctx.Err() == nil {
 		h.timeouts.Add(1)
 		err = fmt.Errorf("sim: job deadline (%v) exceeded: %w", j.Timeout, err)
 	}

@@ -35,7 +35,7 @@ func TestFailedRunsNeverCached(t *testing.T) {
 		i := i
 		go func() {
 			defer wg.Done()
-			_, errs[i] = h.runOne(j)
+			_, errs[i] = h.runOne(context.Background(), j)
 		}()
 	}
 	done := make(chan struct{})
@@ -58,7 +58,7 @@ func TestFailedRunsNeverCached(t *testing.T) {
 	}
 	// A third, sequential request must re-execute, not replay a cached error.
 	misses := h.Cache.Misses()
-	if _, err := h.runOne(j); !errors.Is(err, cpu.ErrCycleLimit) {
+	if _, err := h.runOne(context.Background(), j); !errors.Is(err, cpu.ErrCycleLimit) {
 		t.Errorf("third run: err = %v, want ErrCycleLimit", err)
 	}
 	if h.Cache.Misses() == misses {
@@ -75,7 +75,7 @@ func TestPanicRetryAndQuarantine(t *testing.T) {
 	prog := workloads.ChaosSuite()[0].MustProgram()
 	j := Job{Cfg: cpu.DefaultConfig(), Prog: prog, Faults: "panic=1", Seed: 1}
 
-	_, err := h.runOne(j)
+	_, err := h.runOne(context.Background(), j)
 	var pe *PanicError
 	if !errors.As(err, &pe) {
 		t.Fatalf("err = %v, want PanicError", err)
@@ -91,7 +91,7 @@ func TestPanicRetryAndQuarantine(t *testing.T) {
 		t.Errorf("panics=%d retries=%d quarantined=%d, want 2/1/1", st.Panics, st.Retries, st.Quarantined)
 	}
 
-	if _, err := h.runOne(j); !errors.Is(err, ErrQuarantined) {
+	if _, err := h.runOne(context.Background(), j); !errors.Is(err, ErrQuarantined) {
 		t.Errorf("repeat offender re-ran: err = %v, want ErrQuarantined", err)
 	}
 	if got := h.Stats().Panics; got != 2 {
@@ -108,7 +108,7 @@ func TestJobTimeout(t *testing.T) {
 		Prog:    workloads.ByName(workloads.CPU2017(), "deepsjeng").MustProgram(),
 		Timeout: time.Nanosecond,
 	}
-	_, err := h.runOne(j)
+	_, err := h.runOne(context.Background(), j)
 	if !errors.Is(err, context.DeadlineExceeded) {
 		t.Fatalf("err = %v, want DeadlineExceeded", err)
 	}

@@ -8,6 +8,7 @@ package sim
 // sequential one.
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -35,6 +36,14 @@ type Job struct {
 	// deadline only decides whether the job completes — never its result —
 	// so it is excluded from the cache key.
 	Timeout time.Duration
+
+	// Observe, when non-nil, is invoked with the machine just before each
+	// actual simulation attempt, letting callers attach telemetry or progress
+	// hooks (cpu.SnapshotStats works concurrently while the run proceeds).
+	// It is not part of the cache key and fires only for runs that execute:
+	// a cache hit, a singleflight join, or a quarantined key never observes
+	// a machine, and a panic retry observes the fresh machine again.
+	Observe func(*cpu.Machine)
 }
 
 // Harness schedules simulation jobs over a worker pool with an optional
@@ -85,12 +94,16 @@ type HarnessStats struct {
 	Quarantined uint64
 	Timeouts    uint64
 	// Run-cache counters (zero when no cache is attached). CacheFailures
-	// counts errored runs evicted instead of cached.
+	// counts errored runs evicted instead of cached; CacheEvictions counts
+	// completed entries displaced by the LRU bound (CacheCapacity, 0 =
+	// unbounded).
 	CacheHits        uint64
 	CacheFlightJoins uint64
 	CacheMisses      uint64
 	CacheFailures    uint64
+	CacheEvictions   uint64
 	CacheEntries     uint64
+	CacheCapacity    uint64
 }
 
 // Stats snapshots the harness's scheduling and cache telemetry.
@@ -115,7 +128,11 @@ func (h *Harness) Stats() HarnessStats {
 		s.CacheFlightJoins = c.FlightJoins()
 		s.CacheMisses = c.Misses()
 		s.CacheFailures = c.Failures()
+		s.CacheEvictions = c.Evictions()
 		s.CacheEntries = uint64(c.Len())
+		if cap := c.Capacity(); cap > 0 {
+			s.CacheCapacity = uint64(cap)
+		}
 	}
 	return s
 }
@@ -154,8 +171,9 @@ func (h *Harness) workers() int {
 
 // runOne executes a single job through the quarantine check and the cache
 // when one is attached. The actual simulation happens in execute (safety.go),
-// which recovers panics and enforces the job deadline.
-func (h *Harness) runOne(j Job) (*cpu.Stats, error) {
+// which recovers panics and enforces the job deadline; ctx cancellation stops
+// the machine mid-run and releases singleflight joiners immediately.
+func (h *Harness) runOne(ctx context.Context, j Job) (*cpu.Stats, error) {
 	start := time.Now()
 	defer func() {
 		d := int64(time.Since(start))
@@ -173,9 +191,9 @@ func (h *Harness) runOne(j Job) (*cpu.Stats, error) {
 		return nil, fmt.Errorf("%w (program %s)", ErrQuarantined, j.Prog.Name)
 	}
 	if h.Cache != nil {
-		return h.Cache.Do(key, func() (*cpu.Stats, error) { return h.execute(key, j) })
+		return h.Cache.DoContext(ctx, key, func() (*cpu.Stats, error) { return h.execute(ctx, key, j) })
 	}
-	return h.execute(key, j)
+	return h.execute(ctx, key, j)
 }
 
 // RunJobsErrs executes all jobs over the pool and returns stats and errors
@@ -184,18 +202,35 @@ func (h *Harness) runOne(j Job) (*cpu.Stats, error) {
 // job still runs to completion, so a sweep always produces the partial
 // result set it can.
 func (h *Harness) RunJobsErrs(jobs []Job) ([]*cpu.Stats, []error) {
+	return h.RunJobsCtx(context.Background(), jobs)
+}
+
+// RunJobsCtx is RunJobsErrs under a context: when ctx is cancelled (a client
+// disconnect, a server drain), every in-flight machine stops at its next
+// cancellation poll, jobs waiting on someone else's singleflight run stop
+// waiting, and jobs not yet started fail fast with the context error. The
+// call always returns with every worker goroutine finished — cancellation
+// can never leak a runner.
+func (h *Harness) RunJobsCtx(ctx context.Context, jobs []Job) ([]*cpu.Stats, []error) {
 	batchStart := time.Now()
 	h.batches.Add(1)
 	defer func() { h.wallNanos.Add(int64(time.Since(batchStart))) }()
 	out := make([]*cpu.Stats, len(jobs))
 	errs := make([]error, len(jobs))
+	runOne := func(i int) {
+		if err := ctx.Err(); err != nil {
+			errs[i] = fmt.Errorf("sim: job not started: %w", err)
+			return
+		}
+		out[i], errs[i] = h.runOne(ctx, jobs[i])
+	}
 	n := h.workers()
 	if n > len(jobs) {
 		n = len(jobs)
 	}
 	if n <= 1 {
-		for i, j := range jobs {
-			out[i], errs[i] = h.runOne(j)
+		for i := range jobs {
+			runOne(i)
 		}
 		return out, errs
 	}
@@ -210,7 +245,7 @@ func (h *Harness) RunJobsErrs(jobs []Job) ([]*cpu.Stats, []error) {
 				if i >= len(jobs) {
 					return
 				}
-				out[i], errs[i] = h.runOne(jobs[i])
+				runOne(i)
 			}
 		}()
 	}

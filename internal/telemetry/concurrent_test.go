@@ -1,0 +1,116 @@
+package telemetry
+
+import (
+	"io"
+	"sync/atomic"
+	"testing"
+
+	"loopfrog/internal/cpu"
+	"loopfrog/internal/workloads"
+)
+
+// TestConcurrentCollection polls the full registry from several goroutines
+// while the machine runs — exactly what a /metrics endpoint does to a live
+// simulation. Under -race this proves the snapshot publishing protocol: the
+// collectors never touch the pipeline's counters directly. After the run the
+// final snapshot must be exact.
+func TestConcurrentCollection(t *testing.T) {
+	b := workloads.ByName(workloads.CPU2017(), "mcf")
+	prog, err := b.Program()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := cpu.NewMachine(cpu.DefaultConfig(), prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := NewRegistry()
+	if err := CollectMachine(reg, m); err != nil {
+		t.Fatal(err)
+	}
+
+	var running atomic.Bool
+	running.Store(true)
+	const pollers = 4
+	polled := make(chan uint64, pollers)
+	for p := 0; p < pollers; p++ {
+		go func() {
+			var n uint64
+			var last float64
+			for running.Load() {
+				snap := reg.Snapshot()
+				n++
+				for _, mt := range snap {
+					if mt.Name == "cpu.Cycles" {
+						if mt.Value < last {
+							t.Errorf("cpu.Cycles went backwards: %v -> %v", last, mt.Value)
+						}
+						last = mt.Value
+					}
+				}
+				// Exercise the JSON writer concurrently too.
+				if err := reg.WriteJSON(io.Discard); err != nil {
+					t.Error(err)
+				}
+			}
+			polled <- n
+		}()
+	}
+
+	st, err := m.Run()
+	running.Store(false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var total uint64
+	for p := 0; p < pollers; p++ {
+		total += <-polled
+	}
+	if total == 0 {
+		t.Fatal("no snapshot was taken during the run")
+	}
+
+	// Post-run the published snapshot is exact: spot-check against the live
+	// final stats.
+	final := map[string]float64{}
+	for _, mt := range reg.Snapshot() {
+		final[mt.Name] = mt.Value
+	}
+	if got, want := final["cpu.Cycles"], float64(st.Cycles); got != want {
+		t.Errorf("final cpu.Cycles = %v, want %v", got, want)
+	}
+	if got, want := final["cpu.ArchInsts"], float64(st.ArchInsts); got != want {
+		t.Errorf("final cpu.ArchInsts = %v, want %v", got, want)
+	}
+	if final["ssb.Writes"] == 0 {
+		t.Error("final ssb.Writes = 0, want > 0 on a LoopFrog run")
+	}
+	if final["mem.l1d.Accesses"] == 0 {
+		t.Error("final mem.l1d.Accesses = 0, want > 0")
+	}
+}
+
+// TestSnapshotStatsIdleMachine: a machine that never ran publishes its reset
+// state, and SnapshotStats is safe before, during (covered above), and after
+// a run.
+func TestSnapshotStatsIdleMachine(t *testing.T) {
+	b := workloads.ByName(workloads.CPU2017(), "mcf")
+	prog, err := b.Program()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := cpu.NewMachine(cpu.DefaultConfig(), prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap := m.SnapshotStats(); snap.CPU.Cycles != 0 || snap.CPU.ArchInsts != 0 {
+		t.Errorf("idle machine snapshot not at reset: %+v", snap.CPU)
+	}
+	st, err := m.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap := m.SnapshotStats(); snap.CPU.Cycles != st.Cycles {
+		t.Errorf("post-run snapshot cycles = %d, want %d", snap.CPU.Cycles, st.Cycles)
+	}
+}

@@ -32,51 +32,43 @@ const (
 // reg: the core counters (cpu.*), the LoopFrog apparatus (ssb.*, conflict.*,
 // pack.*, monitor.*), the predictor (bpred.*), the cache hierarchy
 // (mem.l1i.*, mem.l1d.*, mem.l2.*), and named commit-slot attribution
-// (cpu.slots.<class>). Sources are read live at snapshot time, so reg can be
-// snapshotted during or after Run.
+// (cpu.slots.<class>). Every source reads through the machine's published
+// StatsSnapshot, so reg can be snapshotted from any goroutine during or
+// after Run — a /metrics endpoint polling mid-run never races the pipeline
+// (the snapshot lags a live run by at most the machine's publish interval,
+// ~8k cycles, and is exact once the run returns).
 func CollectMachine(reg *Registry, m *cpu.Machine) error {
-	if err := reg.RegisterStruct(prefixCPU, m.Stats()); err != nil {
-		return err
-	}
-	if err := reg.RegisterStruct(prefixSSB, &m.SSB().Stats); err != nil {
-		return err
-	}
-	if err := reg.RegisterStruct(prefixConflict, m.Detector()); err != nil {
-		return err
-	}
-	if err := reg.RegisterStruct(prefixPack, m.Packer()); err != nil {
-		return err
-	}
-	if err := reg.RegisterStruct(prefixMonitor, m.Monitor()); err != nil {
-		return err
-	}
-	if err := reg.RegisterStruct(prefixBPred, m.Predictor()); err != nil {
-		return err
-	}
-	hier := m.Hierarchy()
-	for _, lvl := range []struct {
+	for _, src := range []struct {
 		prefix string
 		read   func() any
 	}{
-		{prefixMemL1I, func() any { l1i, _, _ := hier.Stats(); return l1i }},
-		{prefixMemL1D, func() any { _, l1d, _ := hier.Stats(); return l1d }},
-		{prefixMemL2, func() any { _, _, l2 := hier.Stats(); return l2 }},
+		{prefixCPU, func() any { return m.SnapshotStats().CPU }},
+		{prefixSSB, func() any { return m.SnapshotStats().SSB }},
+		{prefixConflict, func() any { return m.SnapshotStats().Conflict }},
+		{prefixPack, func() any { return m.SnapshotStats().Pack }},
+		{prefixMonitor, func() any { return m.SnapshotStats().Monitor }},
+		{prefixBPred, func() any { return m.SnapshotStats().BPred }},
+		{prefixMemL1I, func() any { return m.SnapshotStats().L1I }},
+		{prefixMemL1D, func() any { return m.SnapshotStats().L1D }},
+		{prefixMemL2, func() any { return m.SnapshotStats().L2 }},
 	} {
-		if err := reg.RegisterStructFunc(lvl.prefix, lvl.read); err != nil {
+		if err := reg.RegisterStructFunc(src.prefix, src.read); err != nil {
 			return err
 		}
 	}
 	// Named views of the index-keyed arrays, for humans and dashboards.
-	st := m.Stats()
 	names := cpu.SlotClassNames()
 	for i := 0; i < cpu.NumSlotClasses; i++ {
 		i := i
-		reg.RegisterGauge(prefixSlots+"."+names[i], func() float64 { return float64(st.CommitSlots[i]) })
+		reg.RegisterGauge(prefixSlots+"."+names[i], func() float64 {
+			return float64(m.SnapshotStats().CPU.CommitSlots[i])
+		})
 	}
 	for c := 0; c < core.NumSquashCauses; c++ {
 		c := c
-		reg.RegisterGauge(prefixCPU+".squash."+core.SquashCause(c).String(),
-			func() float64 { return float64(st.Squashes[c]) })
+		reg.RegisterGauge(prefixCPU+".squash."+core.SquashCause(c).String(), func() float64 {
+			return float64(m.SnapshotStats().CPU.Squashes[c])
+		})
 	}
 	return nil
 }

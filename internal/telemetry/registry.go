@@ -33,7 +33,12 @@ type source struct {
 }
 
 // Registry holds named metric sources. The zero value is ready to use;
-// registration and snapshots are safe for concurrent use.
+// registration and snapshots are safe for concurrent use, including
+// Snapshot/WriteJSON calls racing each other (a polling /metrics endpoint).
+// A source's read function must itself be safe to call from any goroutine:
+// register a struct only while its producer is quiescent, or use a
+// RegisterStructFunc that returns a coherent copy (cpu.Machine.SnapshotStats,
+// sim.Harness.Stats do exactly this).
 type Registry struct {
 	mu      sync.Mutex
 	sources []source
