@@ -6,7 +6,7 @@
 //
 //	lfbench [-fig 1|6|7|8|9|10] [-table 1|2|3] [-packing] [-assoc]
 //	        [-generality] [-area] [-quick] [-parallel N] [-metrics file]
-//	        [-chaos] [-seed N]
+//	        [-chaos] [-seed N] [-sampled] [-sampledjson file]
 //	        [-cpuprofile file] [-memprofile file]
 //
 // Simulations are fanned out over all CPU cores by default; -parallel caps
@@ -18,15 +18,26 @@
 // fault-injection kind (and their combination) across the chaos workload
 // suite at three seeds starting from -seed, each run differentially checked
 // against the sequential reference. Any failing cell exits 1.
+//
+// -sampled runs the two-tier sampled-simulation accuracy study instead of
+// the paper experiments: every workload of the suite (-quick for the subset)
+// is run in full detail as ground truth and then estimated by sampled
+// simulation at the default full-tiling configuration; any cycle error over
+// 2% (5% for the documented outliers) exits 1. -sampledjson additionally
+// sweeps the accuracy-vs-speedup curve across sampling configurations and
+// writes the result (BENCH_sampled.json schema) to the given file.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"sort"
 	"strings"
+	"time"
 
 	"loopfrog/internal/cpu"
 	"loopfrog/internal/experiments"
@@ -46,6 +57,8 @@ func main() {
 	quick := flag.Bool("quick", false, "use a reduced benchmark subset for sweeps")
 	chaos := flag.Bool("chaos", false, "run the fault-injection chaos matrix and exit")
 	seed := flag.Int64("seed", 1, "first chaos matrix seed")
+	sampled := flag.Bool("sampled", false, "run the sampled-simulation accuracy study and exit")
+	sampledJSON := flag.String("sampledjson", "", "with the accuracy study, sweep the accuracy-vs-speedup curve and write BENCH_sampled.json here")
 	parallel := flag.Int("parallel", 0, "simulation worker count (0 = all cores)")
 	metricsPath := flag.String("metrics", "", "write harness telemetry JSON to this file on exit")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
@@ -99,6 +112,13 @@ func main() {
 	die := func(err error) {
 		fmt.Fprintln(os.Stderr, "lfbench:", err)
 		os.Exit(1)
+	}
+
+	if *sampled || *sampledJSON != "" {
+		if !runSampled(sweepSuite, *sampledJSON) {
+			os.Exit(1)
+		}
+		return
 	}
 
 	var results17 []*sim.Result
@@ -198,6 +218,83 @@ func main() {
 			die(err)
 		}
 	}
+}
+
+// runSampled runs the sampled-simulation accuracy study over suite: full
+// detailed runs as ground truth, sampled estimates at the default full-tiling
+// configuration (plus the whole accuracy-vs-speedup curve when jsonPath is
+// set), gated on the documented error budgets. Returns false on any breach.
+func runSampled(suite []*workloads.Benchmark, jsonPath string) bool {
+	configs := []sim.SampleConfig{sim.DefaultSampleConfig()}
+	if jsonPath != "" {
+		configs = experiments.SampledCurveConfigs()
+	}
+	points, err := experiments.Sampled(suite, configs)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lfbench:", err)
+		return false
+	}
+	fmt.Print(experiments.FormatSampled(points))
+	if jsonPath != "" {
+		if err := writeSampledJSON(jsonPath, suite, points); err != nil {
+			fmt.Fprintln(os.Stderr, "lfbench:", err)
+			return false
+		}
+		fmt.Printf("wrote %s\n", jsonPath)
+	}
+	fails := experiments.SampledFailures(points)
+	for _, f := range fails {
+		fmt.Fprintln(os.Stderr, "lfbench: FAIL:", f)
+	}
+	if len(fails) == 0 {
+		fmt.Println("sampled accuracy gate: PASS")
+	}
+	return len(fails) == 0
+}
+
+// sampledReport is the BENCH_sampled.json schema.
+type sampledReport struct {
+	Description string                     `json:"description"`
+	Date        string                     `json:"date"`
+	Host        string                     `json:"host"`
+	Command     string                     `json:"command"`
+	Workloads   []string                   `json:"workloads"`
+	Budgets     map[string]float64         `json:"budgets_pct"`
+	Outliers    []string                   `json:"outliers"`
+	Curve       []experiments.SampledPoint `json:"curve"`
+}
+
+func writeSampledJSON(path string, suite []*workloads.Benchmark, points []experiments.SampledPoint) error {
+	var names []string
+	for _, b := range suite {
+		names = append(names, b.Name)
+	}
+	var outliers []string
+	for name := range experiments.SampledOutliers {
+		outliers = append(outliers, name)
+	}
+	sort.Strings(outliers)
+	rep := sampledReport{
+		Description: "Two-tier sampled simulation: accuracy-vs-speedup curve. Each point estimates every workload's baseline and LoopFrog cycle count from fast-functional tier-1 warming plus detailed windows, compared against full detailed runs. sim_speedup is full-pair wall time over sampled-pair wall time on this host; windows fan out over the worker pool, so multi-core hosts scale it by the core count.",
+		Date:        time.Now().Format("2006-01-02"),
+		Host:        fmt.Sprintf("%s/%s, %d cores", runtime.GOOS, runtime.GOARCH, runtime.NumCPU()),
+		Command:     "lfbench -sampled -sampledjson BENCH_sampled.json",
+		Workloads:   names,
+		Budgets:     map[string]float64{"default": 100 * experiments.SampledErrBudget, "outlier": 100 * experiments.SampledOutlierBudget},
+		Outliers:    outliers,
+		Curve:       points,
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // runChaos sweeps the seeded fault matrix: every safe fault kind and their

@@ -5,9 +5,23 @@
 // Usage:
 //
 //	lfsim [-baseline] [-threadlets N] [-nopack] [-ab] [-parallel N]
+//	      [-sampled [-interval N] [-window N] [-warmup N]]
 //	      [-lint] [-faults spec] [-seed N] [-check]
 //	      [-trace file] [-metrics file]
 //	      [-cpuprofile file] [-memprofile file] (-bench name | file)
+//
+// -sampled estimates whole-run cycles with the two-tier sampled pipeline
+// instead of simulating every instruction in the detailed model: tier 1
+// fast-forwards the program functionally (warming predictor, cache and
+// LoopFrog-engine state) and emits a checkpoint every -interval instructions;
+// tier 2 simulates a detailed window per checkpoint (-warmup settle +
+// -window measured instructions) with the windows fanned out across the
+// worker pool, and the per-interval weighting combines the window IPCs into
+// the whole-run estimate. Zero values take the tuned defaults
+// (sim.DefaultSampleConfig). Combine with -ab for a sampled baseline/LoopFrog
+// speedup estimate off a single tier-1 pass. Sampled runs are estimates over
+// measured windows, so -faults, -check and -trace (whole-run machinery)
+// refuse to combine with it.
 //
 // -lint runs the hint-legality linter (see cmd/lflint) as a preflight and
 // refuses to simulate a program with legality errors. Invalid flag values
@@ -63,6 +77,10 @@ func main() {
 	faults := flag.String("faults", "", "fault-injection spec (e.g. \"all\" or \"conflict=0.05,kill\")")
 	seed := flag.Int64("seed", 1, "fault-injection seed")
 	check := flag.Bool("check", false, "verify the final state against the sequential reference")
+	sampled := flag.Bool("sampled", false, "two-tier sampled estimate instead of a full detailed run")
+	interval := flag.Uint64("interval", 0, "sampled checkpoint interval in instructions (0 = default)")
+	window := flag.Uint64("window", 0, "sampled measured window in instructions (0 = default)")
+	warmup := flag.Uint64("warmup", 0, "sampled detailed warmup per window in instructions (0 = default)")
 	flag.Parse()
 
 	// Usage errors exit 2, before any work happens.
@@ -144,6 +162,22 @@ func main() {
 	}
 	if *baseline {
 		cfg = sim.BaselineOf(cfg)
+	}
+
+	if *sampled {
+		// Sampled runs estimate timing from windows; fault injection and
+		// state checks need the full detailed machine.
+		if *faults != "" || *check || *tracePath != "" {
+			fmt.Fprintln(os.Stderr, "lfsim: -sampled is incompatible with -faults, -check and -trace")
+			flag.Usage()
+			os.Exit(2)
+		}
+		sc := sim.SampleConfig{Interval: *interval, Window: *window, Warmup: *warmup}
+		if err := runSampled(cfg, prog, sc, *ab); err != nil {
+			printRunError(err)
+			os.Exit(1)
+		}
+		return
 	}
 
 	if *ab {
@@ -237,6 +271,39 @@ func main() {
 		}
 		fmt.Println("check: final state matches the sequential reference (x10 + memory)")
 	}
+}
+
+// runSampled runs the two-tier sampled pipeline and prints its estimate. With
+// ab it runs the baseline/LoopFrog pair off one tier-1 pass and prints the
+// phase-weighted speedup; otherwise it estimates the single configured run.
+func runSampled(cfg cpu.Config, prog *asm.Program, sc sim.SampleConfig, ab bool) error {
+	if ab {
+		res, err := sim.RunSampledAB(cfg, prog, sc)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("baseline: %8.0f cycles (est)  IPC %.2f\n", res.Base.EstCycles, res.Base.IPC())
+		fmt.Printf("loopfrog: %8.0f cycles (est)  IPC %.2f\n", res.LF.EstCycles, res.LF.IPC())
+		fmt.Printf("speedup:  %.3fx (phase-weighted estimate)\n", res.EstSpeedup)
+		printSampledCost(res.LF)
+		return nil
+	}
+	st, err := sim.RunSampled(cfg, prog, sc)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("cycles            %.0f (sampled estimate)\n", st.EstCycles)
+	fmt.Printf("instructions      %d (IPC %.2f)\n", st.TotalInsts, st.IPC())
+	printSampledCost(st)
+	return nil
+}
+
+// printSampledCost prints the sampled pipeline's cost/shape line.
+func printSampledCost(st *sim.SampledStats) {
+	fmt.Printf("sampled           %d windows (interval %d, window %d, warmup %d), detailed share %.0f%%\n",
+		len(st.Windows), st.Sample.Interval, st.Sample.Window, st.Sample.Warmup, 100*st.DetailedShare)
+	fmt.Printf("throughput        tier-1 %.1fM insts/s, effective %.1fM insts/s\n",
+		st.Tier1IPS/1e6, st.EffectiveIPS/1e6)
 }
 
 // printRunError reports a failed run; a watchdog ProgressError additionally

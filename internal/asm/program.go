@@ -50,6 +50,35 @@ type Program struct {
 	// Fingerprint cache; computed on demand, images are immutable once built.
 	fpOnce sync.Once
 	fp     string
+
+	// Predecoded image cache (Decoded); built once, shared read-only.
+	decOnce sync.Once
+	dec     []DecInst
+}
+
+// DecInst is one predecoded instruction: the architectural instruction plus a
+// pointer into the immutable opcode metadata table. Execution engines index a
+// PC-indexed []DecInst instead of consulting isa.OpMeta on every fetch, and
+// the metadata pointer rides along with the dynamic instruction so no stage
+// re-copies the Meta value. The out-of-order core's front end and the
+// fast-functional tier share this machinery.
+type DecInst struct {
+	Inst isa.Inst
+	Meta *isa.Meta
+}
+
+// Decoded returns the PC-indexed predecoded image. It is built once per
+// program — images are immutable once assembled — and shared read-only by
+// every machine running the program, including concurrent harness workers.
+func (p *Program) Decoded() []DecInst {
+	p.decOnce.Do(func() {
+		dec := make([]DecInst, len(p.Insts))
+		for pc, inst := range p.Insts {
+			dec[pc] = DecInst{Inst: inst, Meta: isa.MetaOf(inst.Op)}
+		}
+		p.dec = dec
+	})
+	return p.dec
 }
 
 // Fingerprint returns a content hash of the executable image: the encoded

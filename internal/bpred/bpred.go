@@ -131,6 +131,31 @@ func New(cfg Config, numThreadlets int) *Predictor {
 	return p
 }
 
+// CloneFor returns a deep copy of the predictor's learned state sized for
+// numThreadlets contexts, with statistics counters reset. It is how the
+// fast-functional tier's warm tables seed a detailed machine: shared
+// structures (tagged tables, bimodal, loop predictor, BTB) carry over as-is,
+// while the per-threadlet state — global history and return address stack —
+// transfers from context 0 (the only context a sequential warming run
+// exercises) into the clone's context 0; other contexts start cold exactly as
+// in New, which matches the machine's semantics (a spawned threadlet inherits
+// its parent's history at spawn).
+func (p *Predictor) CloneFor(numThreadlets int) *Predictor {
+	c := New(p.cfg, numThreadlets)
+	copy(c.bimodal, p.bimodal)
+	for i := range p.tables {
+		copy(c.tables[i], p.tables[i])
+	}
+	copy(c.loop, p.loop)
+	copy(c.btb, p.btb)
+	if len(p.hist) > 0 && len(c.hist) > 0 {
+		c.hist[0] = p.hist[0]
+		copy(c.ras[0], p.ras[0])
+		c.rasTop[0] = p.rasTop[0]
+	}
+	return c
+}
+
 // History returns the current speculative global history of a threadlet.
 // The core snapshots it when spawning a threadlet so the child starts from
 // the parent's history.

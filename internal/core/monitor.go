@@ -196,6 +196,23 @@ func (m *RegionMonitor) OnCommit(id int64) {
 	}
 }
 
+// Clone returns a deep copy sharing no mutable state with m: per-region
+// health records are copied, so the clone and the original can be driven by
+// independent machines concurrently. Checkpoints carry cloned monitors as
+// warm LoopFrog-engine state for sampled windows.
+func (m *RegionMonitor) Clone() *RegionMonitor {
+	c := &RegionMonitor{
+		cfg:          m.cfg,
+		regions:      make(map[int64]*regionHealth, len(m.regions)),
+		Disablements: m.Disablements,
+	}
+	for id, r := range m.regions {
+		cp := *r
+		c.regions[id] = &cp
+	}
+	return c
+}
+
 // Disabled reports whether the region is currently in cooldown.
 func (m *RegionMonitor) Disabled(id int64) bool {
 	if !m.cfg.Enabled {

@@ -268,6 +268,21 @@ func (p *PackPredictor) Verify(predicted, actual *[isa.NumRegs]uint64) []isa.Reg
 	return bad
 }
 
+// Clone returns a deep copy sharing no mutable state with p: per-region
+// training records are copied (they are flat value structs), so the clone and
+// the original can be driven by independent machines concurrently.
+// Checkpoints carry cloned predictors as warm LoopFrog-engine state for
+// sampled windows.
+func (p *PackPredictor) Clone() *PackPredictor {
+	c := *p
+	c.regions = make(map[int64]*regionState, len(p.regions))
+	for id, r := range p.regions {
+		cp := *r
+		c.regions[id] = &cp
+	}
+	return &c
+}
+
 // MeanFactor returns the average packing factor over packed spawns.
 func (p *PackPredictor) MeanFactor() float64 {
 	if p.Packed == 0 {

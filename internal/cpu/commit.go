@@ -51,7 +51,7 @@ func (m *Machine) commitOne(t *threadlet, e *dynInst) {
 	m.robUsed--
 	t.robHeld--
 	arch := !m.isSpec(t.id)
-	inRegion := t.activeRegion >= 0
+	inRegion := e.dispRegion >= 0
 
 	if e.hasDest {
 		if e.destReg.IsFP() {
@@ -98,7 +98,7 @@ func (m *Machine) commitOne(t *threadlet, e *dynInst) {
 	// contiguous committed stream of the epoch, and training/verification at
 	// committed detaches.
 	if inRegion {
-		region := t.activeRegion
+		region := e.dispRegion
 		if e.meta.HasRs1 && e.inst.Rs1 != isa.X0 && !t.writtenThisIter[e.inst.Rs1] {
 			m.pack.ObserveLiveIn(region, e.inst.Rs1)
 		}

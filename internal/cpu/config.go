@@ -75,6 +75,19 @@ type Config struct {
 	// MaxCycles bounds the simulation (0 = default).
 	MaxCycles int64
 
+	// MaxArchInsts, when non-zero, stops the run cleanly (no error, Stats
+	// valid, Halted false) once that many instructions have become
+	// architectural: a sampled-simulation window. Because threadlet promotion
+	// commits epochs in bulk, the run may overshoot by up to an epoch; the
+	// sampling driver measures with the actual ArchInsts, not the budget.
+	MaxArchInsts uint64
+	// WarmupInsts, when non-zero, marks the end of a window's detailed warmup:
+	// the cycle and instruction count at which ArchInsts first reaches it are
+	// recorded in Stats.WarmupEndCycle/WarmupEndInsts, and the sampling driver
+	// measures IPC over the post-warmup remainder only. Both fields are part
+	// of a run's behavioural identity and therefore of the run-cache key.
+	WarmupInsts uint64
+
 	// Watchdog tunes the forward-progress watchdog (watchdog.go). The zero
 	// value means the default thresholds; set Watchdog.Disable to turn the
 	// checks off.

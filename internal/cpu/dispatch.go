@@ -176,6 +176,9 @@ func (m *Machine) dispatchOne(t *threadlet, fe fetchEntry) (ok, shared bool) {
 			m.enqueueReady(e)
 		}
 	}
+	// Epoch membership is decided here, after hint effects: a spawning detach
+	// opens the region for itself and younger instructions only.
+	e.dispRegion = t.activeRegion
 	return true, false
 }
 

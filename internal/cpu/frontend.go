@@ -49,10 +49,10 @@ func (m *Machine) fetchOne(t *threadlet, budget int) int {
 			}
 		}
 		d := m.code[pc]
-		inst := d.inst
-		fe := fetchEntry{pc: pc, inst: inst, meta: d.meta, readyAt: m.now + int64(m.cfg.FrontendDepth)}
+		inst := d.Inst
+		fe := fetchEntry{pc: pc, inst: inst, meta: d.Meta, readyAt: m.now + int64(m.cfg.FrontendDepth)}
 		next := pc + 1
-		meta := d.meta
+		meta := d.Meta
 		switch {
 		case meta.IsBranch:
 			st := m.bp.PredictBranch(t.id, pc)

@@ -25,9 +25,9 @@ var ErrCycleLimit = errors.New("cpu: cycle limit exceeded")
 type Machine struct {
 	cfg  Config
 	prog *asm.Program
-	// code is the PC-indexed predecoded instruction image, shared read-only
-	// with every other machine running the same program.
-	code []decInst
+	// code is the PC-indexed predecoded instruction image (asm.Decoded),
+	// shared read-only with every other machine running the same program.
+	code []asm.DecInst
 
 	mem  *mem.Memory
 	hier *mem.Hierarchy
@@ -100,11 +100,28 @@ type Machine struct {
 
 // NewMachine builds a machine for the program.
 func NewMachine(cfg Config, prog *asm.Program) (*Machine, error) {
+	return newMachine(cfg, prog, nil)
+}
+
+// newMachine builds a machine starting either from the program entry (ck ==
+// nil) or from a tier-1 checkpoint's architectural and warm state. The
+// checkpoint is treated as immutable: every piece of its state is cloned, so
+// many machines (parallel-in-time windows, panic retries) may seed from one
+// checkpoint concurrently.
+func newMachine(cfg Config, prog *asm.Program, ck *Checkpoint) (*Machine, error) {
 	if err := prog.Validate(); err != nil {
 		return nil, err
 	}
 	if cfg.Threadlets < 1 {
 		return nil, fmt.Errorf("cpu: need at least one threadlet context, got %d", cfg.Threadlets)
+	}
+	if ck != nil {
+		if ck.PC < 0 || ck.PC >= len(prog.Insts) {
+			return nil, fmt.Errorf("cpu: checkpoint pc %d out of range [0,%d)", ck.PC, len(prog.Insts))
+		}
+		if ck.Mem == nil {
+			return nil, fmt.Errorf("cpu: checkpoint has no memory image")
+		}
 	}
 	cfg.SSB.Slices = cfg.Threadlets
 	cfg.Watchdog = cfg.Watchdog.Normalized()
@@ -121,9 +138,27 @@ func NewMachine(cfg Config, prog *asm.Program) (*Machine, error) {
 		contextFreeAt: make([]int64, cfg.Threadlets),
 		gens:          make([]uint64, cfg.Threadlets),
 		archSpecInsts: make([]uint64, cfg.Threadlets),
-		code:          predecode(prog),
+		code:          prog.Decoded(),
 	}
-	m.mem.LoadProgram(prog)
+	startPC := prog.Entry
+	if ck != nil {
+		startPC = ck.PC
+		m.mem = ck.Mem.Clone()
+		if ck.BP != nil {
+			m.bp = ck.BP.CloneFor(cfg.Threadlets)
+		}
+		if ck.Hier != nil {
+			m.hier = ck.Hier.CloneAt(0)
+		}
+		if ck.Mon != nil {
+			m.mon = ck.Mon.Clone()
+		}
+		if ck.Pack != nil {
+			m.pack = ck.Pack.Clone()
+		}
+	} else {
+		m.mem.LoadProgram(prog)
+	}
 	m.ssb = core.NewSSB(cfg.SSB, m.mem)
 	newSet := func() core.GranuleSet { return core.NewExactSet() }
 	if cfg.BloomBits > 0 {
@@ -137,12 +172,25 @@ func NewMachine(cfg Config, prog *asm.Program) (*Machine, error) {
 	}
 	t0 := m.threads[0]
 	t0.live = true
-	t0.fetchPC = prog.Entry
-	t0.committedRegs[isa.X(2)] = asm.DefaultStackTop
+	t0.fetchPC = startPC
+	if ck != nil {
+		t0.committedRegs = ck.Regs
+		if ck.Region > 0 {
+			// Re-attach the thread chain to the region it owned at the
+			// checkpoint; inner-region detaches stay hint NOPs, exactly as in
+			// the uninterrupted run. The chain is not detached (no successor
+			// exists yet): the next owned detach spawns, one iteration late at
+			// worst — the same recovery the full machine makes after a
+			// no-context detach.
+			t0.activeRegion = ck.Region
+		}
+	} else {
+		t0.committedRegs[isa.X(2)] = asm.DefaultStackTop
+	}
 	for r := 0; r < isa.NumRegs; r++ {
 		t0.renameMap[r] = mapEntry{val: t0.committedRegs[r]}
 	}
-	t0.epochStartPC = prog.Entry
+	t0.epochStartPC = startPC
 	m.order = []int{0}
 	m.publishStats()
 	return m, nil
@@ -151,6 +199,17 @@ func NewMachine(cfg Config, prog *asm.Program) (*Machine, error) {
 // Run simulates to completion and returns the statistics.
 func (m *Machine) Run() (*Stats, error) {
 	return m.RunContext(context.Background())
+}
+
+// liveSpecInsts sums the speculatively committed instructions of live, not
+// yet promoted threadlets — the smooth complement to ArchInsts's bulk jumps
+// at epoch promotion (see Stats.WarmupEndLive).
+func (m *Machine) liveSpecInsts() uint64 {
+	var n uint64
+	for _, tid := range m.order {
+		n += m.threads[tid].specCommitted
+	}
+	return n
 }
 
 // ctxCheckMask throttles the context poll in RunContext: the deadline is
@@ -172,7 +231,29 @@ func (m *Machine) RunContext(ctx context.Context) (*Stats, error) {
 	defer m.publishStats()
 	done := ctx.Done()
 	watch := !m.wd.Disable
+	warmupPending := m.cfg.WarmupInsts > 0
 	for !m.halted {
+		// Warmup and window budgets trip on the SMOOTH instruction count
+		// (architectural + live speculative commits): ArchInsts alone jumps in
+		// bulk at epoch promotion, so an arch-only latch can overshoot the
+		// warmup target by a whole epoch chain and leave a near-empty measured
+		// slice (a handful of instructions over a handful of cycles) whose IPC
+		// is noise the sampling driver would weight by a full window.
+		if warmupPending || m.cfg.MaxArchInsts > 0 {
+			smooth := m.stats.ArchInsts + m.liveSpecInsts()
+			if warmupPending && smooth >= m.cfg.WarmupInsts {
+				warmupPending = false
+				m.stats.WarmupEndCycle = m.now
+				m.stats.WarmupEndInsts = m.stats.ArchInsts
+				m.stats.WarmupEndLive = smooth - m.stats.ArchInsts
+			}
+			if m.cfg.MaxArchInsts > 0 && smooth >= m.cfg.MaxArchInsts {
+				// Sampled-window budget reached: a clean stop, not a halt.
+				m.stats.Cycles = m.now
+				m.stats.EndLive = smooth - m.stats.ArchInsts
+				return &m.stats, nil
+			}
+		}
 		if m.now >= maxCycles {
 			return &m.stats, fmt.Errorf("%w (%d cycles, %d arch insts)", ErrCycleLimit, m.now, m.stats.ArchInsts)
 		}

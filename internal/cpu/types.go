@@ -55,6 +55,14 @@ type dynInst struct {
 	mispredicted bool
 	rasPushed    bool
 
+	// dispRegion is the threadlet's active region when this instruction
+	// dispatched (after hint effects), -1 when none. Commit-side pack
+	// observation and region stats use it instead of the threadlet's current
+	// region: a detach updates the threadlet at dispatch, so older in-flight
+	// instructions from before the region would otherwise be misattributed
+	// to it when they commit.
+	dispRegion int64
+
 	// Hint bookkeeping. The prev* fields snapshot threadlet epoch state a
 	// hint mutated at dispatch, so wrong-path rollback can restore it.
 	spawnedTid    int // threadlet spawned by this detach, -1 otherwise
@@ -238,6 +246,22 @@ type Stats struct {
 
 	// WrongPath counts fetch slots lost to redirects.
 	RedirectStalls uint64
+
+	// Sampled-window measurement (Config.WarmupInsts): the cycle and the
+	// architectural instruction count at which the warmup target was first
+	// reached. Zero when no warmup was configured or the run ended first; the
+	// sampling driver then measures over the whole run.
+	WarmupEndCycle int64
+	WarmupEndInsts uint64
+	// WarmupEndLive and EndLive are the speculative instructions committed
+	// inside live (not yet promoted) threadlets at the warmup endpoint and at
+	// the end of the run. ArchInsts jumps in bulk when an epoch promotes, so
+	// an inst-aligned window endpoint would count whole epochs whose cycles
+	// fell on the other side of the edge; ArchInsts+live is smooth across
+	// promotions, and the sampling driver measures IPC between smooth
+	// endpoints.
+	WarmupEndLive uint64
+	EndLive       uint64
 
 	// Region-level: committed parallel-region instructions (for loop
 	// speedup accounting) and total detaches seen.

@@ -1,0 +1,155 @@
+package fastsim
+
+import (
+	"testing"
+
+	"loopfrog/internal/bpred"
+	"loopfrog/internal/cpu"
+	"loopfrog/internal/mem"
+	"loopfrog/internal/ref"
+	"loopfrog/internal/workloads"
+)
+
+// TestExactVsRef checks the fast tier is architecturally bit-identical to the
+// reference interpreter on every suite workload, with warming enabled (warming
+// must never perturb architectural results).
+func TestExactVsRef(t *testing.T) {
+	bpCfg := bpred.DefaultConfig()
+	hierCfg := mem.DefaultHierConfig()
+	for _, b := range append(workloads.CPU2017(), workloads.CPU2006()...) {
+		b := b
+		t.Run(b.Name, func(t *testing.T) {
+			t.Parallel()
+			prog := b.MustProgram()
+			want := ref.MustRun(prog, ref.Options{})
+			got, err := Run(prog, Options{BPred: &bpCfg, Hier: &hierCfg})
+			if err != nil {
+				t.Fatalf("fastsim.Run: %v", err)
+			}
+			if got.DynInsts != want.DynInsts {
+				t.Fatalf("DynInsts: fastsim %d, ref %d", got.DynInsts, want.DynInsts)
+			}
+			if got.Regs != want.Regs {
+				t.Fatalf("final register file differs from ref")
+			}
+			if !got.Mem.Equal(want.Mem) {
+				t.Fatalf("final memory differs from ref:\n%s", got.Mem.Diff(want.Mem))
+			}
+		})
+	}
+}
+
+// TestCheckpointPositions checks emission at exact interval boundaries and
+// that checkpoint state matches an independent run truncated at that point.
+func TestCheckpointPositions(t *testing.T) {
+	prog := workloads.ByName(workloads.CPU2017(), "deepsjeng").MustProgram()
+	const every = 10_000
+	res, err := Run(prog, Options{CheckpointEvery: every})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Checkpoints) == 0 {
+		t.Fatal("no checkpoints emitted")
+	}
+	wantN := int(res.DynInsts/every) + 1
+	if res.DynInsts%every == 0 {
+		// A run ending exactly on a boundary halts before emitting there.
+		wantN = int(res.DynInsts / every)
+	}
+	if len(res.Checkpoints) != wantN {
+		t.Fatalf("got %d checkpoints, want %d (DynInsts=%d)", len(res.Checkpoints), wantN, res.DynInsts)
+	}
+	for i, ck := range res.Checkpoints {
+		if ck.Insts != uint64(i)*every {
+			t.Fatalf("checkpoint %d at inst %d, want %d", i, ck.Insts, uint64(i)*every)
+		}
+		if ck.Mem == nil {
+			t.Fatalf("checkpoint %d has nil memory", i)
+		}
+	}
+
+	// Resuming from a mid-run checkpoint must finish with exactly the state
+	// and instruction count of the uninterrupted run.
+	ck := res.Checkpoints[len(res.Checkpoints)/2]
+	full := ref.MustRun(prog, ref.Options{})
+	resumed, err := Resume(prog, ck, Options{})
+	if err != nil {
+		t.Fatalf("resume: %v", err)
+	}
+	if resumed.Regs != full.Regs {
+		t.Fatalf("arch resume from checkpoint diverges in registers")
+	}
+	if !resumed.Mem.Equal(full.Mem) {
+		t.Fatalf("arch resume from checkpoint diverges in memory:\n%s", resumed.Mem.Diff(full.Mem))
+	}
+	if ck.Insts+resumed.DynInsts != full.DynInsts {
+		t.Fatalf("instruction counts: %d (to ckpt) + %d (resumed) != %d (full)",
+			ck.Insts, resumed.DynInsts, full.DynInsts)
+	}
+}
+
+// TestImmutableUnderConcurrentSeeding seeds many detailed machines from one
+// checkpoint concurrently; under -race this catches any sharing of mutable
+// state between checkpoint and machine.
+func TestImmutableUnderConcurrentSeeding(t *testing.T) {
+	prog := workloads.ByName(workloads.CPU2017(), "deepsjeng").MustProgram()
+	bpCfg := bpred.DefaultConfig()
+	hierCfg := mem.DefaultHierConfig()
+	res, err := Run(prog, Options{CheckpointEvery: 20_000, BPred: &bpCfg, Hier: &hierCfg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Checkpoints) < 2 {
+		t.Skip("workload too short")
+	}
+	ck := res.Checkpoints[1]
+	cfg := cpu.DefaultConfig()
+	cfg.MaxArchInsts = 2_000
+	done := make(chan error, 4)
+	for i := 0; i < 4; i++ {
+		go func() {
+			m, err := cpu.NewMachineFromCheckpoint(cfg, prog, ck)
+			if err != nil {
+				done <- err
+				return
+			}
+			_, err = m.Run()
+			done <- err
+		}()
+	}
+	for i := 0; i < 4; i++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFastsimWarmed(b *testing.B) {
+	prog := workloads.ByName(workloads.CPU2017(), "deepsjeng").MustProgram()
+	bpCfg := bpred.DefaultConfig()
+	hierCfg := mem.DefaultHierConfig()
+	var insts uint64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := Run(prog, Options{BPred: &bpCfg, Hier: &hierCfg})
+		if err != nil {
+			b.Fatal(err)
+		}
+		insts += res.DynInsts
+	}
+	b.ReportMetric(float64(insts)/b.Elapsed().Seconds(), "insts/s")
+}
+
+func BenchmarkFastsimArchOnly(b *testing.B) {
+	prog := workloads.ByName(workloads.CPU2017(), "deepsjeng").MustProgram()
+	var insts uint64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := Run(prog, Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		insts += res.DynInsts
+	}
+	b.ReportMetric(float64(insts)/b.Elapsed().Seconds(), "insts/s")
+}

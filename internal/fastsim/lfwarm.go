@@ -1,0 +1,236 @@
+package fastsim
+
+// Functional warming of the LoopFrog engine's adaptive state. The detailed
+// machine's thread chain collectively commits the program's sequential
+// instruction stream, and everything the engine learns from that stream —
+// pack-predictor live-in/write sets, stride training, epoch-size EMAs,
+// region-monitor charge and cooldown — is a function of architectural
+// values, not of timing. The fast tier therefore replays the chain's hint
+// automaton over its own sequential execution: detach locks a region and
+// (monitor permitting) "spawns", reattach ends epochs, sync releases the
+// region, and the same engine calls the detailed commit stage would make
+// fire along the way.
+//
+// Two effects are genuinely timing-dependent and are approximated:
+//
+//   - Squash charges. Sync squashes (loop exits) and pack-mispredict
+//     squashes follow directly from the architectural stream and are
+//     replayed; conflict squashes depend on cross-threadlet interleaving and
+//     are not. SSB overflow is replayed from the per-iteration store-line
+//     footprint times the packing factor against the slice capacity — the
+//     deterministic recurrence that makes the monitor treat overflow as an
+//     immediate disable.
+//   - Context availability. A detach that finds no free context in the
+//     machine retries next iteration; the emulation assumes a context is
+//     free, the overwhelmingly common case.
+//
+// The payoff is that a window seeded from a checkpoint starts with the
+// engine mid-stride — cooldowns in force, strides trained, EMAs settled —
+// instead of replaying a cold-start honeymoon whose memory (up to a
+// 4096-detach cooldown) is far longer than any affordable detailed warmup.
+
+import (
+	"loopfrog/internal/core"
+	"loopfrog/internal/isa"
+)
+
+// LFWarm configures LoopFrog-engine functional warming. The Monitor and
+// Pack policies must match the configuration of the detailed machine that
+// will be seeded from the emitted checkpoints.
+type LFWarm struct {
+	// Threadlets is the detailed machine's context count; warming engages
+	// only when it is at least 2 (a single-context machine never spawns, so
+	// its engine state stays cold and untrained).
+	Threadlets int
+	// Monitor and Pack are the engine policies to warm.
+	Monitor core.MonitorConfig
+	Pack    core.PackConfig
+	// SSB sizes the overflow estimate: an epoch whose per-iteration store
+	// footprint times its packing factor exceeds one slice's line capacity
+	// is charged as a deterministic overflow.
+	SSB core.SSBConfig
+}
+
+// lfState is the sequential hint automaton plus the engine instances being
+// warmed. Field names follow the threadlet fields they mirror.
+type lfState struct {
+	mon  *core.RegionMonitor
+	pack *core.PackPredictor
+
+	packEnabled bool
+	sliceLines  int
+	lineBytes   uint64
+
+	region    int64 // owned region id (continuation PC); 0 = none
+	detached  bool
+	skip      int // reattaches left to skip in a packed epoch
+	verify    bool
+	predicted [isa.NumRegs]uint64
+
+	epochInsts  uint64
+	epochFactor int
+	written     [isa.NumRegs]bool // written-this-iteration, live-in detection
+
+	// Per-iteration distinct store lines; maxIterLines is the epoch's peak.
+	lines        map[uint64]struct{}
+	maxIterLines int
+}
+
+func newLFState(cfg *LFWarm, mon *core.RegionMonitor, pack *core.PackPredictor) *lfState {
+	if mon == nil {
+		mon = core.NewRegionMonitor(cfg.Monitor)
+	}
+	if pack == nil {
+		pack = core.NewPackPredictor(cfg.Pack)
+	}
+	lines := 0
+	if cfg.SSB.LineBytes > 0 {
+		lines = cfg.SSB.SliceBytes / cfg.SSB.LineBytes
+	}
+	st := &lfState{
+		mon:         mon,
+		pack:        pack,
+		packEnabled: cfg.Pack.Enabled,
+		sliceLines:  lines,
+		lineBytes:   uint64(cfg.SSB.LineBytes),
+		lines:       make(map[uint64]struct{}),
+	}
+	return st
+}
+
+// observeRegs mirrors the commit stage's live-in/write-set observation over
+// the committed stream while inside a region. Call only when region != 0.
+func (s *lfState) observeRegs(inst *isa.Inst, meta *isa.Meta) {
+	if meta.HasRs1 && inst.Rs1 != isa.X0 && !s.written[inst.Rs1] {
+		s.pack.ObserveLiveIn(s.region, inst.Rs1)
+	}
+	if meta.HasRs2 && inst.Rs2 != isa.X0 && !s.written[inst.Rs2] {
+		s.pack.ObserveLiveIn(s.region, inst.Rs2)
+	}
+	if meta.HasRd && inst.Rd != isa.X0 {
+		s.pack.ObserveWrite(s.region, inst.Rd)
+		s.written[inst.Rd] = true
+	}
+}
+
+// observeStore adds a store to the current iteration's line footprint for
+// the overflow estimate. Call only when region != 0.
+func (s *lfState) observeStore(addr uint64) {
+	if s.sliceLines > 0 {
+		s.lines[addr/s.lineBytes] = struct{}{}
+	}
+}
+
+// hint is the sequential replay of Machine.handleHint for the committed
+// stream's owner chain.
+func (s *lfState) hint(op isa.Opcode, region int64, regs *[isa.NumRegs]uint64) {
+	switch op {
+	case isa.DETACH:
+		// Committed detaches bound iterations: the live-in detection window
+		// and the per-iteration store footprint reset here regardless of
+		// ownership, as in the commit stage.
+		s.written = [isa.NumRegs]bool{}
+		s.rollIteration()
+		s.detach(region, regs)
+	case isa.REATTACH:
+		if s.region == region && s.detached {
+			if s.skip > 0 {
+				s.skip--
+				return
+			}
+			s.endEpoch()
+		}
+	case isa.SYNC:
+		if s.region == region {
+			// Loop exit: the machine cancels every live successor. The
+			// chain's runway ahead of the exit is timing; one cancelled
+			// successor — the one this automaton spawned — is the floor and
+			// the charge replayed here.
+			if s.detached {
+				s.mon.OnSquash(region, core.SquashSync)
+			}
+			s.region = 0
+			s.detached = false
+			s.skip = 0
+			s.verify = false
+			s.rollIteration()
+			s.maxIterLines = 0
+		}
+	}
+}
+
+// detach replays the spawn side of handleHint/trySpawn.
+func (s *lfState) detach(region int64, regs *[isa.NumRegs]uint64) {
+	if s.region != 0 && s.region != region {
+		return // inner region while owning another: hint NOP
+	}
+	if s.detached {
+		if s.verify && s.skip == 0 {
+			// Packing verification point (§4.3): compare the prediction the
+			// successor started from against the values actually reached.
+			s.verify = false
+			for _, iv := range s.pack.IVs(region) {
+				if s.predicted[iv] != regs[iv] {
+					s.pack.Mispredicts++
+					s.mon.OnSquash(region, core.SquashPackMispredict)
+					break
+				}
+			}
+		}
+		return
+	}
+	if !s.mon.Allow(region) {
+		return
+	}
+	factor := 1
+	if s.packEnabled {
+		// All values are architectural here, so every register is resolved —
+		// the detailed front end stalls detaches briefly to reach the same
+		// point (delayDetachForPacking).
+		s.pack.TrainStride(region, regs, nil)
+		factor, s.predicted = s.pack.Decide(region, regs)
+	}
+	s.region = region
+	s.detached = true
+	s.skip = factor - 1
+	s.verify = factor > 1
+	s.epochFactor = factor
+}
+
+// endEpoch replays tryRetire's engine reporting at the reattach that ends a
+// detached epoch; the next sequential instruction is the successor's first.
+func (s *lfState) endEpoch() {
+	s.rollIteration()
+	s.mon.OnCommit(s.region)
+	s.mon.OnEpochRetired(s.region, s.epochInsts)
+	s.pack.OnEpochRetired(s.region, s.epochInsts, s.epochFactor)
+	if s.sliceLines > 0 && s.maxIterLines*maxInt(s.epochFactor, 1) > s.sliceLines {
+		// The epoch's stores cannot fit one SSB slice: in the machine this
+		// recurs deterministically for every speculative epoch of the region
+		// and disables it immediately.
+		s.mon.OnSquash(s.region, core.SquashOverflow)
+	}
+	s.epochInsts = 0
+	s.epochFactor = 0
+	s.maxIterLines = 0
+	s.detached = false
+	s.verify = false
+}
+
+// rollIteration closes the per-iteration store-line window.
+func (s *lfState) rollIteration() {
+	if len(s.lines) == 0 {
+		return
+	}
+	if len(s.lines) > s.maxIterLines {
+		s.maxIterLines = len(s.lines)
+	}
+	clear(s.lines)
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -204,6 +204,56 @@ func (h *Hierarchy) Stats() (l1i, l1d, l2 CacheStats) {
 	return h.l1i.stats, h.l1d.stats, h.l2.stats
 }
 
+// CloneAt returns a deep copy of the hierarchy's warm state — tags, MSHRs,
+// write buffers, stride tables — rebased so that `now` becomes cycle 0, with
+// statistics counters reset. It is how the fast-functional tier's warm cache
+// state seeds a detailed machine whose clock starts at zero: timestamps in
+// the past become non-positive (complete), in-flight fills stay slightly in
+// the future, and LRU ordering is preserved because rebasing is monotonic.
+func (h *Hierarchy) CloneAt(now int64) *Hierarchy {
+	c := &Hierarchy{
+		cfg:      h.cfg,
+		l1i:      h.l1i.cloneAt(now),
+		l1d:      h.l1d.cloneAt(now),
+		l2:       h.l2.cloneAt(now),
+		dramFree: h.dramFree - now,
+	}
+	c.l1dPref.entries = append([]strideEntry(nil), h.l1dPref.entries...)
+	c.l2Pref.entries = append([]strideEntry(nil), h.l2Pref.entries...)
+	return c
+}
+
+// cloneAt deep-copies one level with timestamps rebased to now and stats
+// reset.
+func (l *level) cloneAt(now int64) *level {
+	c := &level{
+		cfg:      l.cfg,
+		sets:     make([][]line, len(l.sets)),
+		setMask:  l.setMask,
+		lineBits: l.lineBits,
+	}
+	for i, set := range l.sets {
+		cs := append([]line(nil), set...)
+		for j := range cs {
+			cs[j].lastUse -= now
+			cs[j].readyAt -= now
+		}
+		c.sets[i] = cs
+	}
+	for _, e := range l.mshrs {
+		if e.fillAt > now { // expired entries would be pruned anyway
+			e.fillAt -= now
+			c.mshrs = append(c.mshrs, e)
+		}
+	}
+	for _, t := range l.storeBusy {
+		if t > now {
+			c.storeBusy = append(c.storeBusy, t-now)
+		}
+	}
+	return c
+}
+
 // Load models a demand data load issued at cycle `now` by the instruction at
 // pc. It returns the completion cycle, or ok=false when the access must be
 // replayed because the L1D MSHRs (or merge targets) are exhausted.

@@ -79,13 +79,18 @@ func Run(p *asm.Program, opts Options) (*Result, error) {
 		}
 	}
 
+	// Dispatch over the shared predecoded image: operand metadata is resolved
+	// once per static instruction, not once per dynamic step.
+	code := p.Decoded()
 	pc := p.Entry
-	n := int64(len(p.Insts))
+	n := len(code)
 	for res.DynInsts < maxSteps {
-		if pc < 0 || int64(pc) >= n {
+		if pc < 0 || pc >= n {
 			return nil, fmt.Errorf("ref: pc %d out of range [0,%d) after %d instructions", pc, n, res.DynInsts)
 		}
-		inst := p.Insts[pc]
+		d := &code[pc]
+		inst := d.Inst
+		meta := d.Meta
 		res.DynInsts++
 		if res.Profile != nil {
 			res.Profile.ExecCount[pc]++
@@ -95,24 +100,22 @@ func Run(p *asm.Program, opts Options) (*Result, error) {
 		case inst.Op == isa.HALT:
 			res.Regs[0] = 0
 			return res, nil
-		case inst.Op == isa.NOP || isa.OpMeta(inst.Op).IsHint:
+		case inst.Op == isa.NOP || meta.IsHint:
 			// Architectural NOPs.
-		case isa.OpMeta(inst.Op).IsLoad:
-			m := isa.OpMeta(inst.Op)
+		case meta.IsLoad:
 			addr := res.Regs[inst.Rs1] + uint64(inst.Imm)
-			raw := res.Mem.Read(addr, m.MemBytes)
+			raw := res.Mem.Read(addr, meta.MemBytes)
 			setReg(&res.Regs, inst.Rd, isa.ExtendLoad(inst.Op, raw))
 			if res.Profile != nil {
 				res.Profile.Loads++
 			}
-		case isa.OpMeta(inst.Op).IsStore:
-			m := isa.OpMeta(inst.Op)
+		case meta.IsStore:
 			addr := res.Regs[inst.Rs1] + uint64(inst.Imm)
-			res.Mem.Write(addr, m.MemBytes, res.Regs[inst.Rs2])
+			res.Mem.Write(addr, meta.MemBytes, res.Regs[inst.Rs2])
 			if res.Profile != nil {
 				res.Profile.Stores++
 			}
-		case isa.OpMeta(inst.Op).IsBranch:
+		case meta.IsBranch:
 			if isa.BranchTaken(inst.Op, res.Regs[inst.Rs1], res.Regs[inst.Rs2]) {
 				next = int(inst.Imm)
 				if res.Profile != nil {

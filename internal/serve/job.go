@@ -52,6 +52,17 @@ type JobSpec struct {
 	Faults string `json:"faults,omitempty"`
 	Seed   int64  `json:"seed,omitempty"`
 
+	// Sampled runs the two-tier sampled estimate (tier-1 functional warming
+	// plus detailed windows fanned over the pool) instead of a full detailed
+	// run; the result carries estimated cycles. SampleInterval, SampleWindow
+	// and SampleWarmup shape the run in instructions (0 = tuned defaults).
+	// Incompatible with fault injection, which needs the detailed machine
+	// over the whole run.
+	Sampled        bool   `json:"sampled,omitempty"`
+	SampleInterval uint64 `json:"sample_interval,omitempty"`
+	SampleWindow   uint64 `json:"sample_window,omitempty"`
+	SampleWarmup   uint64 `json:"sample_warmup,omitempty"`
+
 	// TimeoutMS bounds the job's wall-clock time (capped by the server's
 	// MaxTimeout; 0 = server default).
 	TimeoutMS int64 `json:"timeout_ms,omitempty"`
@@ -75,6 +86,13 @@ type JobResult struct {
 	BaselineCycles int64   `json:"baseline_cycles,omitempty"`
 	LoopFrogCycles int64   `json:"loopfrog_cycles,omitempty"`
 	Speedup        float64 `json:"speedup,omitempty"`
+	// Sampled mode only: cycles above are estimates; these report the
+	// estimate's shape and cost, exactly what lfsim -sampled prints.
+	Sampled       bool    `json:"sampled,omitempty"`
+	Windows       int     `json:"windows,omitempty"`
+	DetailedShare float64 `json:"detailed_share,omitempty"`
+	Tier1IPS      float64 `json:"tier1_insts_per_sec,omitempty"`
+	EffectiveIPS  float64 `json:"effective_insts_per_sec,omitempty"`
 }
 
 // Job statuses.
@@ -277,6 +295,17 @@ func (s *Server) validateSpec(spec *JobSpec) error {
 			return err
 		}
 	}
+	if spec.Sampled {
+		if spec.Faults != "" {
+			return fmt.Errorf("sampled and faults are mutually exclusive: fault injection needs the detailed machine over the whole run")
+		}
+		sc := sim.SampleConfig{Interval: spec.SampleInterval, Window: spec.SampleWindow, Warmup: spec.SampleWarmup}
+		if err := sc.Validate(); err != nil {
+			return err
+		}
+	} else if spec.SampleInterval != 0 || spec.SampleWindow != 0 || spec.SampleWarmup != 0 {
+		return fmt.Errorf("sample_interval/sample_window/sample_warmup require sampled: true")
+	}
 	return nil
 }
 
@@ -303,6 +332,10 @@ func (s *Server) run(j *job) {
 	}
 	j.setStatus(StatusRunning)
 	timeout := s.timeoutFor(&j.Spec)
+	if j.Spec.Sampled {
+		s.runSampled(j, timeout)
+		return
+	}
 	observe := func(m *cpu.Machine) { j.machine.Store(m) }
 	var jobs []sim.Job
 	if j.Spec.AB {
@@ -340,6 +373,50 @@ func (s *Server) run(j *job) {
 			res.Speedup = float64(base.Cycles) / float64(lf.Cycles)
 		}
 	}
+	j.finish(StatusDone, http.StatusOK, res, "")
+}
+
+// runSampled executes a sampled job: the tier-1 pass plus every detailed
+// window run inside the job's deadline, windows fanned over the harness pool
+// like any other jobs. Progress streaming has no single live machine to
+// sample, so SSE clients see status only.
+func (s *Server) runSampled(j *job, timeout time.Duration) {
+	ctx, cancel := context.WithTimeout(j.ctx, timeout)
+	defer cancel()
+	sc := sim.SampleConfig{
+		Interval: j.Spec.SampleInterval,
+		Window:   j.Spec.SampleWindow,
+		Warmup:   j.Spec.SampleWarmup,
+	}
+	res := &JobResult{Program: j.prog.Name, Sampled: true}
+	var st *sim.SampledStats
+	if j.Spec.AB {
+		ab, err := s.harness.RunSampledABCtx(ctx, j.cfg, j.prog, sc)
+		if err != nil {
+			status, httpStatus, text := classifyError(err)
+			j.finish(status, httpStatus, nil, text)
+			return
+		}
+		st = ab.LF
+		res.BaselineCycles = int64(ab.Base.EstCycles + 0.5)
+		res.LoopFrogCycles = int64(ab.LF.EstCycles + 0.5)
+		res.Speedup = ab.EstSpeedup
+	} else {
+		var err error
+		st, err = s.harness.RunSampledCtx(ctx, j.cfg, j.prog, sc)
+		if err != nil {
+			status, httpStatus, text := classifyError(err)
+			j.finish(status, httpStatus, nil, text)
+			return
+		}
+	}
+	res.Cycles = int64(st.EstCycles + 0.5)
+	res.ArchInsts = st.TotalInsts
+	res.IPC = st.IPC()
+	res.Windows = len(st.Windows)
+	res.DetailedShare = st.DetailedShare
+	res.Tier1IPS = st.Tier1IPS
+	res.EffectiveIPS = st.EffectiveIPS
 	j.finish(StatusDone, http.StatusOK, res, "")
 }
 

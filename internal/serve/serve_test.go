@@ -20,6 +20,7 @@ import (
 	"loopfrog/internal/cpu"
 	"loopfrog/internal/serve"
 	"loopfrog/internal/sim"
+	"loopfrog/internal/workloads"
 
 	"loopfrog/internal/asm"
 )
@@ -416,6 +417,71 @@ func TestE2ESpeedupMatchesLfsim(t *testing.T) {
 	}
 	if v.Result.Speedup != want {
 		t.Errorf("speedup = %v, want %v", v.Result.Speedup, want)
+	}
+}
+
+// TestSampledJob covers the sampled job mode: spec validation, and a sampled
+// A/B estimate of a built-in bench that must land within the documented 2%
+// of the full detailed cycle counts.
+func TestSampledJob(t *testing.T) {
+	_, ts := newTestServer(t, serve.Config{})
+
+	for _, bad := range []map[string]any{
+		{"asm": trivialAsm, "sample_window": 1000},                                       // params without sampled
+		{"asm": trivialAsm, "sampled": true, "faults": "conflict:p=0.5"},                 // faults need full detail
+		{"asm": trivialAsm, "sampled": true, "sample_interval": 10, "sample_warmup": 10}, // warmup >= interval
+	} {
+		if resp, payload := post(t, ts, bad); resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("spec %v: status = %d, want 400 (body %s)", bad, resp.StatusCode, payload)
+		}
+	}
+
+	prog := workloads.ByName(workloads.CPU2017(), "leela").MustProgram()
+	cfg := cpu.DefaultConfig()
+	base, err := sim.Run(sim.BaselineOf(cfg), prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lf, err := sim.Run(cfg, prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	resp, payload := post(t, ts, map[string]any{"bench": "leela", "ab": true, "sampled": true})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d, body %s", resp.StatusCode, payload)
+	}
+	var v struct {
+		Result struct {
+			Sampled        bool    `json:"sampled"`
+			Windows        int     `json:"windows"`
+			Cycles         int64   `json:"cycles"`
+			BaselineCycles int64   `json:"baseline_cycles"`
+			LoopFrogCycles int64   `json:"loopfrog_cycles"`
+			Speedup        float64 `json:"speedup"`
+			Tier1IPS       float64 `json:"tier1_insts_per_sec"`
+		} `json:"result"`
+	}
+	if err := json.Unmarshal(payload, &v); err != nil {
+		t.Fatal(err)
+	}
+	r := v.Result
+	if !r.Sampled || r.Windows < 1 || r.Tier1IPS <= 0 || r.Speedup <= 0 {
+		t.Fatalf("sampled result shape wrong: %+v", r)
+	}
+	checkEst := func(side string, est, full int64) {
+		e := float64(est)/float64(full) - 1
+		if e < 0 {
+			e = -e
+		}
+		if e > 0.02 {
+			t.Errorf("%s estimate %d vs full %d: error %.2f%% exceeds 2%%", side, est, full, 100*e)
+		}
+	}
+	checkEst("baseline", r.BaselineCycles, base.Cycles)
+	checkEst("loopfrog", r.LoopFrogCycles, lf.Cycles)
+	if r.Cycles != r.LoopFrogCycles {
+		t.Errorf("cycles %d should carry the LoopFrog estimate %d", r.Cycles, r.LoopFrogCycles)
 	}
 }
 

@@ -70,7 +70,12 @@ func (h *Harness) attempt(ctx context.Context, j Job) (st *cpu.Stats, err error)
 			err = &PanicError{Value: r, Stack: debug.Stack()}
 		}
 	}()
-	m, err := cpu.NewMachine(j.Cfg, j.Prog)
+	var m *cpu.Machine
+	if j.Ckpt != nil {
+		m, err = cpu.NewMachineFromCheckpoint(j.Cfg, j.Prog, j.Ckpt)
+	} else {
+		m, err = cpu.NewMachine(j.Cfg, j.Prog)
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -103,15 +108,26 @@ func (h *Harness) attempt(ctx context.Context, j Job) (st *cpu.Stats, err error)
 	return st, err
 }
 
-// jobKey extends the run-cache key with the job's fault plan: an injected run
-// and a clean run of the same (config, program) are different simulations and
-// must never share a cache slot. Timeout is deliberately excluded — a
-// deadline changes whether a job completes, never its result, and failed runs
-// are not cached anyway.
+// jobKey extends the run-cache key with the job's fault plan and sampled-run
+// identity: an injected run and a clean run of the same (config, program) are
+// different simulations and must never share a cache slot, and a sampled
+// window seeded from a checkpoint must never share one with a cold-boot run.
+// The window's own shape (Config.MaxArchInsts, Config.WarmupInsts) is already
+// part of CacheKey through the config rendering; the checkpoint contributes
+// its position and which warm state it carries — tier-1 state at instruction
+// K is deterministic given the program and the warming configuration (both
+// already in the key), so position-plus-shape identifies it completely.
+// Timeout is deliberately excluded — a deadline changes whether a job
+// completes, never its result, and failed runs are not cached anyway.
 func jobKey(j Job) string {
 	key := CacheKey(j.Cfg, j.Prog)
 	if j.Faults != "" && j.Faults != "none" {
 		key += fmt.Sprintf("|faults=%s|seed=%d", j.Faults, j.Seed)
+	}
+	if j.Ckpt != nil {
+		key += fmt.Sprintf("|ckpt=%d,bp=%t,hier=%t,lf=%t,region=%d",
+			j.Ckpt.Insts, j.Ckpt.BP != nil, j.Ckpt.Hier != nil,
+			j.Ckpt.Mon != nil || j.Ckpt.Pack != nil, j.Ckpt.Region)
 	}
 	return key
 }

@@ -25,6 +25,12 @@ type Job struct {
 	Cfg  cpu.Config
 	Prog *asm.Program
 
+	// Ckpt, when non-nil, seeds the machine from a tier-1 checkpoint
+	// (cpu.NewMachineFromCheckpoint) instead of a cold boot: a sampled window.
+	// The checkpoint's position and warm-state shape extend the cache key — a
+	// window never shares a slot with a cold-boot run of the same config.
+	Ckpt *cpu.Checkpoint
+
 	// Faults is a deterministic fault-injection spec (internal/fault
 	// grammar, e.g. "all" or "conflict=0.05,kill"); "" or "none" runs clean.
 	// Seed seeds the plan's per-kind random streams. Both are part of the
