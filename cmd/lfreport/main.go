@@ -1,0 +1,233 @@
+// Command lfreport explains, loop by loop, why a program does (or does not)
+// speed up under LoopFrog: it runs the baseline/LoopFrog pair in the detailed
+// model with per-region speculation ledgers enabled, lints the program for
+// the static region table and profitability notes, joins the two by region ID
+// (the continuation address), and prints a ranked per-loop report with a
+// keep/retune/drop verdict for every hint.
+//
+// Usage:
+//
+//	lfreport [-threadlets N] [-nopack] [-parallel N] [-sampled]
+//	         [-format text|json|html] [-o file]
+//	         (-bench name | -suite | file.ll | file.s)
+//
+// -suite reports every CPU 2017 suite workload in one document. Before
+// reporting, the per-region ledger totals are reconciled exactly against the
+// run's global counters; a mismatch is a simulator bug and fails the run.
+// -sampled estimates via the two-tier sampled model instead (default sample
+// configuration): much faster, interval-weighted ledger aggregates, report
+// marked as an estimate; exact reconciliation does not apply.
+//
+// Exit status: 0 success, 1 run or reconciliation failure, 2 usage.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"loopfrog/internal/asm"
+	"loopfrog/internal/compiler"
+	"loopfrog/internal/cpu"
+	"loopfrog/internal/lint"
+	"loopfrog/internal/report"
+	"loopfrog/internal/sim"
+	"loopfrog/internal/workloads"
+)
+
+func main() {
+	threadlets := flag.Int("threadlets", 4, "threadlet contexts")
+	nopack := flag.Bool("nopack", false, "disable iteration packing")
+	parallel := flag.Int("parallel", 0, "simulation worker count (0 = all cores)")
+	bench := flag.String("bench", "", "report a named built-in benchmark")
+	suite := flag.Bool("suite", false, "report every CPU 2017 suite workload")
+	sampled := flag.Bool("sampled", false, "estimate via two-tier sampled simulation instead of full detailed runs")
+	format := flag.String("format", "text", "output format: text, json, or html")
+	out := flag.String("o", "", "write the report to a file instead of stdout")
+	flag.Parse()
+
+	if *threadlets < 1 {
+		fmt.Fprintf(os.Stderr, "lfreport: -threadlets must be at least 1 (got %d)\n", *threadlets)
+		flag.Usage()
+		os.Exit(2)
+	}
+	switch *format {
+	case "text", "json", "html":
+	default:
+		fmt.Fprintf(os.Stderr, "lfreport: unknown format %q (want text, json, or html)\n", *format)
+		flag.Usage()
+		os.Exit(2)
+	}
+	inputs := 0
+	for _, set := range []bool{*bench != "", *suite, len(flag.Args()) == 1} {
+		if set {
+			inputs++
+		}
+	}
+	if inputs != 1 {
+		fmt.Fprintln(os.Stderr, "lfreport: need exactly one input (-bench name | -suite | file.ll | file.s)")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	sim.SetParallelism(*parallel)
+	cfg := cpu.DefaultConfig()
+	cfg.Threadlets = *threadlets
+	if *nopack {
+		cfg.Pack.Enabled = false
+	}
+
+	progs, err := loadPrograms(*bench, *suite, flag.Args())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lfreport:", err)
+		os.Exit(1)
+	}
+
+	build := buildProfile
+	if *sampled {
+		build = buildSampledProfile
+	}
+	profiles := make([]*report.Profile, 0, len(progs))
+	for _, prog := range progs {
+		p, err := build(cfg, prog)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "lfreport: %s: %v\n", prog.Name, err)
+			os.Exit(1)
+		}
+		profiles = append(profiles, p)
+	}
+
+	w := io.Writer(os.Stdout)
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "lfreport:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := write(w, *format, profiles); err != nil {
+		fmt.Fprintln(os.Stderr, "lfreport:", err)
+		os.Exit(1)
+	}
+}
+
+// buildProfile runs the A/B pair for one program, verifies the ledger totals
+// reconcile, and joins the dynamic profile with the lint report.
+func buildProfile(cfg cpu.Config, prog *asm.Program) (*report.Profile, error) {
+	lrep := lint.Run(prog, lint.Options{})
+	stats, err := sim.RunJobs([]sim.Job{
+		{Cfg: sim.BaselineOf(cfg), Prog: prog},
+		{Cfg: cfg, Prog: prog},
+	})
+	if err != nil {
+		return nil, err
+	}
+	base, lf := stats[0], stats[1]
+	if err := lf.ReconcileRegions(); err != nil {
+		return nil, fmt.Errorf("region ledgers do not reconcile with the global counters (simulator bug): %w", err)
+	}
+	return report.Build(report.Input{
+		Program:        prog.Name,
+		Regions:        lf.Regions,
+		Cycles:         lf.Cycles,
+		BaselineCycles: base.Cycles,
+		Lint:           lrep,
+	}), nil
+}
+
+// buildSampledProfile is buildProfile on the two-tier sampled estimator: the
+// A/B pair runs as one sampled batch and the per-region ledgers are the
+// interval-weighted window aggregates, so the profile is marked as an
+// estimate and exact reconciliation does not apply.
+func buildSampledProfile(cfg cpu.Config, prog *asm.Program) (*report.Profile, error) {
+	lrep := lint.Run(prog, lint.Options{})
+	res, err := sim.RunSampledAB(cfg, prog, sim.SampleConfig{})
+	if err != nil {
+		return nil, err
+	}
+	return report.Build(report.Input{
+		Program:        prog.Name,
+		Regions:        res.LF.Regions,
+		Cycles:         int64(res.LF.EstCycles + 0.5),
+		BaselineCycles: int64(res.Base.EstCycles + 0.5),
+		Estimated:      true,
+		Lint:           lrep,
+	}), nil
+}
+
+// write renders the profiles in the requested format: text concatenates
+// per-program reports, json emits one profile object (single input) or a
+// {"suite": [...]} document, html is one standalone page.
+func write(w io.Writer, format string, profiles []*report.Profile) error {
+	switch format {
+	case "json":
+		if len(profiles) == 1 {
+			return profiles[0].WriteJSON(w)
+		}
+		return report.WriteSuiteJSON(w, profiles)
+	case "html":
+		return report.WriteHTML(w, profiles)
+	default:
+		for i, p := range profiles {
+			if i > 0 {
+				if _, err := fmt.Fprintln(w); err != nil {
+					return err
+				}
+			}
+			if err := p.WriteText(w); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+}
+
+// loadPrograms resolves the input selection into assembled images.
+func loadPrograms(bench string, suite bool, args []string) ([]*asm.Program, error) {
+	if suite {
+		var progs []*asm.Program
+		for _, b := range workloads.CPU2017() {
+			prog, err := b.Program()
+			if err != nil {
+				return nil, fmt.Errorf("%s: %w", b.Name, err)
+			}
+			progs = append(progs, prog)
+		}
+		return progs, nil
+	}
+	if bench != "" {
+		for _, s := range [][]*workloads.Benchmark{workloads.CPU2017(), workloads.CPU2006()} {
+			if b := workloads.ByName(s, bench); b != nil {
+				prog, err := b.Program()
+				if err != nil {
+					return nil, err
+				}
+				return []*asm.Program{prog}, nil
+			}
+		}
+		return nil, fmt.Errorf("unknown benchmark %q", bench)
+	}
+	src, err := os.ReadFile(args[0])
+	if err != nil {
+		return nil, err
+	}
+	if strings.HasSuffix(args[0], ".s") {
+		prog, err := asm.Assemble(args[0], string(src))
+		if err != nil {
+			return nil, err
+		}
+		return []*asm.Program{prog}, nil
+	}
+	prog, diags, err := compiler.Compile(args[0], string(src))
+	for _, d := range diags {
+		fmt.Fprintln(os.Stderr, "lfreport: note:", d)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return []*asm.Program{prog}, nil
+}

@@ -8,7 +8,12 @@
 // Usage:
 //
 //	lfservd [-addr :8080] [-runners N] [-queue N] [-workers N]
-//	        [-cache N] [-timeout d] [-max-timeout d]
+//	        [-cache N] [-timeout d] [-max-timeout d] [-pprof addr]
+//
+// -pprof opts into Go's net/http/pprof profiling handlers on a separate
+// listener (e.g. -pprof localhost:6060 serves /debug/pprof/ there). The
+// profiling surface never shares the service port, so the job API can be
+// exposed without also exposing heap and CPU profiles.
 //
 // SIGINT/SIGTERM starts a graceful drain: admission stops (healthz flips to
 // 503), every admitted job completes, then the process exits. A second
@@ -35,6 +40,7 @@ import (
 	"io"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"runtime"
@@ -60,6 +66,7 @@ func main() {
 	loadDuration := flag.Duration("load-duration", 10*time.Second, "load harness run time")
 	loadOut := flag.String("load-out", "BENCH_serve.json", "load harness report path")
 	loadProg := flag.String("load-prog", "examples/quickstart/asm/quickstart.s", "assembly file the load harness submits")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this separate address (empty = disabled)")
 	flag.Parse()
 
 	cfg := serve.Config{
@@ -77,6 +84,25 @@ func main() {
 			os.Exit(1)
 		}
 		return
+	}
+
+	if *pprofAddr != "" {
+		// An explicit mux with only the pprof handlers: importing
+		// net/http/pprof registers on http.DefaultServeMux, which this
+		// process never serves, so the handlers are wired by hand and the
+		// profiling listener exposes nothing else.
+		pm := http.NewServeMux()
+		pm.HandleFunc("/debug/pprof/", pprof.Index)
+		pm.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		pm.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		pm.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		pm.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		go func(addr string) {
+			fmt.Printf("lfservd: pprof on %s/debug/pprof/\n", addr)
+			if err := http.ListenAndServe(addr, pm); err != nil {
+				fmt.Fprintln(os.Stderr, "lfservd: pprof:", err)
+			}
+		}(*pprofAddr)
 	}
 
 	s := serve.New(cfg)

@@ -20,8 +20,11 @@
 // the whole-run estimate. Zero values take the tuned defaults
 // (sim.DefaultSampleConfig). Combine with -ab for a sampled baseline/LoopFrog
 // speedup estimate off a single tier-1 pass. Sampled runs are estimates over
-// measured windows, so -faults, -check and -trace (whole-run machinery)
-// refuse to combine with it.
+// measured windows, so -faults and -check (whole-run machinery) refuse to
+// combine with it. -trace works with a sampled run: every detailed window
+// streams into one trace file, window i on trace pid i+1, so the windows
+// render as separate process lanes in the trace viewer (-ab -trace still
+// refuses: two configurations would interleave in one file).
 //
 // -lint runs the hint-legality linter (see cmd/lflint) as a preflight and
 // refuses to simulate a program with legality errors. Invalid flag values
@@ -44,6 +47,7 @@
 package main
 
 import (
+	"context"
 	"errors"
 	"flag"
 	"fmt"
@@ -166,14 +170,22 @@ func main() {
 
 	if *sampled {
 		// Sampled runs estimate timing from windows; fault injection and
-		// state checks need the full detailed machine.
-		if *faults != "" || *check || *tracePath != "" {
-			fmt.Fprintln(os.Stderr, "lfsim: -sampled is incompatible with -faults, -check and -trace")
+		// state checks need the full detailed machine. Tracing works per
+		// window (each window lands on its own trace pid), but an AB pair
+		// would interleave two configurations in one file, so -ab -trace
+		// still refuses.
+		if *faults != "" || *check {
+			fmt.Fprintln(os.Stderr, "lfsim: -sampled is incompatible with -faults and -check")
+			flag.Usage()
+			os.Exit(2)
+		}
+		if *tracePath != "" && *ab {
+			fmt.Fprintln(os.Stderr, "lfsim: -sampled -ab is incompatible with -trace (two configurations would share one trace)")
 			flag.Usage()
 			os.Exit(2)
 		}
 		sc := sim.SampleConfig{Interval: *interval, Window: *window, Warmup: *warmup}
-		if err := runSampled(cfg, prog, sc, *ab); err != nil {
+		if err := runSampled(cfg, prog, sc, *ab, *tracePath); err != nil {
 			printRunError(err)
 			os.Exit(1)
 		}
@@ -276,7 +288,9 @@ func main() {
 // runSampled runs the two-tier sampled pipeline and prints its estimate. With
 // ab it runs the baseline/LoopFrog pair off one tier-1 pass and prints the
 // phase-weighted speedup; otherwise it estimates the single configured run.
-func runSampled(cfg cpu.Config, prog *asm.Program, sc sim.SampleConfig, ab bool) error {
+// A non-empty tracePath streams every detailed window into one trace file,
+// window i on trace pid i+1 (cache-satisfied windows leave no spans).
+func runSampled(cfg cpu.Config, prog *asm.Program, sc sim.SampleConfig, ab bool, tracePath string) error {
 	if ab {
 		res, err := sim.RunSampledAB(cfg, prog, sc)
 		if err != nil {
@@ -288,7 +302,25 @@ func runSampled(cfg cpu.Config, prog *asm.Program, sc sim.SampleConfig, ab bool)
 		printSampledCost(res.LF)
 		return nil
 	}
-	st, err := sim.RunSampled(cfg, prog, sc)
+	var observe func(win int, m *cpu.Machine)
+	var finishTrace func()
+	var tr *telemetry.Trace
+	if tracePath != "" {
+		f, err := os.Create(tracePath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		tr = telemetry.NewTrace(f)
+		observe, finishTrace = telemetry.TraceSampledWindows(tr, 0)
+	}
+	st, err := sim.DefaultHarness().RunSampledObservedCtx(context.Background(), cfg, prog, sc, observe)
+	if finishTrace != nil {
+		finishTrace()
+		if cerr := tr.Close(); cerr != nil && err == nil {
+			return fmt.Errorf("trace: %w", cerr)
+		}
+	}
 	if err != nil {
 		return err
 	}

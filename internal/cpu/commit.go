@@ -113,7 +113,7 @@ func (m *Machine) commitOne(t *threadlet, e *dynInst) {
 	if e.inst.Op == isa.DETACH {
 		t.writtenThisIter = [isa.NumRegs]bool{}
 		if e.isVerifyPoint {
-			m.packVerify(t)
+			m.packVerify(t, e.dispRegion)
 		}
 	}
 
@@ -130,10 +130,16 @@ func (m *Machine) commitOne(t *threadlet, e *dynInst) {
 		if inRegion {
 			m.stats.RegionArchInsts++
 		}
+		if m.regionOn {
+			m.ledger(e.dispRegion).Slots[SlotRetiredArch]++
+		}
 	} else {
 		t.specCommitted++
 		if inRegion {
 			t.specCommittedRegion++
+		}
+		if m.regionOn {
+			m.ledger(e.dispRegion).Slots[SlotRetiredSpec]++
 		}
 	}
 }
@@ -151,12 +157,17 @@ func (t *threadlet) hasCkptPending() bool {
 // detach: compare the IV prediction handed to the successor against the
 // actual register values. Mispredicted registers are silently repaired in
 // the successor if their stale value was never consumed; otherwise the
-// successor chain is squashed and restarted from corrected values.
-func (m *Machine) packVerify(t *threadlet) {
+// successor chain is squashed and restarted from corrected values. region is
+// the verify-point detach's dispatch region, for ledger attribution (the
+// threadlet's active region can have moved on between dispatch and commit).
+func (m *Machine) packVerify(t *threadlet, region int64) {
 	t.pendingVerify = false
 	idx := m.orderIdx(t.id)
 	if idx < 0 || idx+1 >= len(m.order) {
 		return // successor already gone
+	}
+	if m.regionOn {
+		m.ledger(region).PackVerifies++
 	}
 	succ := m.threads[m.order[idx+1]]
 	var bad []isa.Reg
@@ -169,6 +180,9 @@ func (m *Machine) packVerify(t *threadlet) {
 		return
 	}
 	m.pack.Mispredicts++
+	if m.regionOn {
+		m.ledger(region).PackMispredicts++
+	}
 	mustSquash := false
 	for _, r := range bad {
 		succ.ckptRegs[r] = t.committedRegs[r]
@@ -188,6 +202,9 @@ func (m *Machine) packVerify(t *threadlet) {
 		}
 	}
 	m.stats.PackRepairs++
+	if m.regionOn {
+		m.ledger(region).PackRepairs++
+	}
 }
 
 // drainStores performs committed stores, oldest threadlet first, limited by
@@ -306,6 +323,9 @@ func (m *Machine) tryRetire() {
 		m.mon.OnEpochRetired(t.activeRegion, t.epochCommitted)
 	}
 	m.stats.Retires++
+	if m.regionOn {
+		m.ledger(t.activeRegion).Retires++
+	}
 	m.pack.OnEpochRetired(t.activeRegion, t.epochCommitted, t.epochFactor)
 	m.emitEvent(EvRetire, t.id, t.activeRegion, int(t.epochCommitted))
 	t.live = false
@@ -325,6 +345,13 @@ func (m *Machine) tryRetire() {
 	m.stats.ArchInsts += b.specCommitted
 	m.stats.SpecCommitCycleSum += b.specCommitted
 	m.stats.RegionArchInsts += b.specCommittedRegion
+	if m.regionOn {
+		// The promoted successor is always a spawned context: homeRegion is
+		// real even when a sync loop exit already cleared its active region.
+		lg := m.ledger(b.homeRegion)
+		lg.Promotes++
+		lg.SpecWon += b.specCommitted
+	}
 	b.specCommitted = 0
 	b.specCommittedRegion = 0
 	b.overflowStalled = false
@@ -343,5 +370,5 @@ func (m *Machine) tryRetire() {
 	m.specSince = m.now
 	m.lastRestartPC = -1
 	m.restartStreak = 0
-	m.emitEvent(EvPromote, b.id, b.activeRegion, 0)
+	m.emitEvent(EvPromote, b.id, b.homeRegion, 0)
 }

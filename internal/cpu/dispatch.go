@@ -203,6 +203,9 @@ func (m *Machine) handleHint(t *threadlet, e *dynInst) {
 	switch e.inst.Op {
 	case isa.DETACH:
 		m.stats.Detaches++
+		if m.regionOn {
+			m.ledger(region).Detaches++
+		}
 		if t.activeRegion >= 0 && t.activeRegion != region {
 			m.stats.HintNops++ // inner region while detached on another
 			return
@@ -318,6 +321,9 @@ func (m *Machine) trySpawn(t *threadlet, e *dynInst, region int64) {
 	}
 	if free < 0 {
 		m.stats.DetachNoContext++
+		if m.regionOn {
+			m.ledger(region).DetachNoContext++
+		}
 		return
 	}
 	if !m.mon.Allow(region) {
@@ -368,6 +374,13 @@ func (m *Machine) trySpawn(t *threadlet, e *dynInst, region int64) {
 	}
 	e.spawnedTid = nt.id
 	m.stats.Spawns++
+	if m.regionOn {
+		lg := m.ledger(region)
+		lg.Spawns++
+		if factor > 1 {
+			lg.PackedSpawns++
+		}
+	}
 	m.emitEvent(EvSpawn, nt.id, region, factor)
 }
 
@@ -406,6 +419,7 @@ func (m *Machine) spawnInto(parent, nt *threadlet, contPC int, factor int, predi
 		fetchPC:      contPC,
 		fetchReadyAt: m.now + m.cfg.SpawnLatency,
 		activeRegion: int64(contPC),
+		homeRegion:   int64(contPC),
 		epochStartPC: contPC,
 		spawnedAt:    m.now,
 		ckptGHR:      m.bp.History(parent.id),

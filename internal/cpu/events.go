@@ -44,7 +44,11 @@ type Event struct {
 	Kind  EventKind
 	// Tid is the threadlet context the event concerns.
 	Tid int
-	// Region is the region ID (continuation address), -1 if none.
+	// Region is the region ID (continuation address), -1 if none. Squash,
+	// sync-cancel, restart and promote events carry the threadlet's home
+	// region — the region the epoch was spawned for — matching the per-region
+	// ledger attribution even when a speculative sync exit already cleared
+	// the active region.
 	Region int64
 	// Detail carries the packing factor for spawns and the squash cause for
 	// squashes.

@@ -86,6 +86,15 @@ type Machine struct {
 
 	archSpecInsts []uint64 // per-context spec-committed, indexed by tid
 
+	// Per-region attribution state (region.go). regionOn mirrors
+	// cfg.RegionLedger for the hot path; regionIdx maps a region ID to its
+	// ledger's index in stats.Regions; the last* pair caches the repeated
+	// lookup so steady-state charges cost one compare.
+	regionOn      bool
+	regionIdx     map[int64]int
+	lastRegionID  int64
+	lastRegionIdx int
+
 	// Published statistics snapshot (snapshot.go): pub is the coherent copy
 	// external readers see, snapWanted arms the throttled republish.
 	pubMu      sync.Mutex
@@ -165,10 +174,15 @@ func newMachine(cfg Config, prog *asm.Program, ck *Checkpoint) (*Machine, error)
 		newSet = func() core.GranuleSet { return core.NewBloomSet(cfg.BloomBits, cfg.BloomHashes) }
 	}
 	m.cd = core.NewConflictDetector(cfg.Threadlets, cfg.ConflictCheckLatency, newSet)
+	if cfg.RegionLedger {
+		m.regionOn = true
+		m.regionIdx = make(map[int64]int, 8)
+		m.lastRegionID = regionNone
+	}
 
 	m.threads = make([]*threadlet, cfg.Threadlets)
 	for i := range m.threads {
-		m.threads[i] = &threadlet{id: i, activeRegion: -1}
+		m.threads[i] = &threadlet{id: i, activeRegion: -1, homeRegion: -1}
 	}
 	t0 := m.threads[0]
 	t0.live = true
@@ -183,6 +197,7 @@ func newMachine(cfg Config, prog *asm.Program, ck *Checkpoint) (*Machine, error)
 			// worst — the same recovery the full machine makes after a
 			// no-context detach.
 			t0.activeRegion = ck.Region
+			t0.homeRegion = ck.Region
 		}
 	} else {
 		t0.committedRegs[isa.X(2)] = asm.DefaultStackTop

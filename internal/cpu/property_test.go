@@ -3,6 +3,7 @@ package cpu
 import (
 	"fmt"
 	"math/rand"
+	"reflect"
 	"testing"
 
 	"loopfrog/internal/asm"
@@ -106,7 +107,7 @@ func TestDeterminism(t *testing.T) {
 		return *st
 	}
 	a, b := run(), run()
-	if a != b {
+	if !reflect.DeepEqual(a, b) {
 		t.Errorf("two identical runs diverged:\n%+v\n%+v", a, b)
 	}
 }

@@ -49,6 +49,11 @@ func (m *Machine) publishStats() {
 		L2:       l2,
 	}
 	snap.CPU.Cycles = m.now
+	// The machine keeps appending to the live Regions slice; the snapshot
+	// needs its own backing array to stay coherent for concurrent readers.
+	if len(m.stats.Regions) > 0 {
+		snap.CPU.Regions = append([]RegionLedger(nil), m.stats.Regions...)
+	}
 	m.pubMu.Lock()
 	m.pub = snap
 	m.pubMu.Unlock()

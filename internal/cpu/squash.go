@@ -142,22 +142,32 @@ func (m *Machine) squashFrom(victimTid int, cause core.SquashCause, restart bool
 		m.cd.Clear(tid)
 		m.stats.SpecCommitted += v.epochCommitted
 		m.stats.Squashes[cause]++
+		if m.regionOn {
+			// Victims are always spawned contexts, so homeRegion is a real
+			// region even when a speculative sync exit cleared activeRegion.
+			lg := m.ledger(v.homeRegion)
+			lg.Squashes[cause]++
+			lg.SpecLost += v.epochCommitted
+			if i == 0 && restart {
+				lg.Restarts++
+			}
+		}
 		if v.activeRegion >= 0 {
 			m.mon.OnSquash(v.activeRegion, cause)
 		}
 		if i == 0 && restart {
 			m.restartThreadlet(v)
 			m.noteRestart(v.epochStartPC)
-			m.emitEvent(EvRestart, tid, v.activeRegion, int(cause))
+			m.emitEvent(EvRestart, tid, v.homeRegion, int(cause))
 		} else {
 			v.live = false
 			if m.contextFreeAt[tid] < m.now {
 				m.contextFreeAt[tid] = m.now
 			}
 			if cause == core.SquashSync {
-				m.emitEvent(EvSyncCancel, tid, v.activeRegion, int(cause))
+				m.emitEvent(EvSyncCancel, tid, v.homeRegion, int(cause))
 			} else {
-				m.emitEvent(EvSquash, tid, v.activeRegion, int(cause))
+				m.emitEvent(EvSquash, tid, v.homeRegion, int(cause))
 			}
 		}
 	}

@@ -84,7 +84,14 @@ func (m *Machine) attributeCommitSlots(archUsed, totalUsed uint64) {
 	m.stats.CommitSlots[SlotRetiredArch] += archUsed
 	m.stats.CommitSlots[SlotRetiredSpec] += totalUsed - archUsed
 	if idle := uint64(m.cfg.Width) - totalUsed; idle > 0 {
-		m.stats.CommitSlots[m.stallCause()] += idle
+		cause := m.stallCause()
+		m.stats.CommitSlots[cause] += idle
+		if m.regionOn {
+			// Stall slots charge the architectural threadlet's active region
+			// (its progress is the program's); -1 is the outside bucket. The
+			// retired-slot classes charge per instruction at commit instead.
+			m.ledger(m.threads[m.archTid()].activeRegion).Slots[cause] += idle
+		}
 	}
 }
 

@@ -162,9 +162,14 @@ type threadlet struct {
 	drain []*dynInst
 
 	// LoopFrog epoch state.
-	activeRegion   int64 // region the epoch belongs to; -1 when none
-	detached       bool  // spawned a successor for activeRegion
-	skipReattach   int   // packed iterations still to execute (§4.3)
+	activeRegion int64 // region the epoch belongs to; -1 when none
+	// homeRegion is the region this context's epoch was spawned for, fixed
+	// for the context's lifetime (-1 for the initial architectural context).
+	// Unlike activeRegion it survives a speculative sync loop exit, so
+	// squash attribution (region.go) always lands in a real region.
+	homeRegion     int64
+	detached       bool // spawned a successor for activeRegion
+	skipReattach   int  // packed iterations still to execute (§4.3)
 	pendingVerify  bool
 	predictedStart [isa.NumRegs]uint64 // prediction handed to the successor
 	epochEndSeq    uint64
@@ -267,6 +272,14 @@ type Stats struct {
 	// speedup accounting) and total detaches seen.
 	RegionArchInsts uint64
 	Detaches        uint64
+
+	// Regions holds the per-region speculation attribution ledgers
+	// (region.go), in first-touch order, when Config.RegionLedger is
+	// enabled. The machine owns the backing array during a run; afterwards
+	// it is read-only and by-value Stats copies share it. The telemetry
+	// registry skips the field here (`metrics:"-"`) and re-exports it
+	// through the region-keyed section instead.
+	Regions []RegionLedger `metrics:"-"`
 
 	Halted bool
 }

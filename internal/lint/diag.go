@@ -128,10 +128,44 @@ func (d *Diagnostic) Position(program string) string {
 	return fmt.Sprintf("%s@%d", program, d.PC)
 }
 
+// RegionInfo is one row of the static region table: an epoch region the
+// analysis reconstructed, with its provenance and shape. It is the static
+// half of the per-loop join lfreport performs against the dynamic per-region
+// speculation ledgers (both sides key by the region ID, the continuation
+// address).
+type RegionInfo struct {
+	// ID is the region ID (continuation address the detach names).
+	ID int64 `json:"id"`
+	// DetachPC is the instruction index of the (first) detach opening the
+	// region; Line/Label position it when the image carries provenance.
+	DetachPC int    `json:"detach_pc"`
+	Line     int    `json:"line,omitempty"`
+	Label    string `json:"label,omitempty"`
+	// BodyInsts is the size of the region's interior in instructions.
+	BodyInsts int `json:"body_insts"`
+	// Reattaches and Syncs count the region's statically reachable reattach
+	// and sync terminators across all of its detaches.
+	Reattaches int `json:"reattaches"`
+	Syncs      int `json:"syncs"`
+}
+
 // Report is the result of linting one program.
 type Report struct {
 	Program string       `json:"program"`
 	Diags   []Diagnostic `json:"diagnostics"`
+	// Regions is the static region table, sorted by region ID (empty when
+	// the image failed structural validation before region analysis).
+	Regions []RegionInfo `json:"regions,omitempty"`
+}
+
+// RegionByID returns the static region table row for a region ID, or nil.
+func (r *Report) RegionByID(id int64) *RegionInfo {
+	for i := range r.Regions {
+		if r.Regions[i].ID == id {
+			return &r.Regions[i]
+		}
+	}
+	return nil
 }
 
 func (r *Report) add(d Diagnostic) { r.Diags = append(r.Diags, d) }
@@ -234,6 +268,7 @@ func (r *Report) WriteJSON(w io.Writer) error {
 	type out struct {
 		Program     string       `json:"program"`
 		Diagnostics []Diagnostic `json:"diagnostics"`
+		Regions     []RegionInfo `json:"regions"`
 		Errors      int          `json:"errors"`
 		Warnings    int          `json:"warnings"`
 		Infos       int          `json:"infos"`
@@ -242,11 +277,16 @@ func (r *Report) WriteJSON(w io.Writer) error {
 	if diags == nil {
 		diags = []Diagnostic{}
 	}
+	regions := r.Regions
+	if regions == nil {
+		regions = []RegionInfo{}
+	}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	return enc.Encode(out{
 		Program:     r.Program,
 		Diagnostics: diags,
+		Regions:     regions,
 		Errors:      r.Errors(),
 		Warnings:    r.Warnings(),
 		Infos:       r.Infos(),

@@ -18,6 +18,7 @@ package lint
 
 import (
 	"fmt"
+	"sort"
 
 	"loopfrog/internal/asm"
 	"loopfrog/internal/core"
@@ -112,6 +113,41 @@ func Run(p *asm.Program, opts Options) *Report {
 	regions := checkRegions(g, rep)
 	checkLoopCarried(g, regions, rep)
 	checkProfitability(g, regions, opts, rep)
+	rep.Regions = regionTable(p, regions)
 	rep.sortAndPosition(p)
 	return rep
+}
+
+// regionTable builds the exported static region table from the reconstructed
+// regions, one row per region ID sorted ascending. Several detaches naming
+// the same continuation merge into one row: the first detach provides the
+// provenance anchor and body size, terminator counts accumulate.
+func regionTable(p *asm.Program, regions []*region) []RegionInfo {
+	idx := make(map[int64]int, len(regions))
+	var out []RegionInfo
+	for _, r := range regions {
+		i, ok := idx[r.id]
+		if !ok {
+			i = len(out)
+			idx[r.id] = i
+			info := RegionInfo{
+				ID:        r.id,
+				DetachPC:  r.detachPC,
+				Line:      p.LineOf(r.detachPC),
+				BodyInsts: len(r.interior),
+			}
+			if name, off, lok := p.NearestLabel(r.detachPC); lok {
+				if off == 0 {
+					info.Label = name
+				} else {
+					info.Label = fmt.Sprintf("%s+%d", name, off)
+				}
+			}
+			out = append(out, info)
+		}
+		out[i].Reattaches += len(r.reattaches)
+		out[i].Syncs += len(r.syncs)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
 }

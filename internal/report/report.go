@@ -1,0 +1,217 @@
+// Package report joins the dynamic per-region speculation ledgers
+// (cpu.RegionLedger) with the linter's static region table into a ranked
+// per-loop profitability report: for every hinted loop, what the speculation
+// engine actually did with it — spawns, squashes by cause, speculative work
+// won and lost, packing accuracy, dominant stall — and a keep/retune/drop
+// verdict explaining why the loop does (or does not) speed up. The report is
+// the paper's "which hints pay" analysis (§5.1 de-selection, §6.4 no-speedup
+// classes) produced directly from a run instead of estimated after the fact.
+package report
+
+import (
+	"fmt"
+	"sort"
+
+	"loopfrog/internal/core"
+	"loopfrog/internal/cpu"
+	"loopfrog/internal/lint"
+)
+
+// Verdicts, ordered from healthy to hopeless.
+const (
+	// VerdictKeep: the region wins more speculative work than it loses.
+	VerdictKeep = "keep"
+	// VerdictRetune: the region speculates but loses more than it wins —
+	// the dominant squash cause names the knob to turn.
+	VerdictRetune = "retune"
+	// VerdictDrop: the region never pays — hints spawn nothing, or every
+	// speculative instruction is squashed.
+	VerdictDrop = "drop"
+	// VerdictUnused: the region exists statically but never executed.
+	VerdictUnused = "unused"
+)
+
+// Input is everything Build joins into a Profile.
+type Input struct {
+	// Program names the workload.
+	Program string
+	// Regions are the dynamic per-region ledgers: a full run's Stats.Regions,
+	// or a sampled run's interval-weighted aggregate.
+	Regions []cpu.RegionLedger
+	// Cycles is the run's (estimated) cycle count; BaselineCycles the
+	// baseline side when an A/B pair ran (0 = unknown, speedup omitted).
+	Cycles         int64
+	BaselineCycles int64
+	// Estimated marks sampled-run ledgers: counters are interval-weighted
+	// extrapolations, not exact.
+	Estimated bool
+	// Lint, when non-nil, contributes the static region table (file:line
+	// provenance, body shape) and LF2xx profitability notes.
+	Lint *lint.Report
+}
+
+// Row is one region's joined report entry.
+type Row struct {
+	Region int64 `json:"region"`
+	// Static provenance (zero values when no lint report was joined or the
+	// region never appeared statically).
+	Line      int    `json:"line,omitempty"`
+	Label     string `json:"label,omitempty"`
+	BodyInsts int    `json:"body_insts,omitempty"`
+
+	// Ledger is the dynamic side, embedded with its own JSON field names.
+	Ledger cpu.RegionLedger `json:"ledger"`
+
+	// Derived explanation.
+	SquashesByCause map[string]uint64 `json:"squashes_by_cause,omitempty"`
+	PackAccuracy    float64           `json:"pack_accuracy"`
+	DominantStall   string            `json:"dominant_stall,omitempty"`
+	DominantStallN  uint64            `json:"dominant_stall_slots,omitempty"`
+	Verdict         string            `json:"verdict"`
+	Reason          string            `json:"reason"`
+	Notes           []string          `json:"notes,omitempty"`
+}
+
+// Profile is the complete per-program report.
+type Profile struct {
+	Program        string  `json:"program"`
+	Estimated      bool    `json:"estimated"`
+	Cycles         int64   `json:"cycles"`
+	BaselineCycles int64   `json:"baseline_cycles,omitempty"`
+	Speedup        float64 `json:"speedup,omitempty"`
+	// Rows are the regions ranked most-costly-first: by speculative work
+	// lost, then by spawn volume.
+	Rows []Row `json:"regions"`
+	// OutsideSlots is the commit-slot attribution of the outside-any-region
+	// bucket (the program's sequential remainder), nil when absent.
+	OutsideSlots map[string]uint64 `json:"outside_slots,omitempty"`
+}
+
+// Build joins the inputs into a ranked profile.
+func Build(in Input) *Profile {
+	p := &Profile{
+		Program:        in.Program,
+		Estimated:      in.Estimated,
+		Cycles:         in.Cycles,
+		BaselineCycles: in.BaselineCycles,
+	}
+	if in.BaselineCycles > 0 && in.Cycles > 0 {
+		p.Speedup = float64(in.BaselineCycles) / float64(in.Cycles)
+	}
+	seen := make(map[int64]bool, len(in.Regions))
+	slotNames := cpu.SlotClassNames()
+	for i := range in.Regions {
+		l := in.Regions[i]
+		if l.Region == cpu.RegionOutside {
+			p.OutsideSlots = make(map[string]uint64, cpu.NumSlotClasses)
+			for c, n := range l.Slots {
+				if n > 0 {
+					p.OutsideSlots[slotNames[c]] = n
+				}
+			}
+			continue
+		}
+		seen[l.Region] = true
+		p.Rows = append(p.Rows, buildRow(l, in.Lint))
+	}
+	// Statically known regions the run never touched still get a row: an
+	// unused hint is a finding, not an omission.
+	if in.Lint != nil {
+		for _, ri := range in.Lint.Regions {
+			if !seen[ri.ID] {
+				p.Rows = append(p.Rows, buildRow(cpu.RegionLedger{Region: ri.ID}, in.Lint))
+			}
+		}
+	}
+	sort.SliceStable(p.Rows, func(i, j int) bool {
+		a, b := &p.Rows[i], &p.Rows[j]
+		if a.Ledger.SpecLost != b.Ledger.SpecLost {
+			return a.Ledger.SpecLost > b.Ledger.SpecLost
+		}
+		if a.Ledger.Spawns != b.Ledger.Spawns {
+			return a.Ledger.Spawns > b.Ledger.Spawns
+		}
+		return a.Region < b.Region
+	})
+	return p
+}
+
+// buildRow derives one region's explanation from its ledger and the static
+// table.
+func buildRow(l cpu.RegionLedger, lrep *lint.Report) Row {
+	r := Row{Region: l.Region, Ledger: l, PackAccuracy: l.PackAccuracy()}
+	if n := l.SquashTotal(); n > 0 {
+		r.SquashesByCause = make(map[string]uint64)
+		for c, v := range l.Squashes {
+			if v > 0 {
+				r.SquashesByCause[core.SquashCause(c).String()] = v
+			}
+		}
+	}
+	if cls, n := l.DominantStall(); n > 0 {
+		r.DominantStall = cls.String()
+		r.DominantStallN = n
+	}
+	if lrep != nil {
+		if ri := lrep.RegionByID(l.Region); ri != nil {
+			r.Line = ri.Line
+			r.Label = ri.Label
+			r.BodyInsts = ri.BodyInsts
+		}
+		for i := range lrep.Diags {
+			d := &lrep.Diags[i]
+			if d.Region == l.Region && d.Severity == lint.SevInfo {
+				r.Notes = append(r.Notes, fmt.Sprintf("[%s] %s", d.Code, d.Message))
+			}
+		}
+	}
+	r.Verdict, r.Reason = verdict(&l)
+	return r
+}
+
+// verdict classifies the region's profitability and explains it.
+func verdict(l *cpu.RegionLedger) (string, string) {
+	squashes := l.SquashTotal()
+	switch {
+	case l.Detaches == 0 && l.Spawns == 0:
+		return VerdictUnused, "region never executed: its detach was not reached"
+	case l.Spawns == 0:
+		if l.DetachNoContext == l.Detaches && l.Detaches > 0 {
+			return VerdictRetune, fmt.Sprintf(
+				"all %d detaches found no free threadlet context: more contexts, or fewer competing hints, would let this region speculate",
+				l.Detaches)
+		}
+		return VerdictDrop, fmt.Sprintf(
+			"%d detaches spawned no epochs: the hint costs dispatch bandwidth and wins nothing", l.Detaches)
+	case l.SpecWon == 0 && l.SpecLost > 0:
+		return VerdictDrop, fmt.Sprintf(
+			"every speculative instruction was squashed (%d lost, dominant cause %s): speculation here is pure waste",
+			l.SpecLost, dominantSquash(l))
+	case l.SpecLost > l.SpecWon:
+		return VerdictRetune, fmt.Sprintf(
+			"loses more speculative work than it keeps (%d lost vs %d won over %d squashes, dominant cause %s)",
+			l.SpecLost, l.SpecWon, squashes, dominantSquash(l))
+	default:
+		reason := fmt.Sprintf("%d speculative instructions promoted vs %d lost across %d spawns",
+			l.SpecWon, l.SpecLost, l.Spawns)
+		if squashes == 0 {
+			reason = fmt.Sprintf("%d speculative instructions promoted with zero squashes across %d spawns",
+				l.SpecWon, l.Spawns)
+		}
+		return VerdictKeep, reason
+	}
+}
+
+// dominantSquash names the squash cause with the highest count.
+func dominantSquash(l *cpu.RegionLedger) string {
+	best, bestN := 0, uint64(0)
+	for c, n := range l.Squashes {
+		if n > bestN {
+			best, bestN = c, n
+		}
+	}
+	if bestN == 0 {
+		return "none"
+	}
+	return core.SquashCause(best).String()
+}

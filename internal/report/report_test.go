@@ -1,0 +1,136 @@
+package report
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"loopfrog/internal/core"
+	"loopfrog/internal/cpu"
+	"loopfrog/internal/lint"
+)
+
+// ledgers builds a profile input covering every verdict class plus the
+// outside bucket and a statically-known-but-never-executed region.
+func testInput() Input {
+	healthy := cpu.RegionLedger{Region: 40, Detaches: 10, Spawns: 8, Retires: 8, Promotes: 8, SpecWon: 900, SpecLost: 10}
+	healthy.Squashes[core.SquashWrongPath] = 1
+	healthy.Slots[cpu.SlotIQFull] = 500
+
+	lossy := cpu.RegionLedger{Region: 50, Detaches: 20, Spawns: 20, SpecWon: 100, SpecLost: 400}
+	lossy.Squashes[core.SquashConflict] = 15
+
+	hopeless := cpu.RegionLedger{Region: 60, Detaches: 5, Spawns: 5, SpecLost: 50}
+	hopeless.Squashes[core.SquashOverflow] = 5
+
+	starved := cpu.RegionLedger{Region: 70, Detaches: 6, DetachNoContext: 6}
+
+	outside := cpu.RegionLedger{Region: cpu.RegionOutside}
+	outside.Slots[cpu.SlotRetiredArch] = 1000
+
+	lrep := &lint.Report{
+		Program: "synthetic",
+		Regions: []lint.RegionInfo{
+			{ID: 40, Label: "hot_loop", Line: 12, BodyInsts: 9},
+			{ID: 80, Label: "cold_loop", Line: 40, BodyInsts: 4}, // never executed
+		},
+	}
+	return Input{
+		Program:        "synthetic",
+		Regions:        []cpu.RegionLedger{outside, healthy, lossy, hopeless, starved},
+		Cycles:         1000,
+		BaselineCycles: 1600,
+		Lint:           lrep,
+	}
+}
+
+func TestBuildVerdictsAndRanking(t *testing.T) {
+	p := Build(testInput())
+	if p.Speedup != 1.6 {
+		t.Errorf("speedup = %v, want 1.6", p.Speedup)
+	}
+	want := map[int64]string{
+		40: VerdictKeep,   // wins far more than it loses
+		50: VerdictRetune, // loses more than it wins
+		60: VerdictDrop,   // every speculative instruction squashed
+		70: VerdictRetune, // every detach starved of contexts
+		80: VerdictUnused, // static region, never executed
+	}
+	if len(p.Rows) != len(want) {
+		t.Fatalf("got %d rows, want %d: %+v", len(p.Rows), len(want), p.Rows)
+	}
+	for _, r := range p.Rows {
+		if want[r.Region] != r.Verdict {
+			t.Errorf("region %d: verdict %q, want %q (%s)", r.Region, r.Verdict, want[r.Region], r.Reason)
+		}
+		if r.Reason == "" {
+			t.Errorf("region %d: empty reason", r.Region)
+		}
+	}
+	// Ranked by speculative work lost, most-costly-first: region 50 lost
+	// 400 instructions, region 60 lost 50, region 40 lost 10.
+	if p.Rows[0].Region != 50 || p.Rows[1].Region != 60 || p.Rows[2].Region != 40 {
+		t.Errorf("ranking wrong: %d, %d, %d", p.Rows[0].Region, p.Rows[1].Region, p.Rows[2].Region)
+	}
+	// The lint join fills provenance; the dominant squash cause is named.
+	if r := p.Rows[2]; r.Label != "hot_loop" || r.Line != 12 || r.BodyInsts != 9 {
+		t.Errorf("region 40 static join missing: %+v", r)
+	}
+	if r := p.Rows[0]; r.SquashesByCause["conflict"] != 15 {
+		t.Errorf("region 50 squash causes = %v", r.SquashesByCause)
+	}
+	if got := p.Rows[2].DominantStall; got != "iq-full" {
+		t.Errorf("region 40 dominant stall = %q, want iq-full", got)
+	}
+	if p.OutsideSlots["retired-arch"] != 1000 {
+		t.Errorf("outside slots = %v", p.OutsideSlots)
+	}
+}
+
+func TestWritersRenderEveryFormat(t *testing.T) {
+	p := Build(testInput())
+
+	var txt bytes.Buffer
+	if err := p.WriteText(&txt); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"synthetic: 1000 cycles (exact)", "speedup 1.600x", "region 50", "retune", "conflict 15"} {
+		if !strings.Contains(txt.String(), want) {
+			t.Errorf("text report missing %q:\n%s", want, txt.String())
+		}
+	}
+
+	var js bytes.Buffer
+	if err := p.WriteJSON(&js); err != nil {
+		t.Fatal(err)
+	}
+	var round Profile
+	if err := json.Unmarshal(js.Bytes(), &round); err != nil {
+		t.Fatalf("JSON does not round-trip: %v", err)
+	}
+	if len(round.Rows) != len(p.Rows) || round.Rows[0].Verdict != p.Rows[0].Verdict {
+		t.Errorf("round-trip lost rows: %+v", round.Rows)
+	}
+
+	var suite bytes.Buffer
+	if err := WriteSuiteJSON(&suite, []*Profile{p, p}); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Suite []*Profile `json:"suite"`
+	}
+	if err := json.Unmarshal(suite.Bytes(), &doc); err != nil || len(doc.Suite) != 2 {
+		t.Fatalf("suite document: %v (%d profiles)", err, len(doc.Suite))
+	}
+
+	var html bytes.Buffer
+	if err := WriteHTML(&html, []*Profile{p}); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"<!doctype html>", `class="retune"`, "hot_loop"} {
+		if !strings.Contains(html.String(), want) {
+			t.Errorf("HTML report missing %q", want)
+		}
+	}
+}

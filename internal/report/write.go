@@ -1,0 +1,158 @@
+package report
+
+import (
+	"encoding/json"
+	"fmt"
+	"html/template"
+	"io"
+	"strings"
+)
+
+// WriteText renders the profile as an aligned terminal report: a header with
+// the run totals, then one block per region ranked most-costly-first.
+func (p *Profile) WriteText(w io.Writer) error {
+	var b strings.Builder
+	kind := "exact"
+	if p.Estimated {
+		kind = "sampled estimate"
+	}
+	fmt.Fprintf(&b, "%s: %d cycles (%s)", p.Program, p.Cycles, kind)
+	if p.Speedup > 0 {
+		fmt.Fprintf(&b, ", speedup %.3fx over baseline (%d cycles)", p.Speedup, p.BaselineCycles)
+	}
+	b.WriteString("\n")
+	if len(p.Rows) == 0 {
+		b.WriteString("  no regions: the program carries no hints or the region ledger was disabled\n")
+		_, err := io.WriteString(w, b.String())
+		return err
+	}
+	for i := range p.Rows {
+		r := &p.Rows[i]
+		fmt.Fprintf(&b, "\nregion %d%s  —  %s\n", r.Region, rowWhere(r), r.Verdict)
+		fmt.Fprintf(&b, "  %s\n", r.Reason)
+		l := &r.Ledger
+		fmt.Fprintf(&b, "  detaches %d  spawns %d (packed %d, no-context %d)  promotes %d  restarts %d\n",
+			l.Detaches, l.Spawns, l.PackedSpawns, l.DetachNoContext, l.Promotes, l.Restarts)
+		fmt.Fprintf(&b, "  spec insts: won %d, lost %d", l.SpecWon, l.SpecLost)
+		if n := l.SquashTotal(); n > 0 {
+			fmt.Fprintf(&b, "  squashes %d (", n)
+			first := true
+			for _, cause := range sortedKeys(r.SquashesByCause) {
+				if !first {
+					b.WriteString(", ")
+				}
+				fmt.Fprintf(&b, "%s %d", cause, r.SquashesByCause[cause])
+				first = false
+			}
+			b.WriteString(")")
+		}
+		b.WriteString("\n")
+		if l.PackVerifies > 0 {
+			fmt.Fprintf(&b, "  packing: %.1f%% accurate over %d verifies (%d repairs)\n",
+				100*r.PackAccuracy, l.PackVerifies, l.PackRepairs)
+		}
+		if r.DominantStall != "" {
+			fmt.Fprintf(&b, "  dominant stall: %s (%d slots)\n", r.DominantStall, r.DominantStallN)
+		}
+		for _, n := range r.Notes {
+			fmt.Fprintf(&b, "  note: %s\n", n)
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// rowWhere renders the static provenance suffix (" (label, line N)" forms).
+func rowWhere(r *Row) string {
+	switch {
+	case r.Label != "" && r.Line > 0:
+		return fmt.Sprintf(" (%s, line %d)", r.Label, r.Line)
+	case r.Label != "":
+		return fmt.Sprintf(" (%s)", r.Label)
+	case r.Line > 0:
+		return fmt.Sprintf(" (line %d)", r.Line)
+	}
+	return ""
+}
+
+func sortedKeys(m map[string]uint64) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	for i := 1; i < len(keys); i++ {
+		for j := i; j > 0 && keys[j] < keys[j-1]; j-- {
+			keys[j], keys[j-1] = keys[j-1], keys[j]
+		}
+	}
+	return keys
+}
+
+// WriteJSON renders the profile as indented JSON (the schema CI validates).
+func (p *Profile) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(p)
+}
+
+// WriteSuiteJSON renders several profiles as one JSON document:
+// {"suite": [profile, ...]}.
+func WriteSuiteJSON(w io.Writer, profiles []*Profile) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(struct {
+		Suite []*Profile `json:"suite"`
+	}{Suite: profiles})
+}
+
+// htmlPage is the standalone report page: no external assets, loads from a
+// file:// URL.
+var htmlPage = template.Must(template.New("report").Funcs(template.FuncMap{
+	"pct": func(x float64) float64 { return 100 * x },
+}).Parse(`<!doctype html>
+<html lang="en"><head><meta charset="utf-8">
+<title>loopfrog region report</title>
+<style>
+body { font: 14px/1.5 system-ui, sans-serif; margin: 2rem auto; max-width: 72rem; color: #1a1a2e; }
+h1 { font-size: 1.3rem; } h2 { font-size: 1.1rem; margin-top: 2rem; }
+table { border-collapse: collapse; width: 100%; margin: .75rem 0; }
+th, td { text-align: left; padding: .3rem .6rem; border-bottom: 1px solid #ddd; white-space: nowrap; }
+th { background: #f4f4f8; }
+td.reason { white-space: normal; }
+.keep { color: #1a7a3c; font-weight: 600; } .retune { color: #b07d00; font-weight: 600; }
+.drop { color: #b3261e; font-weight: 600; } .unused { color: #666; font-weight: 600; }
+.meta { color: #555; }
+</style></head><body>
+<h1>LoopFrog per-region speculation report</h1>
+{{range .}}
+<h2>{{.Program}}</h2>
+<p class="meta">{{.Cycles}} cycles{{if .Estimated}} (sampled estimate){{end}}{{if .Speedup}}, speedup {{printf "%.3f" .Speedup}}&times; over baseline ({{.BaselineCycles}} cycles){{end}}</p>
+{{if .Rows}}
+<table>
+<tr><th>region</th><th>where</th><th>verdict</th><th>spawns</th><th>squashes</th><th>spec won</th><th>spec lost</th><th>pack acc</th><th>dominant stall</th><th class="reason">why</th></tr>
+{{range .Rows}}
+<tr>
+<td>{{.Region}}</td>
+<td>{{if .Label}}{{.Label}}{{end}}{{if .Line}} :{{.Line}}{{end}}</td>
+<td class="{{.Verdict}}">{{.Verdict}}</td>
+<td>{{.Ledger.Spawns}}</td>
+<td>{{.Ledger.SquashTotal}}</td>
+<td>{{.Ledger.SpecWon}}</td>
+<td>{{.Ledger.SpecLost}}</td>
+<td>{{printf "%.1f%%" (pct .PackAccuracy)}}</td>
+<td>{{.DominantStall}}</td>
+<td class="reason">{{.Reason}}{{range .Notes}}<br><span class="meta">{{.}}</span>{{end}}</td>
+</tr>
+{{end}}
+</table>
+{{else}}
+<p class="meta">no regions recorded</p>
+{{end}}
+{{end}}
+</body></html>
+`))
+
+// WriteHTML renders one or more profiles as a standalone HTML page.
+func WriteHTML(w io.Writer, profiles []*Profile) error {
+	return htmlPage.Execute(w, profiles)
+}

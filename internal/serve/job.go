@@ -15,6 +15,7 @@ import (
 	"loopfrog/internal/cpu"
 	"loopfrog/internal/fault"
 	"loopfrog/internal/lint"
+	"loopfrog/internal/report"
 	"loopfrog/internal/sim"
 	"loopfrog/internal/workloads"
 )
@@ -93,6 +94,13 @@ type JobResult struct {
 	DetailedShare float64 `json:"detailed_share,omitempty"`
 	Tier1IPS      float64 `json:"tier1_insts_per_sec,omitempty"`
 	EffectiveIPS  float64 `json:"effective_insts_per_sec,omitempty"`
+	// Regions is the per-region speculation profile (the lfreport row
+	// schema): every hinted loop's ledger joined with the preflight lint
+	// report, ranked most-costly-first with a keep/retune/drop verdict.
+	// Sampled jobs carry interval-weighted estimates. OutsideSlots is the
+	// commit-slot attribution of the outside-any-region remainder.
+	Regions      []report.Row      `json:"regions,omitempty"`
+	OutsideSlots map[string]uint64 `json:"outside_slots,omitempty"`
 }
 
 // Job statuses.
@@ -111,6 +119,9 @@ type job struct {
 
 	prog *asm.Program
 	cfg  cpu.Config
+	// lintRep is the admission preflight's report, kept so the result can
+	// join static region provenance into the per-region profile.
+	lintRep *lint.Report
 
 	ctx    context.Context
 	cancel context.CancelFunc
@@ -373,7 +384,28 @@ func (s *Server) run(j *job) {
 			res.Speedup = float64(base.Cycles) / float64(lf.Cycles)
 		}
 	}
+	attachRegions(res, st.Regions, j.lintRep, false)
 	j.finish(StatusDone, http.StatusOK, res, "")
+}
+
+// attachRegions joins a run's per-region speculation ledgers with the
+// admission preflight's static region table into the ranked per-loop rows
+// lfreport renders, carried inline in the job result. Runs without ledgers
+// (region tracking disabled, no regions executed) attach nothing.
+func attachRegions(res *JobResult, regions []cpu.RegionLedger, lrep *lint.Report, estimated bool) {
+	if len(regions) == 0 {
+		return
+	}
+	prof := report.Build(report.Input{
+		Program:        res.Program,
+		Regions:        regions,
+		Cycles:         res.Cycles,
+		BaselineCycles: res.BaselineCycles,
+		Estimated:      estimated,
+		Lint:           lrep,
+	})
+	res.Regions = prof.Rows
+	res.OutsideSlots = prof.OutsideSlots
 }
 
 // runSampled executes a sampled job: the tier-1 pass plus every detailed
@@ -417,6 +449,7 @@ func (s *Server) runSampled(j *job, timeout time.Duration) {
 	res.DetailedShare = st.DetailedShare
 	res.Tier1IPS = st.Tier1IPS
 	res.EffectiveIPS = st.EffectiveIPS
+	attachRegions(res, st.Regions, j.lintRep, true)
 	j.finish(StatusDone, http.StatusOK, res, "")
 }
 

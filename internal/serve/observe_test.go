@@ -1,0 +1,272 @@
+package serve_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"loopfrog/internal/serve"
+)
+
+// postAny submits a job without failing the test on transport errors, so it
+// is safe to call from load-generating goroutines.
+func postAny(ts *httptest.Server, spec map[string]any) error {
+	body, err := json.Marshal(spec)
+	if err != nil {
+		return err
+	}
+	resp, err := http.Post(ts.URL+"/v1/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusTooManyRequests {
+		return fmt.Errorf("submit: status %d", resp.StatusCode)
+	}
+	return nil
+}
+
+// TestMetricsFormatsUnderLoad scrapes /metrics in both formats while
+// concurrent jobs run: the default stays JSON, ?format=prom and
+// Accept: text/plain select the Prometheus text exposition format with the
+// 0.0.4 content type, and the serve latency percentile gauges are present in
+// both. Run with -race this also exercises the registry snapshot against the
+// mutating counters.
+func TestMetricsFormatsUnderLoad(t *testing.T) {
+	_, ts := newTestServer(t, serve.Config{})
+
+	stop := make(chan struct{})
+	errc := make(chan error, 4)
+	var wg sync.WaitGroup
+	for c := 0; c < 4; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				spec := map[string]any{"asm": trivialAsm}
+				if c%2 == 1 {
+					// Distinct cache keys so half the load really simulates.
+					spec["max_cycles"] = 100_000 + c*1_000 + i
+				}
+				if err := postAny(ts, spec); err != nil {
+					select {
+					case errc <- err:
+					default:
+					}
+					return
+				}
+			}
+		}(c)
+	}
+
+	scrape := func(path, accept string) (*http.Response, []byte) {
+		t.Helper()
+		req, err := http.NewRequest(http.MethodGet, ts.URL+path, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if accept != "" {
+			req.Header.Set("Accept", accept)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var buf bytes.Buffer
+		if _, err := buf.ReadFrom(resp.Body); err != nil {
+			t.Fatal(err)
+		}
+		return resp, buf.Bytes()
+	}
+
+	deadline := time.Now().Add(500 * time.Millisecond)
+	for time.Now().Before(deadline) {
+		// Default: JSON with the serve gauges.
+		resp, payload := scrape("/metrics", "")
+		if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+			t.Fatalf("default Content-Type = %q, want application/json", ct)
+		}
+		var doc struct {
+			Metrics map[string]float64 `json:"metrics"`
+		}
+		if err := json.Unmarshal(payload, &doc); err != nil {
+			t.Fatalf("bad metrics JSON under load: %v", err)
+		}
+		for _, key := range []string{"serve.LatencyP50Seconds", "serve.LatencyP99Seconds", "serve.Inflight"} {
+			if _, ok := doc.Metrics[key]; !ok {
+				t.Fatalf("JSON metrics missing %q", key)
+			}
+		}
+
+		// ?format=prom and Accept: text/plain: Prometheus text exposition.
+		for _, sel := range []struct{ path, accept string }{
+			{"/metrics?format=prom", ""},
+			{"/metrics", "text/plain; version=0.0.4"},
+		} {
+			resp, payload := scrape(sel.path, sel.accept)
+			const wantCT = "text/plain; version=0.0.4; charset=utf-8"
+			if ct := resp.Header.Get("Content-Type"); ct != wantCT {
+				t.Fatalf("%s Accept=%q: Content-Type = %q, want %q", sel.path, sel.accept, ct, wantCT)
+			}
+			text := string(payload)
+			for _, want := range []string{
+				"# TYPE serve_LatencyP50Seconds gauge",
+				"# TYPE serve_LatencyP99Seconds gauge",
+				"serve_Admitted ",
+				"harness_Jobs ",
+			} {
+				if !strings.Contains(text, want) {
+					t.Fatalf("%s Accept=%q: exposition missing %q in:\n%s", sel.path, sel.accept, want, text)
+				}
+			}
+		}
+	}
+	close(stop)
+	wg.Wait()
+	select {
+	case err := <-errc:
+		t.Fatalf("load goroutine: %v", err)
+	default:
+	}
+}
+
+// TestSSEDisconnectNoGoroutineLeak opens a progress stream on a running job,
+// drops the connection mid-job, and verifies the goroutine count returns to
+// its pre-stream level once the job finishes: the SSE writer must notice the
+// disconnect instead of blocking on the dead connection.
+func TestSSEDisconnectNoGoroutineLeak(t *testing.T) {
+	_, ts := newTestServer(t, serve.Config{ProgressInterval: 5 * time.Millisecond})
+
+	// Warm up the worker pool and HTTP client so the baseline includes every
+	// long-lived goroutine.
+	if resp, payload := post(t, ts, map[string]any{"asm": trivialAsm}); resp.StatusCode != http.StatusOK {
+		t.Fatalf("warmup: %d %s", resp.StatusCode, payload)
+	}
+	baseline := runtime.NumGoroutine()
+
+	resp, payload := post(t, ts, map[string]any{"asm": spinAsm, "timeout_ms": 500, "async": true})
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: %d %s", resp.StatusCode, payload)
+	}
+	var v struct {
+		ID string `json:"id"`
+	}
+	if err := json.Unmarshal(payload, &v); err != nil {
+		t.Fatal(err)
+	}
+
+	stream, err := http.Get(ts.URL + "/v1/jobs/" + v.ID + "?stream=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Read a little so the stream is really flowing, then hang up mid-job.
+	buf := make([]byte, 64)
+	if _, err := stream.Body.Read(buf); err != nil {
+		t.Fatalf("first stream read: %v", err)
+	}
+	stream.Body.Close()
+
+	// Wait for the job itself to finish (the spin only ends at its deadline).
+	waitDeadline := time.Now().Add(5 * time.Second)
+	for {
+		resp, payload := get(t, ts, "/v1/jobs/"+v.ID)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("poll: %d %s", resp.StatusCode, payload)
+		}
+		var jv struct {
+			Status string `json:"status"`
+		}
+		if err := json.Unmarshal(payload, &jv); err != nil {
+			t.Fatal(err)
+		}
+		if jv.Status != "queued" && jv.Status != "running" {
+			break
+		}
+		if time.Now().After(waitDeadline) {
+			t.Fatalf("job never finished: %s", payload)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	// The goroutine count settles back to the baseline (with slack for the
+	// HTTP keep-alive pool); retry because the SSE writer exits asynchronously.
+	const slack = 4
+	var n int
+	for end := time.Now().Add(5 * time.Second); time.Now().Before(end); time.Sleep(20 * time.Millisecond) {
+		if n = runtime.NumGoroutine(); n <= baseline+slack {
+			return
+		}
+	}
+	t.Fatalf("goroutines did not settle after SSE disconnect: baseline %d, now %d", baseline, n)
+}
+
+// TestJobResultCarriesRegions: a job over a hinted program carries the
+// per-region speculation profile in its result — ranked rows with verdicts,
+// static provenance joined from the admission preflight, and the
+// outside-any-region slot attribution.
+func TestJobResultCarriesRegions(t *testing.T) {
+	src, err := os.ReadFile("../../examples/quickstart/asm/quickstart.s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, ts := newTestServer(t, serve.Config{})
+	resp, payload := post(t, ts, map[string]any{"name": "quickstart", "asm": string(src), "ab": true})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d, body %s", resp.StatusCode, payload)
+	}
+	var v struct {
+		Result struct {
+			Speedup float64 `json:"speedup"`
+			Regions []struct {
+				Region  int64  `json:"region"`
+				Label   string `json:"label"`
+				Verdict string `json:"verdict"`
+				Reason  string `json:"reason"`
+				Ledger  struct {
+					Spawns  uint64 `json:"spawns"`
+					SpecWon uint64 `json:"spec_won"`
+				} `json:"ledger"`
+			} `json:"regions"`
+			OutsideSlots map[string]uint64 `json:"outside_slots"`
+		} `json:"result"`
+	}
+	if err := json.Unmarshal(payload, &v); err != nil {
+		t.Fatalf("bad body %s: %v", payload, err)
+	}
+	r := v.Result
+	if len(r.Regions) == 0 {
+		t.Fatalf("result carries no region rows: %s", payload)
+	}
+	spawned := false
+	for _, row := range r.Regions {
+		if row.Verdict == "" || row.Reason == "" {
+			t.Errorf("region %d: missing verdict/reason", row.Region)
+		}
+		if row.Label == "" {
+			t.Errorf("region %d: static provenance (label) not joined", row.Region)
+		}
+		if row.Ledger.Spawns > 0 {
+			spawned = true
+		}
+	}
+	if !spawned {
+		t.Error("no region row records any spawns on a speeding-up program")
+	}
+	if len(r.OutsideSlots) == 0 {
+		t.Error("outside-any-region slot attribution missing")
+	}
+}

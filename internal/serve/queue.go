@@ -52,14 +52,17 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 
 	// Mandatory admission gate: a program that fails hint-legality preflight
-	// is never simulated. 422 carries the full diagnostic report.
-	if rep, perr := lint.Preflight(prog); perr != nil {
+	// is never simulated. 422 carries the full diagnostic report. Admitted
+	// jobs keep the report: its static region table (provenance, body shape)
+	// is joined into the result's per-region profile.
+	rep, perr := lint.Preflight(prog)
+	if perr != nil {
 		s.m.lintRejects.Add(1)
 		writeJSON(w, http.StatusUnprocessableEntity, apiError{Error: perr.Error(), Lint: rep})
 		return
 	}
 
-	j := s.newJob(spec, prog, cfg)
+	j := s.newJob(spec, prog, cfg, rep)
 	lane := s.interactive
 	if spec.Priority == PrioritySweep {
 		lane = s.sweep
@@ -98,17 +101,18 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 }
 
 // newJob registers a fresh job in the queued state.
-func (s *Server) newJob(spec JobSpec, prog *asm.Program, cfg cpu.Config) *job {
+func (s *Server) newJob(spec JobSpec, prog *asm.Program, cfg cpu.Config, lintRep *lint.Report) *job {
 	ctx, cancel := context.WithCancel(s.baseCtx)
 	j := &job{
-		ID:     fmt.Sprintf("job-%08d", s.seq.Add(1)),
-		Spec:   spec,
-		prog:   prog,
-		cfg:    cfg,
-		ctx:    ctx,
-		cancel: cancel,
-		done:   make(chan struct{}),
-		status: StatusQueued,
+		ID:      fmt.Sprintf("job-%08d", s.seq.Add(1)),
+		Spec:    spec,
+		prog:    prog,
+		cfg:     cfg,
+		lintRep: lintRep,
+		ctx:     ctx,
+		cancel:  cancel,
+		done:    make(chan struct{}),
+		status:  StatusQueued,
 	}
 	j.submitted = time.Now()
 	s.mu.Lock()

@@ -11,7 +11,9 @@
 //	POST /v1/jobs        submit a job (sync by default, "async": true for 202+poll)
 //	GET  /v1/jobs/{id}   job status/result; ?stream=1 or Accept: text/event-stream
 //	                     streams queued→running→progress→done as server-sent events
-//	GET  /metrics        telemetry registry snapshot (serve.* + harness.*) as JSON
+//	GET  /metrics        telemetry registry snapshot (serve.* + harness.*) as
+//	                     JSON; ?format=prom or Accept: text/plain selects the
+//	                     Prometheus text exposition format
 //	GET  /healthz        200 while serving, 503 while draining
 //	GET  /v1/version     daemon identity and configuration
 //
@@ -28,6 +30,7 @@ import (
 	"fmt"
 	"net/http"
 	"runtime"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -223,7 +226,17 @@ func (s *Server) handleVersion(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// handleMetrics serves the registry snapshot. JSON is the default; the
+// Prometheus text exposition format (version 0.0.4) is selected by
+// ?format=prom or by an Accept header asking for text/plain, so a stock
+// Prometheus scrape config needs no URL parameters.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Query().Get("format") == "prom" ||
+		strings.Contains(r.Header.Get("Accept"), "text/plain") {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = s.reg.WritePrometheus(w)
+		return
+	}
 	w.Header().Set("Content-Type", "application/json")
 	if err := s.reg.WriteJSON(w); err != nil {
 		// Headers are gone; all we can do is drop the connection.

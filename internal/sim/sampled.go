@@ -112,6 +112,12 @@ type SampledStats struct {
 	// windows (warmup included); DetailedShare is its fraction of TotalInsts.
 	DetailedInsts uint64
 	DetailedShare float64
+	// Regions is the interval-weighted aggregate of the windows' per-region
+	// speculation ledgers (empty when Config.RegionLedger is off): each
+	// window's ledgers are scaled by the interval it stands for, the same
+	// weighting the cycle estimate uses. The aggregate is an estimate —
+	// cpu.Stats.ReconcileRegions applies to exact full runs only.
+	Regions []cpu.RegionLedger
 	// Tier1Nanos and WallNanos time the functional pass and the whole sampled
 	// run (tier 1 + all windows, as scheduled); EffectiveIPS is
 	// TotalInsts/WallNanos — the headline effective simulation speed.
@@ -137,6 +143,18 @@ func (h *Harness) RunSampled(cfg cpu.Config, prog *asm.Program, sc SampleConfig)
 // RunSampledCtx is RunSampled under a context: cancellation stops tier-1,
 // every in-flight window, and returns with no goroutines left behind.
 func (h *Harness) RunSampledCtx(ctx context.Context, cfg cpu.Config, prog *asm.Program, sc SampleConfig) (*SampledStats, error) {
+	return h.RunSampledObservedCtx(ctx, cfg, prog, sc, nil)
+}
+
+// RunSampledObservedCtx is RunSampledCtx with a per-window observer: when
+// observe is non-nil it is invoked with the window index (program order) and
+// the window's machine just before that window's detailed simulation starts,
+// so callers can attach telemetry — tracing each parallel-in-time window onto
+// its own trace process, say. Observers run on worker goroutines and must be
+// safe for concurrent use. Like Job.Observe (which carries it), the hook
+// fires only for windows that actually execute a machine: a window served
+// from the harness run-cache is never observed.
+func (h *Harness) RunSampledObservedCtx(ctx context.Context, cfg cpu.Config, prog *asm.Program, sc SampleConfig, observe func(win int, m *cpu.Machine)) (*SampledStats, error) {
 	sc = sc.withDefaults()
 	start := time.Now()
 	ckpts, total, t1, err := h.tier1(ctx, cfg, prog, sc)
@@ -146,6 +164,10 @@ func (h *Harness) RunSampledCtx(ctx context.Context, cfg cpu.Config, prog *asm.P
 	jobs := make([]Job, len(ckpts))
 	for i, ck := range ckpts {
 		jobs[i] = windowJob(cfg, prog, ck, sc)
+		if observe != nil {
+			win := i
+			jobs[i].Observe = func(m *cpu.Machine) { observe(win, m) }
+		}
 	}
 	stats, errs := h.RunJobsCtx(ctx, jobs)
 	for i, werr := range errs {
@@ -154,6 +176,7 @@ func (h *Harness) RunSampledCtx(ctx context.Context, cfg cpu.Config, prog *asm.P
 		}
 	}
 	out := &SampledStats{Sample: sc, TotalInsts: total, Tier1Nanos: t1}
+	var regions RegionAccumulator
 	for i, st := range stats {
 		w, werr := measureWindow(ckpts[i], total, sc, st)
 		if werr != nil {
@@ -162,7 +185,9 @@ func (h *Harness) RunSampledCtx(ctx context.Context, cfg cpu.Config, prog *asm.P
 		out.Windows = append(out.Windows, w)
 		out.EstCycles += float64(w.Insts) / w.IPC
 		out.DetailedInsts += w.SimInsts
+		regions.AddScaled(st.Regions, windowRegionScale(w, st))
 	}
+	out.Regions = regions.Ledgers()
 	out.CPI = out.EstCycles / float64(total)
 	out.DetailedShare = float64(out.DetailedInsts) / float64(total)
 	out.WallNanos = int64(time.Since(start))
@@ -224,6 +249,7 @@ func (h *Harness) RunSampledABCtx(ctx context.Context, cfg cpu.Config, prog *asm
 		LF:   &SampledStats{Sample: sc, TotalInsts: total, Tier1Nanos: t1},
 	}
 	phases := make([]Phase, 0, n)
+	var baseRegions, lfRegions RegionAccumulator
 	for i, ck := range ckpts {
 		bw, berr := measureWindow(ck, total, sc, stats[i])
 		if berr != nil {
@@ -239,6 +265,8 @@ func (h *Harness) RunSampledABCtx(ctx context.Context, cfg cpu.Config, prog *asm
 		res.LF.EstCycles += float64(lw.Insts) / lw.IPC
 		res.Base.DetailedInsts += bw.SimInsts
 		res.LF.DetailedInsts += lw.SimInsts
+		baseRegions.AddScaled(stats[i].Regions, windowRegionScale(bw, stats[i]))
+		lfRegions.AddScaled(stats[n+i].Regions, windowRegionScale(lw, stats[n+i]))
 		if bw.Insts == 0 {
 			continue // terminal fragment shorter than the warmup: weightless
 		}
@@ -249,6 +277,8 @@ func (h *Harness) RunSampledABCtx(ctx context.Context, cfg cpu.Config, prog *asm
 			LFIPC:   lw.IPC,
 		})
 	}
+	res.Base.Regions = baseRegions.Ledgers()
+	res.LF.Regions = lfRegions.Ledgers()
 	wall := int64(time.Since(start))
 	for _, s := range []*SampledStats{res.Base, res.LF} {
 		s.CPI = s.EstCycles / float64(total)

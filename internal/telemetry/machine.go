@@ -2,6 +2,7 @@ package telemetry
 
 import (
 	"fmt"
+	"sync"
 
 	"loopfrog/internal/core"
 	"loopfrog/internal/cpu"
@@ -26,6 +27,7 @@ const (
 	prefixMemL2    = "mem.l2"
 	prefixHarness  = "harness"
 	prefixSlots    = "cpu.slots"
+	prefixRegion   = "region"
 )
 
 // CollectMachine registers every component statistic of the machine into
@@ -70,7 +72,49 @@ func CollectMachine(reg *Registry, m *cpu.Machine) error {
 			return float64(m.SnapshotStats().CPU.Squashes[c])
 		})
 	}
+	// Region-keyed section: the per-region speculation ledgers, whose key
+	// space (region IDs) only exists at run time, exported as
+	// region.<id>.<counter>. Empty when Config.RegionLedger is off.
+	reg.RegisterFunc(prefixRegion, func() []Metric {
+		return AppendRegionMetrics(nil, m.SnapshotStats().CPU.Regions)
+	})
 	return nil
+}
+
+// AppendRegionMetrics flattens per-region ledgers into <id>.<counter>
+// metrics (the outside-any-region bucket renders as "outside"). Shared by
+// CollectMachine's region section and any harness-level aggregation export.
+func AppendRegionMetrics(out []Metric, regions []cpu.RegionLedger) []Metric {
+	slotNames := cpu.SlotClassNames()
+	for i := range regions {
+		l := &regions[i]
+		key := "outside"
+		if l.Region != cpu.RegionOutside {
+			key = fmt.Sprintf("%d", l.Region)
+		}
+		add := func(name string, v uint64) {
+			out = append(out, Metric{Name: key + "." + name, Value: float64(v)})
+		}
+		add("detaches", l.Detaches)
+		add("spawns", l.Spawns)
+		add("packed-spawns", l.PackedSpawns)
+		add("detach-no-context", l.DetachNoContext)
+		add("retires", l.Retires)
+		add("promotes", l.Promotes)
+		add("restarts", l.Restarts)
+		add("spec-won", l.SpecWon)
+		add("spec-lost", l.SpecLost)
+		add("pack-verifies", l.PackVerifies)
+		add("pack-mispredicts", l.PackMispredicts)
+		add("pack-repairs", l.PackRepairs)
+		for c := 0; c < core.NumSquashCauses; c++ {
+			add("squash."+core.SquashCause(c).String(), l.Squashes[c])
+		}
+		for c := 0; c < cpu.NumSlotClasses; c++ {
+			add("slots."+slotNames[c], l.Slots[c])
+		}
+	}
+	return out
 }
 
 // CollectHarness registers the evaluation harness's scheduling and run-cache
@@ -90,24 +134,35 @@ const DefaultSlotSampleInterval = 256
 type MachineTracer struct {
 	tr   *Trace
 	m    *cpu.Machine
+	pid  int
 	open []bool // per-context: an epoch span is open on its track
 }
 
 // AttachMachine wires m's threadlet lifecycle events and commit-slot
 // attribution into tr: one trace thread per threadlet context carrying epoch
 // spans (begin at spawn, end at retire/squash) with promote/squash/restart
-// instants, and a stacked "commit-slots" counter track sampled every
-// sampleEvery cycles (<= 0 uses DefaultSlotSampleInterval).
+// instants carrying their region, and a stacked "commit-slots" counter track
+// sampled every sampleEvery cycles (<= 0 uses DefaultSlotSampleInterval).
+// Everything lands on trace process 0 ("loopfrog core").
 func AttachMachine(m *cpu.Machine, tr *Trace, sampleEvery int64) *MachineTracer {
+	return AttachMachinePID(m, tr, sampleEvery, 0, "loopfrog core")
+}
+
+// AttachMachinePID is AttachMachine onto an explicit trace process, so
+// several machines (the parallel-in-time windows of a sampled run) can share
+// one Trace without their spans interleaving ambiguously: each window gets
+// its own pid and process name, and Perfetto renders them as separate
+// process groups. The Trace serialises concurrent emissions itself.
+func AttachMachinePID(m *cpu.Machine, tr *Trace, sampleEvery int64, pid int, name string) *MachineTracer {
 	cfg := m.Config()
-	mt := &MachineTracer{tr: tr, m: m, open: make([]bool, cfg.Threadlets)}
-	tr.MetaProcess(0, "loopfrog core")
+	mt := &MachineTracer{tr: tr, m: m, pid: pid, open: make([]bool, cfg.Threadlets)}
+	tr.MetaProcess(pid, name)
 	for tid := 0; tid < cfg.Threadlets; tid++ {
-		tr.MetaThread(0, tid, fmt.Sprintf("ctx%d", tid))
+		tr.MetaThread(pid, tid, fmt.Sprintf("ctx%d", tid))
 	}
 	// Context 0 is live from reset as the initial architectural threadlet;
 	// it never sees an EvSpawn.
-	tr.Begin(0, 0, m.Now(), "arch", nil)
+	tr.Begin(pid, 0, m.Now(), "arch", nil)
 	mt.open[0] = true
 
 	m.SetEventHook(mt.onEvent)
@@ -125,29 +180,33 @@ func (mt *MachineTracer) onEvent(e cpu.Event) {
 	switch e.Kind {
 	case cpu.EvSpawn:
 		if mt.open[e.Tid] { // defensive: never emit unbalanced B events
-			mt.tr.End(0, e.Tid, e.Cycle)
+			mt.tr.End(mt.pid, e.Tid, e.Cycle)
 		}
-		mt.tr.Begin(0, e.Tid, e.Cycle, fmt.Sprintf("epoch r=%d", e.Region),
+		mt.tr.Begin(mt.pid, e.Tid, e.Cycle, fmt.Sprintf("epoch r=%d", e.Region),
 			map[string]int64{"region": e.Region, "factor": int64(e.Detail)})
 		mt.open[e.Tid] = true
 	case cpu.EvRetire:
 		mt.closeSpan(e.Tid, e.Cycle)
 	case cpu.EvPromote:
-		mt.tr.Instant(0, e.Tid, e.Cycle, "promote", nil)
+		mt.tr.Instant(mt.pid, e.Tid, e.Cycle, "promote",
+			map[string]int64{"region": e.Region})
 	case cpu.EvSquash:
-		mt.tr.Instant(0, e.Tid, e.Cycle, "squash:"+core.SquashCause(e.Detail).String(), nil)
+		mt.tr.Instant(mt.pid, e.Tid, e.Cycle, "squash:"+core.SquashCause(e.Detail).String(),
+			map[string]int64{"region": e.Region, "cause": int64(e.Detail)})
 		mt.closeSpan(e.Tid, e.Cycle)
 	case cpu.EvSyncCancel:
-		mt.tr.Instant(0, e.Tid, e.Cycle, "sync-cancel", nil)
+		mt.tr.Instant(mt.pid, e.Tid, e.Cycle, "sync-cancel",
+			map[string]int64{"region": e.Region})
 		mt.closeSpan(e.Tid, e.Cycle)
 	case cpu.EvRestart:
 		// The context stays live and re-runs its epoch from the checkpoint:
 		// end the failed attempt and open the next one.
-		mt.tr.Instant(0, e.Tid, e.Cycle, "restart:"+core.SquashCause(e.Detail).String(), nil)
+		mt.tr.Instant(mt.pid, e.Tid, e.Cycle, "restart:"+core.SquashCause(e.Detail).String(),
+			map[string]int64{"region": e.Region, "cause": int64(e.Detail)})
 		if mt.open[e.Tid] {
-			mt.tr.End(0, e.Tid, e.Cycle)
+			mt.tr.End(mt.pid, e.Tid, e.Cycle)
 		}
-		mt.tr.Begin(0, e.Tid, e.Cycle, fmt.Sprintf("epoch r=%d retry", e.Region),
+		mt.tr.Begin(mt.pid, e.Tid, e.Cycle, fmt.Sprintf("epoch r=%d retry", e.Region),
 			map[string]int64{"region": e.Region})
 		mt.open[e.Tid] = true
 	}
@@ -155,7 +214,7 @@ func (mt *MachineTracer) onEvent(e cpu.Event) {
 
 func (mt *MachineTracer) closeSpan(tid int, cycle int64) {
 	if mt.open[tid] {
-		mt.tr.End(0, tid, cycle)
+		mt.tr.End(mt.pid, tid, cycle)
 		mt.open[tid] = false
 	}
 }
@@ -166,7 +225,36 @@ func (mt *MachineTracer) onSlotSample(cycle int64, delta [cpu.NumSlotClasses]uin
 	for i, d := range delta {
 		series[names[i]] = int64(d)
 	}
-	mt.tr.Counter(0, cycle, "commit-slots", series)
+	mt.tr.Counter(mt.pid, cycle, "commit-slots", series)
+}
+
+// TraceSampledWindows builds the observer pair for tracing a sampled run's
+// parallel-in-time detailed windows into one Trace. The observe function
+// plugs into sim's RunSampledObservedCtx: window i lands on trace pid i+1
+// (pid 0 stays reserved for a whole-run machine) named "loopfrog window
+// i+1", so Perfetto renders each window as its own process group and
+// interleaved windows never read as one ambiguous timeline. Call finish
+// exactly once after the sampled run returns to flush and close every
+// window's tracer; the caller still owns tr and must Close it. Windows
+// served from the harness run-cache execute no machine and leave no tracks.
+func TraceSampledWindows(tr *Trace, sampleEvery int64) (observe func(win int, m *cpu.Machine), finish func()) {
+	var mu sync.Mutex
+	var tracers []*MachineTracer
+	observe = func(win int, m *cpu.Machine) {
+		mt := AttachMachinePID(m, tr, sampleEvery, win+1, fmt.Sprintf("loopfrog window %d", win+1))
+		mu.Lock()
+		tracers = append(tracers, mt)
+		mu.Unlock()
+	}
+	finish = func() {
+		mu.Lock()
+		defer mu.Unlock()
+		for _, mt := range tracers {
+			mt.Finish()
+		}
+		tracers = nil
+	}
+	return observe, finish
 }
 
 // Finish flushes the residual slot sample, closes every span still open at

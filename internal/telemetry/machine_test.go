@@ -143,12 +143,14 @@ func TestCommitSlotSumOnBenchmarks(t *testing.T) {
 }
 
 // exportedLeaves lists the dotted metric suffixes reflection should produce
-// for a struct type — the ground truth for the round-trip test.
+// for a struct type — the ground truth for the round-trip test. A field
+// tagged `metrics:"-"` opted out of flattening (it is re-exported through a
+// dynamic section instead; the registry tag test covers the mechanism).
 func exportedLeaves(t reflect.Type, path string) []string {
 	var out []string
 	for i := 0; i < t.NumField(); i++ {
 		f := t.Field(i)
-		if !f.IsExported() {
+		if !f.IsExported() || f.Tag.Get("metrics") == "-" {
 			continue
 		}
 		name := f.Name

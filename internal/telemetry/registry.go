@@ -102,6 +102,14 @@ func (r *Registry) RegisterGauge(name string, fn func() float64) {
 	r.register("", func() []Metric { return []Metric{{Name: name, Value: fn()}} })
 }
 
+// RegisterFunc registers a dynamic source: fn is called at every snapshot
+// and returns a fresh metric list, for sections whose key space only exists
+// at run time (the per-region ledgers). Metric names are prefixed like
+// RegisterStruct fields.
+func (r *Registry) RegisterFunc(prefix string, fn func() []Metric) {
+	r.register(prefix, fn)
+}
+
 func (r *Registry) register(prefix string, read func() []Metric) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
@@ -166,6 +174,44 @@ func (r *Registry) WriteTable(w io.Writer) error {
 	return nil
 }
 
+// WritePrometheus writes the snapshot in the Prometheus text exposition
+// format (version 0.0.4): one gauge per metric, names sanitised to the
+// Prometheus charset (every character outside [a-zA-Z0-9_:] becomes '_', a
+// leading digit gains a '_' prefix), sorted by the original name. All
+// metrics export as gauges: the registry cannot distinguish monotonic
+// counters from instantaneous values, and a gauge is always safe to scrape.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	snap := r.Snapshot()
+	var b strings.Builder
+	for _, m := range snap {
+		name := promName(m.Name)
+		fmt.Fprintf(&b, "# TYPE %s gauge\n%s %s\n", name, name, formatValue(m.Value))
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// promName maps a registry metric name onto the Prometheus name charset.
+func promName(name string) string {
+	var b strings.Builder
+	b.Grow(len(name) + 1)
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c == '_' || c == ':':
+			b.WriteByte(c)
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				b.WriteByte('_')
+			}
+			b.WriteByte(c)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
 // formatValue renders integral floats without a decimal point so counters
 // stay readable (and JSON-exact for values within float64's integer range).
 func formatValue(v float64) string {
@@ -176,12 +222,14 @@ func formatValue(v float64) string {
 }
 
 // unsupportedFields lists exported fields (dotted paths) whose kind the
-// registry cannot export.
+// registry cannot export. A field tagged `metrics:"-"` is skipped: the
+// owning package opted it out of flattening (typically to re-export it
+// through a dynamic RegisterFunc section instead).
 func unsupportedFields(t reflect.Type, path string) []string {
 	var bad []string
 	for i := 0; i < t.NumField(); i++ {
 		f := t.Field(i)
-		if !f.IsExported() {
+		if !f.IsExported() || f.Tag.Get("metrics") == "-" {
 			continue
 		}
 		name := f.Name
@@ -210,7 +258,7 @@ func appendStructMetrics(out []Metric, path string, v reflect.Value) []Metric {
 	t := v.Type()
 	for i := 0; i < t.NumField(); i++ {
 		f := t.Field(i)
-		if !f.IsExported() {
+		if !f.IsExported() || f.Tag.Get("metrics") == "-" {
 			continue
 		}
 		name := f.Name

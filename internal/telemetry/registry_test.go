@@ -117,6 +117,46 @@ func TestRegistryWriteJSONParses(t *testing.T) {
 	}
 }
 
+func TestRegistryWritePrometheus(t *testing.T) {
+	r := NewRegistry()
+	if err := r.RegisterStruct("serve.api", &sampleStats{Hits: 7, Ratio: 0.25}); err != nil {
+		t.Fatal(err)
+	}
+	r.RegisterGauge("region.41.squash.pack-mispredict", func() float64 { return 3 })
+	r.RegisterGauge("9lives", func() float64 { return 1 })
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	// Every metric exports as a gauge with its name mapped onto the
+	// Prometheus charset: dots and dashes become underscores, a leading
+	// digit gains an underscore prefix, integral values stay integral.
+	for _, want := range []string{
+		"# TYPE serve_api_Hits gauge\nserve_api_Hits 7\n",
+		"serve_api_Ratio 0.25\n",
+		"# TYPE region_41_squash_pack_mispredict gauge\nregion_41_squash_pack_mispredict 3\n",
+		"_9lives 1\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	for _, line := range strings.Split(strings.TrimRight(out, "\n"), "\n") {
+		name := strings.Fields(line)[0]
+		if name == "#" {
+			name = strings.Fields(line)[2]
+		}
+		for i := 0; i < len(name); i++ {
+			c := name[i]
+			ok := c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c == '_' || c == ':' || (c >= '0' && c <= '9' && i > 0)
+			if !ok {
+				t.Fatalf("name %q escapes the Prometheus charset (line %q)", name, line)
+			}
+		}
+	}
+}
+
 func TestRegistryWriteTable(t *testing.T) {
 	r := NewRegistry()
 	if err := r.RegisterStruct("c", &sampleStats{Hits: 3}); err != nil {

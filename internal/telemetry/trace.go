@@ -6,6 +6,7 @@ import (
 	"io"
 	"sort"
 	"strconv"
+	"sync"
 )
 
 // Trace streams Chrome trace-event JSON (the "JSON Array Format" that
@@ -18,7 +19,12 @@ import (
 // Track layout convention (see AttachMachine): one thread per threadlet
 // context carrying epoch spans and squash/conflict instants, plus counter
 // tracks for per-interval commit-slot attribution.
+//
+// Emission is serialised internally, so several MachineTracers on different
+// goroutines (the parallel-in-time windows of a sampled run, each on its own
+// trace pid) can share one Trace.
 type Trace struct {
+	mu     sync.Mutex
 	w      *bufio.Writer
 	closer io.Closer
 	n      int // events written
@@ -37,11 +43,17 @@ func NewTrace(w io.Writer) *Trace {
 }
 
 // Err returns the first write error, if any.
-func (t *Trace) Err() error { return t.err }
+func (t *Trace) Err() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.err
+}
 
 // Close finalises the JSON document and closes the underlying writer when it
 // is an io.Closer.
 func (t *Trace) Close() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	t.raw("\n]}\n")
 	if err := t.w.Flush(); err != nil && t.err == nil {
 		t.err = err
@@ -64,8 +76,11 @@ func (t *Trace) raw(s string) {
 }
 
 // event writes one trace event object; body is the event's fields after the
-// common ones, already JSON-encoded.
+// common ones, already JSON-encoded. It is the single funnel for every
+// emission, so the lock here serialises concurrent tracers.
 func (t *Trace) event(ph string, pid, tid int, ts int64, name, body string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	sep := ",\n"
 	if t.n == 0 {
 		sep = "\n"
@@ -107,7 +122,11 @@ func (t *Trace) Counter(pid int, ts int64, name string, series map[string]int64)
 }
 
 // Events returns the number of events written so far.
-func (t *Trace) Events() int { return t.n }
+func (t *Trace) Events() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.n
+}
 
 func encodeArgs(args map[string]int64) string {
 	if len(args) == 0 {
