@@ -7,6 +7,7 @@
 //	lfbench [-fig 1|6|7|8|9|10] [-table 1|2|3] [-packing] [-assoc]
 //	        [-generality] [-area] [-quick] [-parallel N] [-metrics file]
 //	        [-chaos] [-seed N] [-sampled] [-sampledjson file]
+//	        [-spectre] [-spectrejson file]
 //	        [-report file] [-cpuprofile file] [-memprofile file]
 //
 // -report writes the suite-wide per-region speculation profile — every
@@ -24,6 +25,15 @@
 // fault-injection kind (and their combination) across the chaos workload
 // suite at three seeds starting from -seed, each run differentially checked
 // against the sequential reference. Any failing cell exits 1.
+//
+// -spectre runs the speculative-leak study instead of the paper experiments:
+// every workload of the suite (-quick for the subset) plus the seeded
+// security controls, each measured as a baseline / taint-detection /
+// mitigation triple. The table reports each workload's leak profile and the
+// cycle cost of the ShadowBinding-style DelaySpeculativeLoadDeps defence;
+// any mitigated run that still produces a leak candidate exits 1.
+// -spectrejson writes the rows as BENCH_spectre.json. Incompatible with
+// -sampled: taint state cannot survive checkpoint seeding.
 //
 // -sampled runs the two-tier sampled-simulation accuracy study instead of
 // the paper experiments: every workload of the suite (-quick for the subset)
@@ -67,12 +77,20 @@ func main() {
 	seed := flag.Int64("seed", 1, "first chaos matrix seed")
 	sampled := flag.Bool("sampled", false, "run the sampled-simulation accuracy study and exit")
 	sampledJSON := flag.String("sampledjson", "", "with the accuracy study, sweep the accuracy-vs-speedup curve and write BENCH_sampled.json here")
+	spectre := flag.Bool("spectre", false, "run the speculative-leak mitigation-cost study and exit")
+	spectreJSON := flag.String("spectrejson", "", "with the leak study, write BENCH_spectre.json here")
 	parallel := flag.Int("parallel", 0, "simulation worker count (0 = all cores)")
 	reportPath := flag.String("report", "", "write the suite-wide per-region speculation profile (lfreport suite JSON) to this file")
 	metricsPath := flag.String("metrics", "", "write harness telemetry JSON to this file on exit")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
+
+	if (*spectre || *spectreJSON != "") && (*sampled || *sampledJSON != "") {
+		fmt.Fprintln(os.Stderr, "lfbench: -spectre is incompatible with -sampled: taint state cannot survive checkpoint seeding")
+		flag.Usage()
+		os.Exit(2)
+	}
 
 	sim.SetParallelism(*parallel)
 	if *cpuprofile != "" {
@@ -125,6 +143,16 @@ func main() {
 
 	if *sampled || *sampledJSON != "" {
 		if !runSampled(sweepSuite, *sampledJSON) {
+			os.Exit(1)
+		}
+		return
+	}
+
+	if *spectre || *spectreJSON != "" {
+		// The seeded security suite rides along so the study always shows a
+		// positive (leaky) and a negative (hardened) control next to the
+		// stock workloads.
+		if !runSpectre(append(append([]*workloads.Benchmark{}, sweepSuite...), workloads.Security()...), *spectreJSON) {
 			os.Exit(1)
 		}
 		return
@@ -341,6 +369,64 @@ func writeSampledJSON(path string, suite []*workloads.Benchmark, points []experi
 		Budgets:     map[string]float64{"default": 100 * experiments.SampledErrBudget, "outlier": 100 * experiments.SampledOutlierBudget},
 		Outliers:    outliers,
 		Curve:       points,
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// runSpectre runs the speculative-leak mitigation-cost study over suite:
+// every workload's baseline / detection / mitigation triple, the leak profile
+// of each, gated on the mitigated runs being leak-free. Returns false on any
+// gate breach.
+func runSpectre(suite []*workloads.Benchmark, jsonPath string) bool {
+	rows, err := experiments.Spectre(suite)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lfbench:", err)
+		return false
+	}
+	fmt.Print(experiments.FormatSpectre(rows))
+	if jsonPath != "" {
+		if err := writeSpectreJSON(jsonPath, rows); err != nil {
+			fmt.Fprintln(os.Stderr, "lfbench:", err)
+			return false
+		}
+		fmt.Printf("wrote %s\n", jsonPath)
+	}
+	fails := experiments.SpectreFailures(rows)
+	for _, f := range fails {
+		fmt.Fprintln(os.Stderr, "lfbench: FAIL:", f)
+	}
+	if len(fails) == 0 {
+		fmt.Println("spectre mitigation gate: PASS")
+	}
+	return len(fails) == 0
+}
+
+// spectreReport is the BENCH_spectre.json schema.
+type spectreReport struct {
+	Description string                   `json:"description"`
+	Date        string                   `json:"date"`
+	Host        string                   `json:"host"`
+	Command     string                   `json:"command"`
+	Rows        []experiments.SpectreRow `json:"rows"`
+}
+
+func writeSpectreJSON(path string, rows []experiments.SpectreRow) error {
+	rep := spectreReport{
+		Description: "Speculative-leak study: per-workload taint-detection leak profile (candidates = transient loads whose taint-derived address reached the cache; leaks = candidates confirmed by a squash) and the cycle cost of the ShadowBinding-style DelaySpeculativeLoadDeps mitigation, which holds dependents of speculative loads until promotion. Detection is metadata-only, so detect_cycles equals the stock LoopFrog cycle count; cost_pct is the mitigation's price against it.",
+		Date:        time.Now().Format("2006-01-02"),
+		Host:        fmt.Sprintf("%s/%s, %d cores", runtime.GOOS, runtime.GOARCH, runtime.NumCPU()),
+		Command:     "lfbench -spectre -spectrejson BENCH_spectre.json",
+		Rows:        rows,
 	}
 	f, err := os.Create(path)
 	if err != nil {

@@ -4,13 +4,17 @@
 //
 // Usage:
 //
-//	lflint [-format text|json] [-strict] [-corpus] [file ...]
+//	lflint [-format text|json|sarif] [-strict] [-corpus] [file ...]
 //
 // Diagnostics carry stable codes (LF0xx errors, LF1xx warnings, LF2xx
-// profitability notes) and positions: source line for assembled files,
-// nearest label plus pc otherwise. Exit status: 0 when clean, 1 when any
-// error (or, with -strict, any warning) is found, 2 on usage or load
-// failures. Profitability notes never affect the exit status.
+// profitability notes, LF3xx security findings) and positions: source line
+// for assembled files, nearest label plus pc otherwise. -format sarif emits
+// one SARIF 2.1.0 log covering every linted program, the interchange format
+// code-scanning UIs ingest; security rules carry a "security" tag there.
+// Exit status: 0 when clean, 1 when any error (or, with -strict, any
+// warning) is found, 2 on usage or load failures. Profitability notes and
+// security findings never affect the exit status; gate the latter with the
+// dynamic detector (lfsim -spectre) instead, which confirms actual leaks.
 package main
 
 import (
@@ -26,21 +30,21 @@ import (
 )
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: lflint [-format text|json] [-strict] [-corpus] [file.s | file.ll ...]")
+	fmt.Fprintln(os.Stderr, "usage: lflint [-format text|json|sarif] [-strict] [-corpus] [file.s | file.ll ...]")
 	os.Exit(2)
 }
 
 func main() {
-	format := flag.String("format", "text", "output format: text or json")
+	format := flag.String("format", "text", "output format: text, json, or sarif")
 	strict := flag.Bool("strict", false, "treat warnings as failures")
 	corpus := flag.Bool("corpus", false, "lint every built-in benchmark program")
 	flag.Usage = func() {
-		fmt.Fprintln(os.Stderr, "usage: lflint [-format text|json] [-strict] [-corpus] [file.s | file.ll ...]")
+		fmt.Fprintln(os.Stderr, "usage: lflint [-format text|json|sarif] [-strict] [-corpus] [file.s | file.ll ...]")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
-	if *format != "text" && *format != "json" {
-		fmt.Fprintf(os.Stderr, "lflint: unknown format %q (want text or json)\n", *format)
+	if *format != "text" && *format != "json" && *format != "sarif" {
+		fmt.Fprintf(os.Stderr, "lflint: unknown format %q (want text, json, or sarif)\n", *format)
 		usage()
 	}
 	if !*corpus && flag.NArg() == 0 {
@@ -50,7 +54,9 @@ func main() {
 	var reports []*lint.Report
 	if *corpus {
 		seen := make(map[string]bool)
-		for _, b := range append(workloads.CPU2017(), workloads.CPU2006()...) {
+		all := append(workloads.CPU2017(), workloads.CPU2006()...)
+		all = append(all, workloads.Security()...)
+		for _, b := range all {
 			key := b.Suite + "/" + b.Name
 			if seen[key] {
 				continue
@@ -73,6 +79,21 @@ func main() {
 			os.Exit(2)
 		}
 		reports = append(reports, lint.Run(p, lint.Options{}))
+	}
+
+	if *format == "sarif" {
+		// One log, one run, every program an artifact — the shape GitHub
+		// code scanning uploads expect.
+		if err := lint.WriteSARIF(os.Stdout, reports); err != nil {
+			fmt.Fprintln(os.Stderr, "lflint:", err)
+			os.Exit(2)
+		}
+		for _, rep := range reports {
+			if rep.Failed(*strict) {
+				os.Exit(1)
+			}
+		}
+		return
 	}
 
 	failed := false

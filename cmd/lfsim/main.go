@@ -6,6 +6,7 @@
 //
 //	lfsim [-baseline] [-threadlets N] [-nopack] [-ab] [-parallel N]
 //	      [-sampled [-interval N] [-window N] [-warmup N]]
+//	      [-spectre] [-mitigate]
 //	      [-lint] [-faults spec] [-seed N] [-check]
 //	      [-trace file] [-metrics file]
 //	      [-cpuprofile file] [-memprofile file] (-bench name | file)
@@ -25,6 +26,20 @@
 // streams into one trace file, window i on trace pid i+1, so the windows
 // render as separate process lanes in the trace viewer (-ab -trace still
 // refuses: two configurations would interleave in one file).
+//
+// -spectre tracks taint through transient execution (wrong-path and
+// pre-promotion speculative loads) and reports every confirmed speculative
+// leak — a squashed load whose address derived from a transiently loaded
+// value after it probed the cache — as a JSON report on stdout after the run
+// statistics. A run with confirmed leaks exits 1; a clean run exits 0. The
+// tracking is metadata-only: cycles and committed instructions are identical
+// to an untracked run. -mitigate enables the ShadowBinding-style defence
+// (cpu.Config.DelaySpeculativeLoadDeps): dependents of speculative loads
+// stall until the load is promoted, which eliminates taint-derived addresses
+// by construction at a timing cost; combine with -spectre to verify the leak
+// report comes back clean. Both refuse to combine with -sampled — taint
+// state cannot survive checkpoint seeding — and -spectre refuses -ab (the
+// A/B mitigation-cost study lives in lfbench -spectre).
 //
 // -lint runs the hint-legality linter (see cmd/lflint) as a preflight and
 // refuses to simulate a program with legality errors. Invalid flag values
@@ -48,6 +63,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -82,6 +98,8 @@ func main() {
 	seed := flag.Int64("seed", 1, "fault-injection seed")
 	check := flag.Bool("check", false, "verify the final state against the sequential reference")
 	sampled := flag.Bool("sampled", false, "two-tier sampled estimate instead of a full detailed run")
+	spectre := flag.Bool("spectre", false, "track speculative taint, print a JSON leak report, exit 1 on confirmed leaks")
+	mitigate := flag.Bool("mitigate", false, "delay dependents of speculative loads until promotion (ShadowBinding-style)")
 	interval := flag.Uint64("interval", 0, "sampled checkpoint interval in instructions (0 = default)")
 	window := flag.Uint64("window", 0, "sampled measured window in instructions (0 = default)")
 	warmup := flag.Uint64("warmup", 0, "sampled detailed warmup per window in instructions (0 = default)")
@@ -101,6 +119,16 @@ func main() {
 	plan, err := fault.Parse(*faults, *seed)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "lfsim:", err)
+		flag.Usage()
+		os.Exit(2)
+	}
+	if (*spectre || *mitigate) && *sampled {
+		fmt.Fprintln(os.Stderr, "lfsim: -spectre/-mitigate are incompatible with -sampled: taint state cannot survive checkpoint seeding")
+		flag.Usage()
+		os.Exit(2)
+	}
+	if *spectre && *ab {
+		fmt.Fprintln(os.Stderr, "lfsim: -spectre is incompatible with -ab; use lfbench -spectre for the A/B mitigation-cost study")
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -167,6 +195,8 @@ func main() {
 	if *baseline {
 		cfg = sim.BaselineOf(cfg)
 	}
+	cfg.SpectreAnalysis = *spectre
+	cfg.DelaySpeculativeLoadDeps = *mitigate
 
 	if *sampled {
 		// Sampled runs estimate timing from windows; fault injection and
@@ -283,6 +313,24 @@ func main() {
 		}
 		fmt.Println("check: final state matches the sequential reference (x10 + memory)")
 	}
+	if *spectre {
+		rep := m.LeakReport()
+		out := struct {
+			Program   string `json:"program"`
+			Mitigated bool   `json:"mitigated"`
+			cpu.LeakReport
+		}{Program: prog.Name, Mitigated: *mitigate, LeakReport: rep}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fmt.Fprintln(os.Stderr, "lfsim:", err)
+			os.Exit(1)
+		}
+		if rep.Confirmed > 0 {
+			fmt.Fprintf(os.Stderr, "lfsim: %d speculative leak(s) confirmed at %d site(s)\n", rep.Confirmed, len(rep.Sites))
+			os.Exit(1)
+		}
+	}
 }
 
 // runSampled runs the two-tier sampled pipeline and prints its estimate. With
@@ -378,7 +426,7 @@ func writeRegistry(reg *telemetry.Registry, path string) error {
 
 func loadProgram(bench string, args []string) (*asm.Program, error) {
 	if bench != "" {
-		for _, suite := range [][]*workloads.Benchmark{workloads.CPU2017(), workloads.CPU2006()} {
+		for _, suite := range [][]*workloads.Benchmark{workloads.CPU2017(), workloads.CPU2006(), workloads.Security()} {
 			if b := workloads.ByName(suite, bench); b != nil {
 				return b.Program()
 			}

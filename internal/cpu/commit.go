@@ -21,7 +21,11 @@ func (m *Machine) commit() {
 		}
 		for budget > 0 && len(t.rob) > 0 {
 			e := t.rob[0]
-			if e.state != stDone {
+			if e.state != stDone || e.wakeHeld {
+				// A withheld load result (spectre.go mitigation) keeps its
+				// ROB slot until the wakeup is released: a committed entry
+				// could no longer be marked squashed, and the release
+				// predicate needs the squash marker to stay sound.
 				break
 			}
 			// Side-effecting operations must wait until the threadlet is
@@ -61,6 +65,16 @@ func (m *Machine) commitOne(t *threadlet, e *dynInst) {
 		}
 		t.committedRegs[e.destReg] = e.result
 		t.writtenMask[e.destReg] = true
+		if arch {
+			// Architectural commit closes every transient window the value
+			// could have been sourced in: the taint dies here.
+			e.taint = false
+		}
+	}
+	if e.leakCand && !arch {
+		// The candidate committed to a speculative epoch: it confirms if the
+		// epoch squashes, and is dropped at promotion (spectre.go).
+		t.pendingLeaks = append(t.pendingLeaks, pendingLeak{pc: e.pc, region: e.dispRegion})
 	}
 	if e.meta.IsLoad {
 		m.lqUsed--
@@ -272,6 +286,11 @@ func (m *Machine) drainStores() {
 					}
 					break
 				}
+				if m.spectreLive && s.srcTaint[1] {
+					// Tainted data entered the slice: a later speculative
+					// load combining these granules observes a tainted value.
+					m.taintStoreGranules(tid, res.Granules)
+				}
 				if len(res.FillGranules) > 0 {
 					// The partial-granule fill read joins the read set and
 					// can later surface as a false-sharing conflict (§4.1.1).
@@ -317,6 +336,7 @@ func (m *Machine) tryRetire() {
 		return
 	}
 	m.ssb.Merge(t.id) // normally empty: architectural stores went direct
+	m.clearSSBTaint(t.id)
 	m.cd.Clear(t.id)
 	if t.activeRegion >= 0 {
 		m.mon.OnCommit(t.activeRegion)
@@ -337,6 +357,12 @@ func (m *Machine) tryRetire() {
 	// Promote the successor: its buffered state becomes architectural at
 	// once (the S_arch increment), then drains in the background.
 	b := m.threads[m.archTid()]
+	if m.spectreLive {
+		// Promotion closes the epoch-speculation window: its candidates were
+		// correct-path and its resolved values are architectural now.
+		m.promoteSpectre(b)
+		m.clearSSBTaint(b.id)
+	}
 	merged := m.ssb.Merge(b.id)
 	flushDone := m.now + int64(merged)*m.ssb.Config().FlushCyclesPerLine
 	if flushDone > m.contextFreeAt[b.id] {

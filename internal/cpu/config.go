@@ -100,6 +100,27 @@ type Config struct {
 	// enables it; the measured cost is well under 2% of simulation
 	// throughput (BENCH_overhead.json).
 	RegionLedger bool
+
+	// SpectreAnalysis enables the speculative-leak detector (spectre.go):
+	// loads executed inside a transient window (wrong-path between a branch's
+	// dispatch and its resolution, or anywhere in a pre-promotion speculative
+	// threadlet) taint their results; taint propagates through the renamed
+	// dataflow and through SSB granules; and a transient load whose address
+	// derives from a tainted value is recorded as a leak candidate when it
+	// reaches the cache hierarchy — confirmed as a leak if the access is
+	// later squashed, because then the architectural program never performed
+	// it yet the cache state changed. Detection is metadata-only: it never
+	// alters timing or architectural results.
+	SpectreAnalysis bool
+	// DelaySpeculativeLoadDeps enables the ShadowBinding-style mitigation:
+	// the result of a load executed inside a transient window is withheld
+	// from its dependents until the load is safe (its threadlet is
+	// architectural and no older control flow in it is unresolved). The
+	// load's own cache access still happens — only the forwarding edge is
+	// delayed — so a transiently-loaded secret can never choose the address
+	// of a second access. Purely a timing change: architectural results are
+	// unaffected. Implies the taint bookkeeping of SpectreAnalysis.
+	DelaySpeculativeLoadDeps bool
 }
 
 // DefaultConfig returns the Table 1 machine: 4 GHz 8-wide core with four

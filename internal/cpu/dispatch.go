@@ -103,6 +103,9 @@ func (m *Machine) dispatchOne(t *threadlet, fe fetchEntry) (ok, shared bool) {
 		memSize:    meta.MemBytes,
 	}
 	t.seqCounter++
+	if m.spectreLive && (meta.IsBranch || fe.inst.Op == isa.JALR) {
+		t.ctlDispatched(e.seq)
+	}
 
 	// Operand capture through the rename map.
 	capture := func(slot int, r isa.Reg) {
@@ -114,14 +117,16 @@ func (m *Machine) dispatchOne(t *threadlet, fe fetchEntry) (ok, shared bool) {
 		if me.prod == nil {
 			e.srcReady[slot] = true
 			e.srcVal[slot] = me.val
+			e.srcTaint[slot] = me.taint
 			if t.startConsumable(r) {
 				t.consumedStart[r] = true
 			}
 			return
 		}
-		if me.prod.state >= stDone {
+		if me.prod.state >= stDone && !me.prod.wakeHeld {
 			e.srcReady[slot] = true
 			e.srcVal[slot] = me.prod.result
+			e.srcTaint[slot] = me.prod.taint
 			return
 		}
 		e.srcProd[slot] = me.prod
@@ -399,7 +404,7 @@ func (t *threadlet) regSnapshot() (vals [isa.NumRegs]uint64, resolved [isa.NumRe
 		switch {
 		case me.prod == nil:
 			vals[r], resolved[r] = me.val, true
-		case me.prod.state >= stDone:
+		case me.prod.state >= stDone && !me.prod.wakeHeld:
 			vals[r], resolved[r] = me.prod.result, true
 		}
 	}
@@ -446,12 +451,13 @@ func (m *Machine) spawnInto(parent, nt *threadlet, contPC int, factor int, predi
 			continue
 		}
 		me := parent.renameMap[r]
-		if me.prod != nil && me.prod.state >= stDone {
-			me = mapEntry{val: me.prod.result}
+		if me.prod != nil && me.prod.state >= stDone && !me.prod.wakeHeld {
+			me = mapEntry{val: me.prod.result, taint: me.prod.taint}
 		}
 		nt.renameMap[r] = me
 		if me.prod == nil {
 			nt.ckptRegs[r] = me.val
+			nt.ckptTaint[r] = me.taint
 			nt.committedRegs[r] = me.val
 			if parent.startConsumable(isa.Reg(r)) {
 				// Handing an inherited start value on to a successor is a

@@ -122,6 +122,7 @@ func (m *Machine) execOne(e *dynInst) bool {
 		return true
 	default:
 		e.result = isa.EvalALU(e.inst, e.srcVal[0], e.srcVal[1])
+		e.taint = e.srcTaint[0] || e.srcTaint[1]
 		e.readyAt = m.now + int64(e.meta.Latency)
 		m.executing = append(m.executing, e)
 		return true
@@ -136,6 +137,9 @@ func (m *Machine) execLoad(e *dynInst) bool {
 	e.addr = e.srcVal[0] + uint64(e.inst.Imm)
 	e.addrValid = true
 	m.stats.Loads++
+	if m.spectreLive {
+		e.transient = m.transientAt(t, e.seq)
+	}
 
 	// Search the youngest older store in this threadlet with an overlapping
 	// address: first the in-ROB store queue, then the post-commit drain
@@ -150,6 +154,9 @@ func (m *Machine) execLoad(e *dynInst) bool {
 		shift := (e.addr - st.addr) * 8
 		raw := st.srcVal[1] >> shift
 		e.result = isa.ExtendLoad(e.inst.Op, raw)
+		// A forwarded value is tainted if the store's data was, or if the
+		// load itself is transient. No cache access, so never a candidate.
+		e.taint = e.transient || st.srcTaint[1]
 		e.loadFwdSQ = true
 		e.fwdSeq = st.seq
 		e.readyAt = m.now + 1
@@ -169,6 +176,13 @@ func (m *Machine) execLoad(e *dynInst) bool {
 		return true
 	}
 
+	// The gadget's second access: a transient load steering the hierarchy
+	// with a taint-derived address. Recorded once, at the first probe — an
+	// MSHR retry of the same access is the same leak.
+	if e.transient && e.srcTaint[0] && !e.leakCand {
+		m.noteLeakCandidate(e)
+	}
+
 	// Memory access: timing through the hierarchy, value through the SSB's
 	// multi-version combine (speculative) or backing memory (architectural).
 	done, ok := m.hier.Load(e.pc, e.addr, m.now)
@@ -180,11 +194,15 @@ func (m *Machine) execLoad(e *dynInst) bool {
 	chain := m.chainUpTo(e.tid)
 	raw, _ := m.ssb.Read(chain, e.addr, e.memSize)
 	e.result = isa.ExtendLoad(e.inst.Op, raw)
+	e.taint = e.transient
 	if m.isSpec(e.tid) {
 		// The read is serviced now: record it (Algorithm 1) and charge the
 		// SSB read latency (3 cycles including the L1D probe).
 		m.granScratch = m.ssb.AppendGranules(m.granScratch[:0], e.addr, e.memSize)
 		m.cd.OnRead(e.tid, m.granScratch)
+		if m.spectreLive && !e.taint && m.granulesTainted(chain, m.granScratch) {
+			e.taint = true // tainted store data observed through the SSB
+		}
 		if ssbDone := m.now + m.ssb.Config().ReadLatency; ssbDone > done {
 			done = ssbDone
 		}
@@ -297,6 +315,9 @@ func (m *Machine) writeback() {
 // complete finishes one instruction.
 func (m *Machine) complete(e *dynInst) {
 	t := m.threads[e.tid]
+	if m.spectreLive && (e.meta.IsBranch || e.inst.Op == isa.JALR) {
+		t.ctlResolved(e.seq)
+	}
 	if e.meta.IsBranch {
 		m.resolveBranch(t, e)
 		if e.squashed {
@@ -310,6 +331,14 @@ func (m *Machine) complete(e *dynInst) {
 		}
 	}
 	e.state = stDone
+	if m.mitigate && e.meta.IsLoad && e.transient && !e.loadFwdSQ && !e.memFaulted {
+		// ShadowBinding-style delay: the transient load's result is withheld
+		// from dependents until the window closes (releaseDelayedWakes).
+		e.wakeHeld = true
+		m.delayedWake = append(m.delayedWake, e)
+		m.stats.DelayedWakes++
+		return
+	}
 	m.wake(e)
 }
 
@@ -324,6 +353,7 @@ func (m *Machine) wake(e *dynInst) {
 				w.srcProd[s] = nil
 				w.srcReady[s] = true
 				w.srcVal[s] = e.result
+				w.srcTaint[s] = e.taint
 			}
 		}
 		if w.srcReady[0] && w.srcReady[1] {
@@ -338,6 +368,7 @@ func (m *Machine) wake(e *dynInst) {
 		}
 		ct.ckptPending[cw.reg] = nil
 		ct.ckptRegs[cw.reg] = e.result
+		ct.ckptTaint[cw.reg] = e.taint
 		if !ct.writtenMask[cw.reg] {
 			ct.committedRegs[cw.reg] = e.result
 		}

@@ -95,6 +95,17 @@ type Machine struct {
 	lastRegionID  int64
 	lastRegionIdx int
 
+	// Speculative-leak tracking state (spectre.go). spectreLive mirrors
+	// "either knob set" for the hot paths; mitigate mirrors
+	// cfg.DelaySpeculativeLoadDeps; leakPCs counts confirmed leaks per PC;
+	// delayedWake holds load results withheld by the mitigation; ssbTaint is
+	// the per-slice granule taint set, indexed by tid.
+	spectreLive bool
+	mitigate    bool
+	leakPCs     map[int]uint64
+	delayedWake []*dynInst
+	ssbTaint    []map[uint64]bool
+
 	// Published statistics snapshot (snapshot.go): pub is the coherent copy
 	// external readers see, snapWanted arms the throttled republish.
 	pubMu      sync.Mutex
@@ -178,6 +189,11 @@ func newMachine(cfg Config, prog *asm.Program, ck *Checkpoint) (*Machine, error)
 		m.regionOn = true
 		m.regionIdx = make(map[int64]int, 8)
 		m.lastRegionID = regionNone
+	}
+	if cfg.SpectreAnalysis || cfg.DelaySpeculativeLoadDeps {
+		m.spectreLive = true
+		m.mitigate = cfg.DelaySpeculativeLoadDeps
+		m.ssbTaint = make([]map[uint64]bool, cfg.Threadlets)
 	}
 
 	m.threads = make([]*threadlet, cfg.Threadlets)
@@ -313,6 +329,9 @@ func (m *Machine) RunContext(ctx context.Context) (*Stats, error) {
 func (m *Machine) cycle() {
 	if m.inj != nil {
 		m.injectCycle()
+	}
+	if m.mitigate {
+		m.releaseDelayedWakes()
 	}
 	m.writeback()
 	usedBefore := m.stats.CommitSlotsUsed

@@ -71,6 +71,11 @@ type RegionLedger struct {
 	PackMispredicts uint64 `json:"pack_mispredicts"`
 	PackRepairs     uint64 `json:"pack_repairs"`
 
+	// Leaks counts confirmed speculative leaks (spectre.go) whose accessing
+	// load dispatched in this region; the outside bucket collects wrong-path
+	// leaks in straight-line code. Zero unless Config.SpectreAnalysis.
+	Leaks uint64 `json:"leaks"`
+
 	// Slots restricts the commit-slot attribution (stall.go) to this region;
 	// summed across regions each class equals Stats.CommitSlots.
 	Slots [NumSlotClasses]uint64 `json:"slots"`
@@ -172,6 +177,7 @@ func (s *Stats) ReconcileRegions() error {
 		sum.PackRepairs += l.PackRepairs
 		sum.SpecWon += l.SpecWon
 		sum.SpecLost += l.SpecLost
+		sum.Leaks += l.Leaks
 		for c := range l.Squashes {
 			sum.Squashes[c] += l.Squashes[c]
 		}
@@ -201,6 +207,7 @@ func (s *Stats) ReconcileRegions() error {
 	check("PackRepairs", sum.PackRepairs, s.PackRepairs)
 	check("SpecWon", sum.SpecWon, s.SpecCommitCycleSum)
 	check("SpecLost", sum.SpecLost, s.SpecCommitted)
+	check("Leaks", sum.Leaks, s.Leaks)
 	for c := range sum.Squashes {
 		check("Squashes."+core.SquashCause(c).String(), sum.Squashes[c], s.Squashes[c])
 	}

@@ -1,0 +1,136 @@
+package cpu
+
+import (
+	"testing"
+
+	"loopfrog/internal/asm"
+	"loopfrog/internal/workloads"
+)
+
+func securityProg(t *testing.T, name string) *asm.Program {
+	t.Helper()
+	b := workloads.ByName(workloads.Security(), name)
+	if b == nil {
+		t.Fatalf("workload %s missing from security suite", name)
+	}
+	prog, err := b.Program()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return prog
+}
+
+func runCfg(t *testing.T, cfg Config, prog *asm.Program) (*Machine, *Stats) {
+	t.Helper()
+	m, err := NewMachine(cfg, prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := m.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m, st
+}
+
+// TestSpectreDetectsBoundsBypass: the seeded bounds-check-bypass workload
+// must light up the dynamic detector — transient loads with taint-derived
+// addresses reach the cache and are confirmed when squashed — while the
+// detection itself stays invisible: identical cycles, identical
+// architectural instruction count, identical result.
+func TestSpectreDetectsBoundsBypass(t *testing.T) {
+	prog := securityProg(t, "boundsbypass")
+
+	base := DefaultConfig()
+	det := DefaultConfig()
+	det.SpectreAnalysis = true
+
+	_, stBase := runCfg(t, base, prog)
+	m, st := runCfg(t, det, prog)
+
+	if st.LeakCandidates == 0 {
+		t.Fatal("bounds-check-bypass produced no leak candidates")
+	}
+	if st.Leaks == 0 {
+		t.Fatal("bounds-check-bypass produced no confirmed leaks")
+	}
+	rep := m.LeakReport()
+	if rep.Confirmed != st.Leaks || len(rep.Sites) == 0 {
+		t.Fatalf("leak report inconsistent: %+v vs Leaks=%d", rep, st.Leaks)
+	}
+	var sum uint64
+	for _, s := range rep.Sites {
+		sum += s.Count
+	}
+	if sum != st.Leaks {
+		t.Errorf("per-PC site counts sum to %d, want %d", sum, st.Leaks)
+	}
+	if err := st.ReconcileRegions(); err != nil {
+		t.Errorf("region ledgers do not reconcile with leaks: %v", err)
+	}
+
+	// Detection is metadata-only.
+	if st.Cycles != stBase.Cycles {
+		t.Errorf("SpectreAnalysis changed timing: %d cycles vs %d", st.Cycles, stBase.Cycles)
+	}
+	if st.ArchInsts != stBase.ArchInsts {
+		t.Errorf("SpectreAnalysis changed ArchInsts: %d vs %d", st.ArchInsts, stBase.ArchInsts)
+	}
+}
+
+// TestSpectreWrongPathWindowOnBaseline: with a single threadlet context the
+// only transient window is the wrong path between a branch's dispatch and
+// its resolution — the classic Spectre v1 window — and the gadget must still
+// be caught there.
+func TestSpectreWrongPathWindowOnBaseline(t *testing.T) {
+	prog := securityProg(t, "boundsbypass")
+	cfg := BaselineConfig()
+	cfg.SpectreAnalysis = true
+	_, st := runCfg(t, cfg, prog)
+	if st.Leaks == 0 {
+		t.Fatalf("no wrong-path leaks confirmed on the baseline core (candidates %d)", st.LeakCandidates)
+	}
+}
+
+// TestSpectreHardenedIsClean: the hardened counterpart computes its index
+// arithmetically, so no load value ever chooses an access address — zero
+// candidates, zero leaks.
+func TestSpectreHardenedIsClean(t *testing.T) {
+	prog := securityProg(t, "boundshardened")
+	cfg := DefaultConfig()
+	cfg.SpectreAnalysis = true
+	_, st := runCfg(t, cfg, prog)
+	if st.LeakCandidates != 0 || st.Leaks != 0 {
+		t.Fatalf("hardened workload flagged: candidates %d leaks %d", st.LeakCandidates, st.Leaks)
+	}
+}
+
+// TestSpectreMitigationEliminatesLeaks: DelaySpeculativeLoadDeps withholds
+// transient load results from dependents, so tainted values never reach an
+// address computation — candidates drop to zero by construction — while the
+// program still computes the same thing.
+func TestSpectreMitigationEliminatesLeaks(t *testing.T) {
+	prog := securityProg(t, "boundsbypass")
+
+	det := DefaultConfig()
+	det.SpectreAnalysis = true
+	mit := DefaultConfig()
+	mit.SpectreAnalysis = true
+	mit.DelaySpeculativeLoadDeps = true
+
+	mDet, stDet := runCfg(t, det, prog)
+	mMit, stMit := runCfg(t, mit, prog)
+
+	if stMit.LeakCandidates != 0 || stMit.Leaks != 0 {
+		t.Fatalf("mitigated run still leaks: candidates %d leaks %d", stMit.LeakCandidates, stMit.Leaks)
+	}
+	if stMit.DelayedWakes == 0 {
+		t.Fatal("mitigation never held a wakeup")
+	}
+	if stMit.ArchInsts != stDet.ArchInsts {
+		t.Errorf("mitigation changed ArchInsts: %d vs %d", stMit.ArchInsts, stDet.ArchInsts)
+	}
+	if mMit.FinalRegs() != mDet.FinalRegs() {
+		t.Error("mitigation changed the architectural result")
+	}
+}

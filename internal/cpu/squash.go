@@ -25,6 +25,9 @@ func (m *Machine) rollbackTo(t *threadlet, fromSeq uint64, target int, resolvedB
 	for i := len(t.rob) - 1; i >= cut; i-- {
 		e := t.rob[i]
 		e.squashed = true
+		if m.spectreLive {
+			m.squashSpectre(e)
+		}
 		if e.hasDest {
 			t.renameMap[e.destReg] = e.oldMap
 			if e.destReg.IsFP() {
@@ -71,6 +74,9 @@ func (m *Machine) rollbackTo(t *threadlet, fromSeq uint64, target int, resolvedB
 		e.mispredicted = e.mispredicted || false
 	}
 	t.rob = t.rob[:cut]
+	if m.spectreLive {
+		t.ctlSquashed(fromSeq)
+	}
 	if resolvedBranch != nil {
 		resolvedBranch.mispredicted = true
 	} else if haveHist {
@@ -139,6 +145,7 @@ func (m *Machine) squashFrom(victimTid int, cause core.SquashCause, restart bool
 		v := m.threads[tid]
 		m.purgeThreadlet(v)
 		m.ssb.Squash(tid)
+		m.clearSSBTaint(tid)
 		m.cd.Clear(tid)
 		m.stats.SpecCommitted += v.epochCommitted
 		m.stats.Squashes[cause]++
@@ -188,6 +195,9 @@ func (m *Machine) squashFrom(victimTid int, cause core.SquashCause, restart bool
 func (m *Machine) purgeThreadlet(t *threadlet) {
 	for _, e := range t.rob {
 		e.squashed = true
+		if m.spectreLive {
+			m.squashSpectre(e)
+		}
 		m.robUsed--
 		t.robHeld--
 		if e.hasDest {
@@ -215,6 +225,15 @@ func (m *Machine) purgeThreadlet(t *threadlet) {
 	}
 	t.drain = t.drain[:0]
 	t.fq = t.fq[:0]
+	if m.spectreLive {
+		// The whole epoch was misspeculation: candidates it committed are
+		// confirmed leaks, and its transient windows are gone.
+		for _, pl := range t.pendingLeaks {
+			m.confirmLeak(pl.pc, pl.region)
+		}
+		t.pendingLeaks = t.pendingLeaks[:0]
+		t.ctlInFlight = t.ctlInFlight[:0]
+	}
 }
 
 // restartThreadlet re-launches a squashed threadlet's epoch from its
@@ -243,18 +262,19 @@ func (m *Machine) restartThreadlet(t *threadlet) {
 	t.committedRegs = t.ckptRegs
 	for r := 0; r < isa.NumRegs; r++ {
 		if p := t.ckptPending[r]; p != nil {
-			if p.state >= stDone {
+			if p.state >= stDone && !p.wakeHeld {
 				// The future resolved while we were squashing.
 				t.ckptPending[r] = nil
 				t.ckptRegs[r] = p.result
+				t.ckptTaint[r] = p.taint
 				t.committedRegs[r] = p.result
-				t.renameMap[r] = mapEntry{val: p.result}
+				t.renameMap[r] = mapEntry{val: p.result, taint: p.taint}
 				continue
 			}
 			t.renameMap[r] = mapEntry{prod: p}
 			continue
 		}
-		t.renameMap[r] = mapEntry{val: t.ckptRegs[r]}
+		t.renameMap[r] = mapEntry{val: t.ckptRegs[r], taint: t.ckptTaint[r]}
 	}
 	m.bp.SetHistory(t.id, t.ckptGHR)
 }

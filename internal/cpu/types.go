@@ -46,6 +46,14 @@ type dynInst struct {
 	// MemFault only if it commits (wrong-path bad addresses are harmless).
 	memFaulted bool
 
+	// Speculative-leak tracking (spectre.go). All five stay zero unless
+	// Config.SpectreAnalysis or Config.DelaySpeculativeLoadDeps is set.
+	taint     bool    // result derives from a transiently-loaded value
+	srcTaint  [2]bool // operand taint, captured alongside the operand values
+	transient bool    // load executed inside a transient window
+	leakCand  bool    // transient load whose address was tainted (candidate)
+	wakeHeld  bool    // result withheld from dependents (mitigation)
+
 	// Branch state.
 	pred         bpred.BranchState
 	hasPred      bool
@@ -91,9 +99,12 @@ type ckptWaiter struct {
 }
 
 // mapEntry is a rename-map slot: either a pending producer or a value.
+// taint marks a resolved value that derives from a transiently-loaded one
+// (spectre.go); pending entries carry taint on the producer instead.
 type mapEntry struct {
-	prod *dynInst
-	val  uint64
+	prod  *dynInst
+	val   uint64
+	taint bool
 }
 
 type fetchEntry struct {
@@ -200,6 +211,16 @@ type threadlet struct {
 
 	// retireAt delays threadlet commit for in-flight conflict checks.
 	retireAt int64
+
+	// Speculative-leak tracking (spectre.go). ctlInFlight lists the seqs of
+	// unresolved control instructions (conditional branches and JALR),
+	// oldest first — the wrong-path transient window; ckptTaint mirrors
+	// ckptRegs; pendingLeaks carries leak candidates that committed to this
+	// threadlet while it was speculative, confirmed if the epoch squashes
+	// and discarded if it promotes.
+	ctlInFlight  []uint64
+	ckptTaint    [isa.NumRegs]bool
+	pendingLeaks []pendingLeak
 }
 
 func (t *threadlet) robCount() int { return len(t.rob) }
@@ -272,6 +293,16 @@ type Stats struct {
 	// speedup accounting) and total detaches seen.
 	RegionArchInsts uint64
 	Detaches        uint64
+
+	// Speculative-leak detection (spectre.go, Config.SpectreAnalysis):
+	// LeakCandidates counts transient loads whose address derived from a
+	// transiently-loaded value when they reached the cache hierarchy; Leaks
+	// counts the subset whose access was later squashed (the architectural
+	// program never performed it); DelayedWakes counts load results withheld
+	// by Config.DelaySpeculativeLoadDeps.
+	LeakCandidates uint64
+	Leaks          uint64
+	DelayedWakes   uint64
 
 	// Regions holds the per-region speculation attribution ledgers
 	// (region.go), in first-touch order, when Config.RegionLedger is

@@ -1,0 +1,129 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"loopfrog/internal/cpu"
+	"loopfrog/internal/sim"
+	"loopfrog/internal/workloads"
+)
+
+// SpectreRow is one workload's speculative-leak profile and mitigation cost:
+// the baseline/LoopFrog pair with taint tracking on, plus a third run with
+// the ShadowBinding-style DelaySpeculativeLoadDeps defence. Detection is
+// metadata-only, so DetectCycles is also the stock LoopFrog cycle count; the
+// mitigation's price is MitigateCycles against it.
+type SpectreRow struct {
+	Name           string `json:"name"`
+	Suite          string `json:"suite"`
+	BaselineCycles int64  `json:"baseline_cycles"`
+	DetectCycles   int64  `json:"detect_cycles"`
+	MitigateCycles int64  `json:"mitigate_cycles"`
+
+	// Speedup over the baseline core without and with the defence, and the
+	// defence's relative cost ((mitigate-detect)/detect, in percent).
+	Speedup          float64 `json:"speedup"`
+	MitigatedSpeedup float64 `json:"mitigated_speedup"`
+	CostPct          float64 `json:"cost_pct"`
+
+	// Detection-run leak profile and the mitigated run's (which must be
+	// leak-free by construction: held wakeups never expose tainted values).
+	LeakCandidates      uint64 `json:"leak_candidates"`
+	Leaks               uint64 `json:"leaks"`
+	MitigatedCandidates uint64 `json:"mitigated_candidates"`
+	MitigatedLeaks      uint64 `json:"mitigated_leaks"`
+	DelayedWakes        uint64 `json:"delayed_wakes"`
+}
+
+// Spectre measures the speculative-leak profile and mitigation cost of every
+// workload in suite: three runs each (baseline, LoopFrog+detection,
+// LoopFrog+mitigation), fanned out as one batch.
+func Spectre(suite []*workloads.Benchmark) ([]SpectreRow, error) {
+	det := cpu.DefaultConfig()
+	det.SpectreAnalysis = true
+	mit := det
+	mit.DelaySpeculativeLoadDeps = true
+
+	jobs := make([]sim.Job, 0, 3*len(suite))
+	for _, b := range suite {
+		prog, err := b.Program()
+		if err != nil {
+			return nil, fmt.Errorf("spectre: %s: %w", b.Name, err)
+		}
+		jobs = append(jobs,
+			sim.Job{Cfg: sim.BaselineOf(cpu.DefaultConfig()), Prog: prog},
+			sim.Job{Cfg: det, Prog: prog},
+			sim.Job{Cfg: mit, Prog: prog})
+	}
+	stats, err := sim.RunJobs(jobs)
+	if err != nil {
+		return nil, fmt.Errorf("spectre: %w", err)
+	}
+	rows := make([]SpectreRow, 0, len(suite))
+	for i, b := range suite {
+		base, d, m := stats[3*i], stats[3*i+1], stats[3*i+2]
+		r := SpectreRow{
+			Name:           b.Name,
+			Suite:          b.Suite,
+			BaselineCycles: base.Cycles,
+			DetectCycles:   d.Cycles,
+			MitigateCycles: m.Cycles,
+
+			LeakCandidates:      d.LeakCandidates,
+			Leaks:               d.Leaks,
+			MitigatedCandidates: m.LeakCandidates,
+			MitigatedLeaks:      m.Leaks,
+			DelayedWakes:        m.DelayedWakes,
+		}
+		if d.Cycles > 0 {
+			r.Speedup = float64(base.Cycles) / float64(d.Cycles)
+			r.CostPct = 100 * (float64(m.Cycles) - float64(d.Cycles)) / float64(d.Cycles)
+		}
+		if m.Cycles > 0 {
+			r.MitigatedSpeedup = float64(base.Cycles) / float64(m.Cycles)
+		}
+		rows = append(rows, r)
+	}
+	return rows, nil
+}
+
+// SpectreFailures gates the study: the mitigated run of every workload must
+// be leak-free — not just no confirmed leaks, but no candidates at all, since
+// the defence withholds tainted values from address computations entirely.
+func SpectreFailures(rows []SpectreRow) []string {
+	var fails []string
+	for _, r := range rows {
+		if r.MitigatedCandidates != 0 || r.MitigatedLeaks != 0 {
+			fails = append(fails, fmt.Sprintf(
+				"%s/%s: mitigated run still has %d candidates / %d confirmed leaks",
+				r.Suite, r.Name, r.MitigatedCandidates, r.MitigatedLeaks))
+		}
+	}
+	return fails
+}
+
+// FormatSpectre renders the study as an aligned table with the geomean
+// mitigation cost.
+func FormatSpectre(rows []SpectreRow) string {
+	var b strings.Builder
+	b.WriteString("Speculative-leak study: taint detection and ShadowBinding-style mitigation cost\n")
+	fmt.Fprintf(&b, "%-16s %10s %10s %10s %9s %9s %8s %10s %8s\n",
+		"workload", "baseline", "loopfrog", "mitigated", "speedup", "mit.spdp", "cost%", "candidates", "leaks")
+	var spdps, mitSpdps []float64
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-16s %10d %10d %10d %8.3fx %8.3fx %7.2f%% %10d %8d\n",
+			r.Name, r.BaselineCycles, r.DetectCycles, r.MitigateCycles,
+			r.Speedup, r.MitigatedSpeedup, r.CostPct, r.LeakCandidates, r.Leaks)
+		if r.Speedup > 0 {
+			spdps = append(spdps, r.Speedup)
+		}
+		if r.MitigatedSpeedup > 0 {
+			mitSpdps = append(mitSpdps, r.MitigatedSpeedup)
+		}
+	}
+	geo, mitGeo := sim.Geomean(spdps), sim.Geomean(mitSpdps)
+	fmt.Fprintf(&b, "geomean speedup %.3fx, mitigated %.3fx (cost %.2f%%)\n",
+		geo, mitGeo, 100*(geo/mitGeo-1))
+	return b.String()
+}

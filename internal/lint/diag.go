@@ -23,6 +23,11 @@ const (
 	SevError Severity = iota
 	SevWarning
 	SevInfo
+	// SevSecurity marks speculative-leak findings (LF3xx). Like infos they
+	// never affect the exit status — a Spectre-shaped gadget is a property of
+	// the code worth surfacing, not a hint-legality violation — but they are
+	// counted and rendered separately so security triage can filter on them.
+	SevSecurity
 )
 
 // String returns the lowercase severity name.
@@ -34,6 +39,8 @@ func (s Severity) String() string {
 		return "warning"
 	case SevInfo:
 		return "info"
+	case SevSecurity:
+		return "security"
 	}
 	return "unknown"
 }
@@ -94,6 +101,25 @@ const (
 	// consecutive iterations conflict and the loop is predicted
 	// squash-heavy.
 	CodeInvariantStore = "LF202"
+
+	// CodeSpecLoadFeedsLoad: a load's address is data-dependent on the result
+	// of an earlier load that can execute transiently (it is reachable in the
+	// speculation shadow of a conditional branch, or sits inside a detach
+	// region where the whole epoch is speculative until promotion). This is
+	// the Spectre v1 read-gadget shape: under misspeculation the first load
+	// reads out-of-bounds data and the second turns it into a secret-indexed
+	// cache access.
+	CodeSpecLoadFeedsLoad = "LF301"
+	// CodeSpecLoadFeedsStore: a store's address is data-dependent on a
+	// speculatively reachable load result, so a mispredicted path can place a
+	// line at a secret-derived address (a store-based transmitter).
+	CodeSpecLoadFeedsStore = "LF302"
+	// CodeGadgetInRegion: an LF301/LF302 gadget whose sink sits inside a
+	// detach region. Epoch speculation extends the transient window far past
+	// branch resolution — the gadget stays live until the threadlet is
+	// promoted or squashed, so these sinks leak across the longest windows
+	// the core exposes.
+	CodeGadgetInRegion = "LF303"
 )
 
 // Diagnostic is one linter finding, positioned on an instruction.
@@ -111,6 +137,10 @@ type Diagnostic struct {
 	// Region is the region ID (continuation address) involved, -1 if none.
 	Region  int64  `json:"region"`
 	Message string `json:"message"`
+	// Witness, set on LF3xx findings, is the dataflow path of the gadget: the
+	// instruction pcs from the speculative source load through the tainting
+	// defs to the sink, in order.
+	Witness []int `json:"witness,omitempty"`
 }
 
 // Position renders the human-readable location prefix: "file:line" when line
@@ -190,6 +220,9 @@ func (r *Report) Warnings() int { return r.count(SevWarning) }
 // Infos returns the number of info diagnostics.
 func (r *Report) Infos() int { return r.count(SevInfo) }
 
+// Securities returns the number of speculative-leak (LF3xx) diagnostics.
+func (r *Report) Securities() int { return r.count(SevSecurity) }
+
 // Failed reports whether the program fails the lint: any error, or any
 // warning when strict is set. Infos never fail a run.
 func (r *Report) Failed(strict bool) bool {
@@ -255,6 +288,9 @@ func (r *Report) WriteText(w io.Writer) error {
 	if n := r.Infos(); n > 0 {
 		parts = append(parts, fmt.Sprintf("%d note(s)", n))
 	}
+	if n := r.Securities(); n > 0 {
+		parts = append(parts, fmt.Sprintf("%d security finding(s)", n))
+	}
 	if len(parts) > 0 {
 		if _, err := fmt.Fprintf(w, "%s: %s\n", r.Program, strings.Join(parts, ", ")); err != nil {
 			return err
@@ -272,6 +308,7 @@ func (r *Report) WriteJSON(w io.Writer) error {
 		Errors      int          `json:"errors"`
 		Warnings    int          `json:"warnings"`
 		Infos       int          `json:"infos"`
+		Securities  int          `json:"securities"`
 	}
 	diags := r.Diags
 	if diags == nil {
@@ -290,5 +327,6 @@ func (r *Report) WriteJSON(w io.Writer) error {
 		Errors:      r.Errors(),
 		Warnings:    r.Warnings(),
 		Infos:       r.Infos(),
+		Securities:  r.Securities(),
 	})
 }

@@ -12,8 +12,9 @@
 // engine will speculate on fruitlessly.
 //
 // Diagnostics carry a stable code (LF0xx errors, LF1xx warnings, LF2xx
-// infos), the instruction PC, and — when the image carries provenance — the
-// source line and nearest label. See DESIGN.md for the code table.
+// infos, LF3xx security findings), the instruction PC, and — when the image
+// carries provenance — the source line and nearest label. See DESIGN.md for
+// the code table.
 package lint
 
 import (
@@ -113,6 +114,7 @@ func Run(p *asm.Program, opts Options) *Report {
 	regions := checkRegions(g, rep)
 	checkLoopCarried(g, regions, rep)
 	checkProfitability(g, regions, opts, rep)
+	checkSpectre(g, regions, rep)
 	rep.Regions = regionTable(p, regions)
 	rep.sortAndPosition(p)
 	return rep

@@ -48,7 +48,7 @@ cont:   addi t0, t0, 1
 
 func TestCleanLoopHasNoFindings(t *testing.T) {
 	rep := mustLint(t, cleanLoop)
-	if rep.Errors() != 0 || rep.Warnings() != 0 || rep.Infos() != 0 {
+	if rep.Errors() != 0 || rep.Warnings() != 0 || rep.Infos() != 0 || rep.Securities() != 0 {
 		var sb strings.Builder
 		rep.WriteText(&sb)
 		t.Fatalf("expected a silent report, got:\n%s", sb.String())

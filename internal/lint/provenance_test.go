@@ -1,0 +1,73 @@
+package lint_test
+
+import (
+	"strings"
+	"testing"
+
+	"loopfrog/internal/asm"
+	"loopfrog/internal/isa"
+	"loopfrog/internal/lint"
+)
+
+// TestRegionProvenanceWithoutLines covers the label+pc fallback path: images
+// assembled through the Builder without Line calls carry no line table, so
+// the region table and diagnostics must fall back to the nearest label.
+func TestRegionProvenanceWithoutLines(t *testing.T) {
+	t0, t1, t2 := isa.Reg(5), isa.Reg(6), isa.Reg(7)
+	b := asm.NewBuilder("nolines")
+	b.Label("main")
+	b.Li(t0, 0)
+	b.Li(t1, 16)
+	b.Label("loop")
+	b.Hint(isa.DETACH, "cont")
+	b.OpImm(isa.ADDI, t2, t0, 3)
+	b.Hint(isa.REATTACH, "cont")
+	b.Label("cont")
+	b.OpImm(isa.ADDI, t0, t0, 1)
+	b.Branch(isa.BLT, t0, t1, "loop")
+	b.Hint(isa.SYNC, "cont")
+	b.Halt()
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Lines != nil {
+		t.Fatal("builder without Line calls must not attach a line table")
+	}
+
+	rep := lint.Run(p, lint.Options{})
+	if len(rep.Regions) != 1 {
+		t.Fatalf("want one region, got %d", len(rep.Regions))
+	}
+	r := rep.Regions[0]
+	if r.Line != 0 {
+		t.Errorf("region Line = %d, want 0 without provenance", r.Line)
+	}
+	if r.Label != "loop" {
+		t.Errorf("region Label = %q, want the nearest label %q", r.Label, "loop")
+	}
+	if r.DetachPC != p.MustLabel("loop") {
+		t.Errorf("region DetachPC = %d, want the detach at %q", r.DetachPC, "loop")
+	}
+
+	// The short epoch produces at least one positioned diagnostic (LF201);
+	// all of them must use the label+pc position form, never a line.
+	if len(rep.Diags) == 0 {
+		t.Fatal("expected diagnostics on the short epoch")
+	}
+	for _, d := range rep.Diags {
+		if d.PC < 0 {
+			continue
+		}
+		if d.Line != 0 {
+			t.Errorf("%s at pc %d has Line %d on an image with no line table", d.Code, d.PC, d.Line)
+		}
+		if d.Label == "" {
+			t.Errorf("%s at pc %d has no label fallback", d.Code, d.PC)
+		}
+		pos := d.Position("nolines")
+		if !strings.Contains(pos, "@") || !strings.Contains(pos, "(") {
+			t.Errorf("position %q does not use the pc(label) fallback form", pos)
+		}
+	}
+}

@@ -1,0 +1,173 @@
+package lint
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// SARIF 2.1.0 output, the interchange format GitHub code scanning ingests.
+// One run carries every report's diagnostics; each program image is an
+// artifact, and each diagnostic code used becomes a reporting descriptor so
+// viewers can render per-rule help.
+
+type sarifLog struct {
+	Schema  string     `json:"$schema"`
+	Version string     `json:"version"`
+	Runs    []sarifRun `json:"runs"`
+}
+
+type sarifRun struct {
+	Tool    sarifTool     `json:"tool"`
+	Results []sarifResult `json:"results"`
+}
+
+type sarifTool struct {
+	Driver sarifDriver `json:"driver"`
+}
+
+type sarifDriver struct {
+	Name           string      `json:"name"`
+	InformationURI string      `json:"informationUri,omitempty"`
+	Rules          []sarifRule `json:"rules"`
+}
+
+type sarifRule struct {
+	ID               string       `json:"id"`
+	ShortDescription sarifMessage `json:"shortDescription"`
+	Properties       *sarifProps  `json:"properties,omitempty"`
+}
+
+type sarifProps struct {
+	Tags []string `json:"tags,omitempty"`
+}
+
+type sarifMessage struct {
+	Text string `json:"text"`
+}
+
+type sarifResult struct {
+	RuleID    string          `json:"ruleId"`
+	Level     string          `json:"level"`
+	Message   sarifMessage    `json:"message"`
+	Locations []sarifLocation `json:"locations"`
+}
+
+type sarifLocation struct {
+	PhysicalLocation sarifPhysical `json:"physicalLocation"`
+}
+
+type sarifPhysical struct {
+	ArtifactLocation sarifArtifact `json:"artifactLocation"`
+	Region           *sarifRegion  `json:"region,omitempty"`
+}
+
+type sarifArtifact struct {
+	URI string `json:"uri"`
+}
+
+type sarifRegion struct {
+	StartLine int `json:"startLine"`
+}
+
+// sarifRuleTitles are the one-line rule descriptions, keyed by code.
+var sarifRuleTitles = map[string]string{
+	CodeStructural:         "image fails structural validation or control flow runs off the end",
+	CodeDanglingDetach:     "epoch region never closes with a reattach or sync",
+	CodeMismatchedRegion:   "reattach region ID does not match its open epoch",
+	CodeBranchIntoEpoch:    "control flow enters an epoch region bypassing its detach",
+	CodeLoopCarriedReg:     "epoch body writes a register the continuation consumes",
+	CodeContinuationSkip:   "reattach does not fall through to its continuation",
+	CodeNestedDetach:       "nested detach inside an open epoch region",
+	CodeMissingSync:        "region has no sync to cancel successors on loop exit",
+	CodeExitWithoutSync:    "loop exit edge is not guarded by a sync",
+	CodeDetachOutsideLoop:  "detach/continuation pair is not inside a natural loop",
+	CodeOrphanSync:         "sync has no corresponding detach and is ignored",
+	CodeUnanalyzableFlow:   "indirect jump prevents complete control-flow analysis",
+	CodeShortEpoch:         "epoch body is too short to pay for speculation",
+	CodeInvariantStore:     "epoch store hits the same conflict granule every iteration",
+	CodeSpecLoadFeedsLoad:  "speculative load result feeds a load address (Spectre read gadget)",
+	CodeSpecLoadFeedsStore: "speculative load result feeds a store address",
+	CodeGadgetInRegion:     "speculative-leak gadget inside a detach region",
+}
+
+// sarifLevel maps severities onto the SARIF level vocabulary. Security
+// findings surface as warnings (SARIF has no dedicated security level; the
+// rule carries a "security" tag instead).
+func sarifLevel(s Severity) string {
+	switch s {
+	case SevError:
+		return "error"
+	case SevWarning:
+		return "warning"
+	case SevInfo:
+		return "note"
+	case SevSecurity:
+		return "warning"
+	}
+	return "none"
+}
+
+// WriteSARIF renders one or more lint reports as a single SARIF 2.1.0 log
+// with one run. Line provenance becomes the result region when present;
+// positionless findings carry only the artifact.
+func WriteSARIF(w io.Writer, reports []*Report) error {
+	usedRules := make(map[string]bool)
+	var results []sarifResult
+	for _, r := range reports {
+		for i := range r.Diags {
+			d := &r.Diags[i]
+			usedRules[d.Code] = true
+			msg := d.Message
+			if d.PC >= 0 && d.Line == 0 {
+				// No line provenance: keep the pc (and nearest label) visible
+				// in the message so the finding stays locatable.
+				msg = fmt.Sprintf("%s [at %s]", msg, d.Position(r.Program))
+			}
+			res := sarifResult{
+				RuleID:  d.Code,
+				Level:   sarifLevel(d.Severity),
+				Message: sarifMessage{Text: msg},
+				Locations: []sarifLocation{{
+					PhysicalLocation: sarifPhysical{
+						ArtifactLocation: sarifArtifact{URI: r.Program},
+					},
+				}},
+			}
+			if d.Line > 0 {
+				res.Locations[0].PhysicalLocation.Region = &sarifRegion{StartLine: d.Line}
+			}
+			results = append(results, res)
+		}
+	}
+	if results == nil {
+		results = []sarifResult{}
+	}
+
+	codes := make([]string, 0, len(usedRules))
+	for c := range usedRules {
+		codes = append(codes, c)
+	}
+	sort.Strings(codes)
+	rules := make([]sarifRule, 0, len(codes))
+	for _, c := range codes {
+		rule := sarifRule{ID: c, ShortDescription: sarifMessage{Text: sarifRuleTitles[c]}}
+		if c == CodeSpecLoadFeedsLoad || c == CodeSpecLoadFeedsStore || c == CodeGadgetInRegion {
+			rule.Properties = &sarifProps{Tags: []string{"security"}}
+		}
+		rules = append(rules, rule)
+	}
+
+	log := sarifLog{
+		Schema:  "https://json.schemastore.org/sarif-2.1.0.json",
+		Version: "2.1.0",
+		Runs: []sarifRun{{
+			Tool:    sarifTool{Driver: sarifDriver{Name: "lflint", Rules: rules}},
+			Results: results,
+		}},
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(log)
+}

@@ -1,0 +1,195 @@
+package lint_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"testing"
+
+	"loopfrog/internal/lint"
+)
+
+// schemaCheck validates a decoded JSON value against a subset of JSON Schema:
+// type, required, properties, items, enum, minimum, minItems. That subset is
+// enough to pin the SARIF 2.1.0 shapes GitHub code scanning requires, without
+// pulling a schema-validation dependency into the module.
+func schemaCheck(path string, schema, value any) error {
+	sch, ok := schema.(map[string]any)
+	if !ok {
+		return fmt.Errorf("%s: schema node is not an object", path)
+	}
+	if typ, ok := sch["type"].(string); ok {
+		if err := checkType(path, typ, value); err != nil {
+			return err
+		}
+	}
+	if enum, ok := sch["enum"].([]any); ok {
+		matched := false
+		for _, e := range enum {
+			if e == value {
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			return fmt.Errorf("%s: value %v not in enum %v", path, value, enum)
+		}
+	}
+	if min, ok := sch["minimum"].(float64); ok {
+		if n, isNum := value.(float64); isNum && n < min {
+			return fmt.Errorf("%s: %v below minimum %v", path, n, min)
+		}
+	}
+	if obj, ok := value.(map[string]any); ok {
+		if req, ok := sch["required"].([]any); ok {
+			for _, r := range req {
+				name, _ := r.(string)
+				if _, present := obj[name]; !present {
+					return fmt.Errorf("%s: missing required property %q", path, name)
+				}
+			}
+		}
+		if props, ok := sch["properties"].(map[string]any); ok {
+			for name, sub := range props {
+				if v, present := obj[name]; present {
+					if err := schemaCheck(path+"."+name, sub, v); err != nil {
+						return err
+					}
+				}
+			}
+		}
+	}
+	if arr, ok := value.([]any); ok {
+		if minItems, ok := sch["minItems"].(float64); ok && float64(len(arr)) < minItems {
+			return fmt.Errorf("%s: %d items below minItems %v", path, len(arr), minItems)
+		}
+		if items, ok := sch["items"]; ok {
+			for i, v := range arr {
+				if err := schemaCheck(fmt.Sprintf("%s[%d]", path, i), items, v); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}
+
+func checkType(path, typ string, value any) error {
+	ok := false
+	switch typ {
+	case "object":
+		_, ok = value.(map[string]any)
+	case "array":
+		_, ok = value.([]any)
+	case "string":
+		_, ok = value.(string)
+	case "number":
+		_, ok = value.(float64)
+	case "integer":
+		n, isNum := value.(float64)
+		ok = isNum && n == float64(int64(n))
+	case "boolean":
+		_, ok = value.(bool)
+	default:
+		return fmt.Errorf("%s: schema uses unsupported type %q", path, typ)
+	}
+	if !ok {
+		return fmt.Errorf("%s: value %T is not a %s", path, value, typ)
+	}
+	return nil
+}
+
+func TestWriteSARIFValidatesAgainstSchema(t *testing.T) {
+	reports := []*lint.Report{
+		mustLint(t, gadgetLoop),
+		mustLint(t, regionGadget),
+		mustLint(t, cleanLoop),
+	}
+	var buf bytes.Buffer
+	if err := lint.WriteSARIF(&buf, reports); err != nil {
+		t.Fatal(err)
+	}
+
+	raw, err := os.ReadFile("testdata/sarif-subset-schema.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var schema, doc any
+	if err := json.Unmarshal(raw, &schema); err != nil {
+		t.Fatalf("schema is not valid JSON: %v", err)
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("SARIF output is not valid JSON: %v\n%s", err, buf.String())
+	}
+	if err := schemaCheck("$", schema, doc); err != nil {
+		t.Fatalf("SARIF violates schema: %v\n%s", err, buf.String())
+	}
+
+	// Shape spot-checks past the schema: the LF3xx rules must be present,
+	// tagged as security, and every result must reference a declared rule.
+	var log struct {
+		Runs []struct {
+			Tool struct {
+				Driver struct {
+					Rules []struct {
+						ID         string `json:"id"`
+						Properties *struct {
+							Tags []string `json:"tags"`
+						} `json:"properties"`
+					} `json:"rules"`
+				} `json:"driver"`
+			} `json:"tool"`
+			Results []struct {
+				RuleID string `json:"ruleId"`
+			} `json:"results"`
+		} `json:"runs"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &log); err != nil {
+		t.Fatal(err)
+	}
+	if len(log.Runs) != 1 {
+		t.Fatalf("want exactly one run, got %d", len(log.Runs))
+	}
+	declared := map[string]bool{}
+	securityTagged := map[string]bool{}
+	for _, rule := range log.Runs[0].Tool.Driver.Rules {
+		declared[rule.ID] = true
+		if rule.Properties != nil {
+			for _, tag := range rule.Properties.Tags {
+				if tag == "security" {
+					securityTagged[rule.ID] = true
+				}
+			}
+		}
+	}
+	if !declared[lint.CodeSpecLoadFeedsLoad] || !securityTagged[lint.CodeSpecLoadFeedsLoad] {
+		t.Errorf("LF301 missing or not security-tagged in rules: %v", declared)
+	}
+	if len(log.Runs[0].Results) == 0 {
+		t.Fatal("no results emitted for programs with findings")
+	}
+	for _, res := range log.Runs[0].Results {
+		if !declared[res.RuleID] {
+			t.Errorf("result references undeclared rule %s", res.RuleID)
+		}
+	}
+}
+
+func TestWriteSARIFEmptyReport(t *testing.T) {
+	var buf bytes.Buffer
+	if err := lint.WriteSARIF(&buf, []*lint.Report{{Program: "empty"}}); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Runs []struct {
+			Results []any `json:"results"`
+		} `json:"runs"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.Runs) != 1 || doc.Runs[0].Results == nil || len(doc.Runs[0].Results) != 0 {
+		t.Fatalf("empty report must yield one run with an empty results array: %s", buf.String())
+	}
+}

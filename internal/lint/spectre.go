@@ -1,0 +1,281 @@
+package lint
+
+import (
+	"fmt"
+	"sort"
+
+	"loopfrog/internal/isa"
+)
+
+// Speculative-leak gadget detection (LF3xx). The core executes transiently in
+// two windows: the wrong path between a conditional branch's dispatch and its
+// execute-time resolution, and the whole body of a detach-region epoch until
+// the threadlet is promoted. A load executing in either window can observe
+// data the architectural path never would (a bounds-check bypass, a stale SSB
+// value); if that result flows into the address of a later memory access, the
+// access imprints a secret-derived line on the cache hierarchy — state that
+// squash does not undo. This pass finds those dataflow shapes statically.
+//
+// Sources are loads that can execute transiently: loads in the speculation
+// shadow of a conditional branch (any block reachable from a two-way branch's
+// successors) and loads inside a reconstructed epoch region. Taint propagates
+// forward through register dataflow: ALU results of tainted operands are
+// tainted, loads from tainted addresses yield tainted data (a dereference of
+// attacker-influenced state), calls conservatively clear taint on registers
+// the callee may write (an under-approximation that keeps the pass quiet on
+// spill/reload idioms). Sinks are memory accesses whose address register is
+// tainted: LF301 for loads, LF302 for stores, plus LF303 when the sink sits
+// inside an epoch region where the transient window is longest. Each finding
+// carries a witness: the pc chain from the source load to the sink.
+
+// maxWitness caps the recorded witness chain length; longer flows are
+// truncated from the front, keeping the source and the hops nearest the sink.
+const maxWitness = 12
+
+// specSource classifies why a load can execute transiently.
+type specSource uint8
+
+const (
+	srcNone specSource = iota
+	srcWrongPath
+	srcEpoch
+)
+
+// checkSpectre runs the LF3xx gadget analysis and appends findings to rep.
+func checkSpectre(g *cfg, regions []*region, rep *Report) {
+	if len(g.blocks) == 0 {
+		return
+	}
+	computeSummaries(g)
+
+	inRegion := make(map[int]*region)
+	for _, r := range regions {
+		for pc := range r.interior {
+			if _, ok := inRegion[pc]; !ok {
+				inRegion[pc] = r
+			}
+		}
+	}
+
+	type finding struct {
+		code    string
+		pc      int
+		witness []int
+		source  int
+		kind    specSource
+	}
+	found := make(map[string]finding) // keyed code|pc, first witness wins
+	record := func(code string, pc int, chain []int, kind specSource) {
+		key := fmt.Sprintf("%s|%d", code, pc)
+		if _, ok := found[key]; ok {
+			return
+		}
+		src := pc
+		if len(chain) > 0 {
+			src = chain[0]
+		}
+		wit := append(append([]int(nil), chain...), pc)
+		if len(wit) > maxWitness {
+			head := wit[0]
+			wit = append([]int{head}, wit[len(wit)-(maxWitness-1):]...)
+		}
+		found[key] = finding{code: code, pc: pc, witness: wit, source: src, kind: kind}
+	}
+
+	for _, f := range g.funcs {
+		shadowed := branchShadow(g, f)
+		sourceOf := func(pc int) specSource {
+			in := g.prog.Insts[pc]
+			if !isa.OpMeta(in.Op).IsLoad {
+				return srcNone
+			}
+			if _, ok := inRegion[pc]; ok {
+				return srcEpoch
+			}
+			if shadowed[g.blockOf[pc]] {
+				return srcWrongPath
+			}
+			return srcNone
+		}
+
+		// Forward taint over the function's blocks. State is register ->
+		// witness chain (pcs, source load first). Join is union with
+		// first-writer-wins on chains; the tainted key set only grows, so the
+		// fixpoint terminates.
+		type state map[isa.Reg][]int
+		ins := make(map[int]state, len(f.blocks))
+		for _, bi := range f.blocks {
+			ins[bi] = state{}
+		}
+		kinds := make(map[int]specSource) // source pc -> kind, for messages
+
+		for changed := true; changed; {
+			changed = false
+			for _, bi := range f.blocks {
+				// The block's IN state accumulates predecessor OUT states
+				// below; work on a copy so the accumulated IN stays a join.
+				cur := state{}
+				for r, c := range ins[bi] {
+					cur[r] = c
+				}
+				for pc := g.blocks[bi].Start; pc < g.blocks[bi].End; pc++ {
+					in := g.prog.Insts[pc]
+					m := isa.OpMeta(in.Op)
+					var taintedOperand []int
+					haveTaint := false
+					if m.HasRs1 && in.Rs1 != regZero {
+						if c, ok := cur[in.Rs1]; ok {
+							taintedOperand, haveTaint = c, true
+						}
+					}
+					if !haveTaint && m.HasRs2 && in.Rs2 != regZero {
+						if c, ok := cur[in.Rs2]; ok {
+							taintedOperand, haveTaint = c, true
+						}
+					}
+
+					// Sinks: address register is Rs1 for both loads and stores.
+					addrTainted := false
+					var addrChain []int
+					if (m.IsLoad || m.IsStore) && in.Rs1 != regZero {
+						if c, ok := cur[in.Rs1]; ok {
+							addrTainted, addrChain = true, c
+						}
+					}
+					if addrTainted {
+						src := pc
+						if len(addrChain) > 0 {
+							src = addrChain[0]
+						}
+						kind := kinds[src]
+						if m.IsLoad {
+							record(CodeSpecLoadFeedsLoad, pc, addrChain, kind)
+						} else if m.IsStore {
+							record(CodeSpecLoadFeedsStore, pc, addrChain, kind)
+						}
+					}
+
+					// Transfer.
+					switch classify(in) {
+					case kindCall:
+						if callee := g.funcOf[int(in.Imm)]; callee != nil {
+							for _, r := range callee.mayWrite.regs() {
+								delete(cur, r)
+							}
+						}
+						for _, r := range instDefs(in).regs() {
+							delete(cur, r)
+						}
+					default:
+						defs := instDefs(in).regs()
+						switch {
+						case m.IsLoad && len(defs) > 0:
+							if k := sourceOf(pc); k != srcNone {
+								cur[defs[0]] = []int{pc}
+								if _, ok := kinds[pc]; !ok {
+									kinds[pc] = k
+								}
+							} else if addrTainted {
+								cur[defs[0]] = extendChain(addrChain, pc)
+							} else {
+								delete(cur, defs[0])
+							}
+						case len(defs) > 0 && haveTaint:
+							cur[defs[0]] = extendChain(taintedOperand, pc)
+						case len(defs) > 0:
+							delete(cur, defs[0])
+						}
+					}
+				}
+				// Propagate OUT to successors' IN (union, first chain wins).
+				for _, s := range g.blocks[bi].Succs {
+					if !f.inSet[s] {
+						continue
+					}
+					dst := ins[s]
+					for r, c := range cur {
+						if _, ok := dst[r]; !ok {
+							dst[r] = c
+							changed = true
+						}
+					}
+				}
+			}
+		}
+	}
+
+	keys := make([]string, 0, len(found))
+	for k := range found {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fd := found[k]
+		srcWhy := "a speculatively reachable load"
+		switch fd.kind {
+		case srcWrongPath:
+			srcWhy = "a wrong-path-reachable load"
+		case srcEpoch:
+			srcWhy = "an epoch-speculative load"
+		}
+		region := int64(-1)
+		if r, ok := inRegion[fd.pc]; ok {
+			region = r.id
+		}
+		switch fd.code {
+		case CodeSpecLoadFeedsLoad:
+			rep.add(Diagnostic{
+				Code: CodeSpecLoadFeedsLoad, Severity: SevSecurity, PC: fd.pc, Region: region,
+				Witness: fd.witness,
+				Message: fmt.Sprintf("load address depends on the result of %s at pc %d: a Spectre-shaped read gadget whose transient cache access survives squash", srcWhy, fd.source),
+			})
+		case CodeSpecLoadFeedsStore:
+			rep.add(Diagnostic{
+				Code: CodeSpecLoadFeedsStore, Severity: SevSecurity, PC: fd.pc, Region: region,
+				Witness: fd.witness,
+				Message: fmt.Sprintf("store address depends on the result of %s at pc %d: under misprediction the store targets a secret-derived address", srcWhy, fd.source),
+			})
+		}
+		if region >= 0 {
+			rep.add(Diagnostic{
+				Code: CodeGadgetInRegion, Severity: SevSecurity, PC: fd.pc, Region: region,
+				Witness: fd.witness,
+				Message: fmt.Sprintf("speculative-leak gadget sits inside detach region %d: epoch speculation keeps the transient window open until promotion, far past branch resolution", region),
+			})
+		}
+	}
+}
+
+// extendChain appends pc to a witness chain without aliasing the source slice.
+func extendChain(chain []int, pc int) []int {
+	out := make([]int, 0, len(chain)+1)
+	out = append(out, chain...)
+	return append(out, pc)
+}
+
+// branchShadow returns the blocks of f reachable from a two-way conditional
+// branch's successors: the instructions the front end can run down while the
+// branch is unresolved.
+func branchShadow(g *cfg, f *fn) map[int]bool {
+	shadow := make(map[int]bool)
+	var work []int
+	for _, bi := range f.blocks {
+		b := &g.blocks[bi]
+		if b.End-b.Start < 1 {
+			continue
+		}
+		if classify(g.prog.Insts[b.End-1]) == kindBranch && len(b.Succs) == 2 {
+			work = append(work, b.Succs...)
+		}
+	}
+	for len(work) > 0 {
+		bi := work[len(work)-1]
+		work = work[:len(work)-1]
+		if shadow[bi] || !f.inSet[bi] {
+			continue
+		}
+		shadow[bi] = true
+		work = append(work, g.blocks[bi].Succs...)
+	}
+	return shadow
+}

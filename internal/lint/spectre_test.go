@@ -1,0 +1,140 @@
+package lint_test
+
+import (
+	"strings"
+	"testing"
+
+	"loopfrog/internal/lint"
+)
+
+// gadgetLoop is the classic bounds-check-bypass shape: a load of an index,
+// a guard branch, then a load whose address derives from the loaded index
+// and a second load/store pair keyed on the loaded data.
+const gadgetLoop = `
+        .data
+idx:    .zero 128
+pub:    .zero 2048
+probe:  .zero 4096
+        .text
+main:   la   a0, idx
+        la   a1, pub
+        la   a2, probe
+        li   t0, 0
+        li   t1, 16
+loop:   slli t2, t0, 3
+        add  t2, a0, t2
+        ld   t2, 0(t2)
+        li   t3, 256
+        blt  t3, t2, skip
+        slli t3, t2, 3
+        add  t3, a1, t3
+        ld   t3, 0(t3)
+        slli t4, t3, 6
+        add  t4, a2, t4
+        ld   t5, 0(t4)
+        sd   t5, 0(t4)
+skip:   addi t0, t0, 1
+        blt  t0, t1, loop
+        halt
+`
+
+func TestSpectreGadgetLoop(t *testing.T) {
+	rep := mustLint(t, gadgetLoop)
+	if !rep.Has(lint.CodeSpecLoadFeedsLoad) {
+		var sb strings.Builder
+		rep.WriteText(&sb)
+		t.Fatalf("expected LF301 on the load-feeds-load chain, got:\n%s", sb.String())
+	}
+	if !rep.Has(lint.CodeSpecLoadFeedsStore) {
+		t.Error("expected LF302 on the tainted-address store")
+	}
+	if rep.Has(lint.CodeGadgetInRegion) {
+		t.Error("LF303 must not fire outside detach regions")
+	}
+	if rep.Securities() == 0 {
+		t.Fatal("security findings not counted")
+	}
+	// Security findings never fail the lint, even under -strict.
+	if rep.Failed(true) {
+		t.Error("security findings must not fail a strict run")
+	}
+	for _, d := range rep.Diags {
+		if d.Severity != lint.SevSecurity {
+			continue
+		}
+		if d.PC >= 0 && d.Line <= 0 {
+			t.Errorf("%s at pc %d lacks line provenance", d.Code, d.PC)
+		}
+		if len(d.Witness) < 2 {
+			t.Errorf("%s at pc %d has no witness path: %v", d.Code, d.PC, d.Witness)
+		} else if d.Witness[len(d.Witness)-1] != d.PC {
+			t.Errorf("%s witness %v does not end at the sink pc %d", d.Code, d.Witness, d.PC)
+		}
+	}
+}
+
+// regionGadget puts the dependent-load chain inside a detach region, where
+// the transient window is the whole epoch.
+const regionGadget = `
+        .data
+idx:    .zero 2048
+pub:    .zero 2048
+        .text
+main:   la   a0, idx
+        la   a1, pub
+        li   t0, 0
+        li   t1, 16
+loop:   slli t2, t0, 3
+        add  t2, a0, t2
+        detach cont
+        ld   t3, 0(t2)
+        slli t4, t3, 3
+        add  t4, a1, t4
+        ld   t5, 0(t4)
+        mul  t5, t5, t5
+        addi t5, t5, 1
+        sd   t5, 0(t2)
+        reattach cont
+cont:   addi t0, t0, 1
+        blt  t0, t1, loop
+        sync cont
+        halt
+`
+
+func TestSpectreGadgetInRegion(t *testing.T) {
+	rep := mustLint(t, regionGadget)
+	if !rep.Has(lint.CodeSpecLoadFeedsLoad) {
+		var sb strings.Builder
+		rep.WriteText(&sb)
+		t.Fatalf("expected LF301 inside the region, got:\n%s", sb.String())
+	}
+	if !rep.Has(lint.CodeGadgetInRegion) {
+		t.Error("expected LF303 for a gadget inside a detach region")
+	}
+	found := false
+	for _, d := range rep.Diags {
+		if d.Code == lint.CodeSpecLoadFeedsLoad && strings.Contains(d.Message, "epoch-speculative") {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("in-region source should be classified as epoch-speculative")
+	}
+	if rep.Errors() != 0 {
+		var sb strings.Builder
+		rep.WriteText(&sb)
+		t.Fatalf("region gadget should be legal (no LF0xx):\n%s", sb.String())
+	}
+}
+
+// TestSpectreNoFalsePositiveOnArithmeticAddresses: addresses derived purely
+// from arithmetic (induction variables) must not be flagged even when loaded
+// data flows into store DATA.
+func TestSpectreNoFalsePositiveOnArithmeticAddresses(t *testing.T) {
+	rep := mustLint(t, cleanLoop)
+	if rep.Securities() != 0 {
+		var sb strings.Builder
+		rep.WriteText(&sb)
+		t.Fatalf("clean loop flagged:\n%s", sb.String())
+	}
+}

@@ -54,6 +54,9 @@ func (p *Profile) WriteText(w io.Writer) error {
 		if r.DominantStall != "" {
 			fmt.Fprintf(&b, "  dominant stall: %s (%d slots)\n", r.DominantStall, r.DominantStallN)
 		}
+		if l.Leaks > 0 {
+			fmt.Fprintf(&b, "  speculative leaks: %d confirmed (see lfsim -spectre)\n", l.Leaks)
+		}
 		for _, n := range r.Notes {
 			fmt.Fprintf(&b, "  note: %s\n", n)
 		}
@@ -129,7 +132,7 @@ td.reason { white-space: normal; }
 <p class="meta">{{.Cycles}} cycles{{if .Estimated}} (sampled estimate){{end}}{{if .Speedup}}, speedup {{printf "%.3f" .Speedup}}&times; over baseline ({{.BaselineCycles}} cycles){{end}}</p>
 {{if .Rows}}
 <table>
-<tr><th>region</th><th>where</th><th>verdict</th><th>spawns</th><th>squashes</th><th>spec won</th><th>spec lost</th><th>pack acc</th><th>dominant stall</th><th class="reason">why</th></tr>
+<tr><th>region</th><th>where</th><th>verdict</th><th>spawns</th><th>squashes</th><th>spec won</th><th>spec lost</th><th>leaks</th><th>pack acc</th><th>dominant stall</th><th class="reason">why</th></tr>
 {{range .Rows}}
 <tr>
 <td>{{.Region}}</td>
@@ -139,6 +142,7 @@ td.reason { white-space: normal; }
 <td>{{.Ledger.SquashTotal}}</td>
 <td>{{.Ledger.SpecWon}}</td>
 <td>{{.Ledger.SpecLost}}</td>
+<td>{{if .Ledger.Leaks}}<span class="drop">{{.Ledger.Leaks}}</span>{{else}}0{{end}}</td>
 <td>{{printf "%.1f%%" (pct .PackAccuracy)}}</td>
 <td>{{.DominantStall}}</td>
 <td class="reason">{{.Reason}}{{range .Notes}}<br><span class="meta">{{.}}</span>{{end}}</td>

@@ -36,7 +36,8 @@ type JobSpec struct {
 	Asm string `json:"asm,omitempty"`
 	// Source is LoopLang text (a .ll file), compiled with hint insertion.
 	Source string `json:"source,omitempty"`
-	// Bench names a built-in benchmark from the CPU2017/CPU2006 suites.
+	// Bench names a built-in benchmark from the CPU2017/CPU2006 suites or
+	// the seeded security suite.
 	Bench string `json:"bench,omitempty"`
 
 	// Threadlets configures the LoopFrog core (default 4); Baseline runs
@@ -52,6 +53,14 @@ type JobSpec struct {
 	// Faults is an internal/fault injection spec, seeded by Seed.
 	Faults string `json:"faults,omitempty"`
 	Seed   int64  `json:"seed,omitempty"`
+
+	// Spectre tracks taint through transient execution and reports confirmed
+	// speculative leaks in the result (metadata-only: timing is unchanged).
+	// Mitigate enables the ShadowBinding-style defence, delaying dependents
+	// of speculative loads until promotion. Both are incompatible with
+	// Sampled: taint state cannot survive checkpoint seeding.
+	Spectre  bool `json:"spectre,omitempty"`
+	Mitigate bool `json:"mitigate,omitempty"`
 
 	// Sampled runs the two-tier sampled estimate (tier-1 functional warming
 	// plus detailed windows fanned over the pool) instead of a full detailed
@@ -94,6 +103,13 @@ type JobResult struct {
 	DetailedShare float64 `json:"detailed_share,omitempty"`
 	Tier1IPS      float64 `json:"tier1_insts_per_sec,omitempty"`
 	EffectiveIPS  float64 `json:"effective_insts_per_sec,omitempty"`
+	// Spectre mode only: transient loads whose taint-derived address reached
+	// the cache (candidates), how many were confirmed leaks by a squash, and
+	// how many wakeups the mitigation held. Per-region leak counts ride in
+	// each region row's ledger.
+	LeakCandidates uint64 `json:"leak_candidates,omitempty"`
+	Leaks          uint64 `json:"leaks,omitempty"`
+	DelayedWakes   uint64 `json:"delayed_wakes,omitempty"`
 	// Regions is the per-region speculation profile (the lfreport row
 	// schema): every hinted loop's ledger joined with the preflight lint
 	// report, ranked most-costly-first with a keep/retune/drop verdict.
@@ -240,7 +256,7 @@ func resolveProgram(spec *JobSpec) (*asm.Program, error) {
 	}
 	switch {
 	case spec.Bench != "":
-		for _, suite := range [][]*workloads.Benchmark{workloads.CPU2017(), workloads.CPU2006()} {
+		for _, suite := range [][]*workloads.Benchmark{workloads.CPU2017(), workloads.CPU2006(), workloads.Security()} {
 			if b := workloads.ByName(suite, spec.Bench); b != nil {
 				if spec.Name == "" {
 					spec.Name = b.Name
@@ -283,6 +299,8 @@ func buildConfig(spec *JobSpec) (cpu.Config, error) {
 	if spec.Baseline {
 		cfg = sim.BaselineOf(cfg)
 	}
+	cfg.SpectreAnalysis = spec.Spectre
+	cfg.DelaySpeculativeLoadDeps = spec.Mitigate
 	return cfg, nil
 }
 
@@ -309,6 +327,9 @@ func (s *Server) validateSpec(spec *JobSpec) error {
 	if spec.Sampled {
 		if spec.Faults != "" {
 			return fmt.Errorf("sampled and faults are mutually exclusive: fault injection needs the detailed machine over the whole run")
+		}
+		if spec.Spectre || spec.Mitigate {
+			return fmt.Errorf("sampled and spectre/mitigate are mutually exclusive: taint state cannot survive checkpoint seeding")
 		}
 		sc := sim.SampleConfig{Interval: spec.SampleInterval, Window: spec.SampleWindow, Warmup: spec.SampleWarmup}
 		if err := sc.Validate(); err != nil {
@@ -383,6 +404,11 @@ func (s *Server) run(j *job) {
 		if lf.Cycles > 0 {
 			res.Speedup = float64(base.Cycles) / float64(lf.Cycles)
 		}
+	}
+	if j.Spec.Spectre || j.Spec.Mitigate {
+		res.LeakCandidates = st.LeakCandidates
+		res.Leaks = st.Leaks
+		res.DelayedWakes = st.DelayedWakes
 	}
 	attachRegions(res, st.Regions, j.lintRep, false)
 	j.finish(StatusDone, http.StatusOK, res, "")

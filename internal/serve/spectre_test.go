@@ -1,0 +1,62 @@
+package serve_test
+
+import (
+	"encoding/json"
+	"net/http"
+	"testing"
+
+	"loopfrog/internal/serve"
+)
+
+// spectreResult is the slice of JobResult the spectre-mode assertions need.
+type spectreResult struct {
+	Status string `json:"status"`
+	Result *struct {
+		LeakCandidates uint64 `json:"leak_candidates"`
+		Leaks          uint64 `json:"leaks"`
+		DelayedWakes   uint64 `json:"delayed_wakes"`
+		Cycles         int64  `json:"cycles"`
+	} `json:"result"`
+}
+
+// TestSpectreJob: a spectre-mode job over the seeded gadget reports its leak
+// profile in the result; adding the mitigation knob drives it to zero with
+// held wakeups; and the sampled combination is rejected at admission.
+func TestSpectreJob(t *testing.T) {
+	_, ts := newTestServer(t, serve.Config{})
+
+	resp, payload := post(t, ts, map[string]any{"bench": "boundsbypass", "spectre": true})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("spectre job: status %d, body %s", resp.StatusCode, payload)
+	}
+	var det spectreResult
+	if err := json.Unmarshal(payload, &det); err != nil {
+		t.Fatalf("bad body %s: %v", payload, err)
+	}
+	if det.Status != "done" || det.Result == nil {
+		t.Fatalf("job not done: %s", payload)
+	}
+	if det.Result.LeakCandidates == 0 || det.Result.Leaks == 0 {
+		t.Errorf("seeded gadget not flagged: %+v", det.Result)
+	}
+
+	resp, payload = post(t, ts, map[string]any{"bench": "boundsbypass", "spectre": true, "mitigate": true})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("mitigated job: status %d, body %s", resp.StatusCode, payload)
+	}
+	var mit spectreResult
+	if err := json.Unmarshal(payload, &mit); err != nil {
+		t.Fatalf("bad body %s: %v", payload, err)
+	}
+	if mit.Result == nil || mit.Result.Leaks != 0 || mit.Result.LeakCandidates != 0 {
+		t.Errorf("mitigated run still leaks: %s", payload)
+	}
+	if mit.Result != nil && mit.Result.DelayedWakes == 0 {
+		t.Errorf("mitigation never held a wakeup: %s", payload)
+	}
+
+	resp, payload = post(t, ts, map[string]any{"bench": "boundsbypass", "spectre": true, "sampled": true})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("spectre+sampled admitted: status %d, body %s", resp.StatusCode, payload)
+	}
+}

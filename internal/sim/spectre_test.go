@@ -1,0 +1,94 @@
+package sim
+
+import (
+	"testing"
+
+	"loopfrog/internal/cpu"
+	"loopfrog/internal/workloads"
+)
+
+// leakFlagGolden is the expected confirmed-leak flag of every stock CPU2017
+// workload under the default LoopFrog configuration with taint tracking on.
+// The stock suite is leak-free: none of its loops carries a
+// load-value-steers-load-address gadget reachable in a transient window. A
+// workload newly flagging here means either its kernel gained a gadget shape
+// or the taint model regressed — both need a human eye, so CI gates on this
+// map staying exact.
+var leakFlagGolden = map[string]bool{
+	"perlbench": false, "gcc": false, "mcf": false, "omnetpp": false,
+	"xalancbmk": false, "x264": false, "deepsjeng": false, "leela": false,
+	"exchange2": false, "xz": false, "bwaves": false, "cactuBSSN": false,
+	"namd": false, "parest": false, "povray": false, "lbm": false,
+	"wrf": false, "blender": false, "imagick": false, "nab": false,
+}
+
+// TestLeakFlagStability runs the whole CPU2017 suite with the taint detector
+// on and checks every workload's confirmed-leak flag against the golden map,
+// then checks the two seeded security controls: the bounds-check-bypass
+// gadget must flag (candidates and confirmed leaks), its hardened
+// counterpart must be fully clean.
+func TestLeakFlagStability(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-suite detection runs; skipped in -short")
+	}
+	det := cpu.DefaultConfig()
+	det.SpectreAnalysis = true
+
+	suite := workloads.CPU2017()
+	if len(suite) != len(leakFlagGolden) {
+		t.Fatalf("golden map covers %d workloads, suite has %d: update leakFlagGolden",
+			len(leakFlagGolden), len(suite))
+	}
+	var jobs []Job
+	for _, b := range suite {
+		prog, err := b.Program()
+		if err != nil {
+			t.Fatalf("%s: %v", b.Name, err)
+		}
+		jobs = append(jobs, Job{Cfg: det, Prog: prog})
+	}
+	stats, err := RunJobs(jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, b := range suite {
+		want, ok := leakFlagGolden[b.Name]
+		if !ok {
+			t.Errorf("%s: not in the golden map: update leakFlagGolden", b.Name)
+			continue
+		}
+		if got := stats[i].Leaks > 0; got != want {
+			t.Errorf("%s: leak flag flipped: %d confirmed leaks (%d candidates), golden says leaky=%v",
+				b.Name, stats[i].Leaks, stats[i].LeakCandidates, want)
+		}
+	}
+
+	for _, tc := range []struct {
+		name  string
+		leaky bool
+	}{
+		{"boundsbypass", true},
+		{"boundshardened", false},
+	} {
+		b := workloads.ByName(workloads.Security(), tc.name)
+		if b == nil {
+			t.Fatalf("security workload %s missing", tc.name)
+		}
+		prog, err := b.Program()
+		if err != nil {
+			t.Fatal(err)
+		}
+		st, err := Run(det, prog)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tc.leaky && (st.LeakCandidates == 0 || st.Leaks == 0) {
+			t.Errorf("%s: seeded gadget not flagged: %d candidates, %d leaks",
+				tc.name, st.LeakCandidates, st.Leaks)
+		}
+		if !tc.leaky && (st.LeakCandidates != 0 || st.Leaks != 0) {
+			t.Errorf("%s: hardened control flagged: %d candidates, %d leaks",
+				tc.name, st.LeakCandidates, st.Leaks)
+		}
+	}
+}

@@ -1,0 +1,105 @@
+package workloads
+
+import "fmt"
+
+// ClassGadget tags the seeded security workloads: their defining property is
+// a speculative-leak gadget, not a bottleneck class.
+const ClassGadget Class = "speculative-gadget"
+
+// boundsBypass is the classic Spectre-v1 bounds-check-bypass shape, seeded
+// deliberately vulnerable: an attacker-style index array trains the guard
+// branch overwhelmingly in-bounds, with occasional out-of-bounds values that
+// still land inside the data segment (the adjacent secret array). Under the
+// guard, a load keyed on the untrusted index feeds the addresses of a probe
+// load and a scratch store — the two-access gadget both the LF3xx static
+// lints (internal/lint) and the dynamic taint detector
+// (cpu.Config.SpectreAnalysis) must flag. Architecturally the program is
+// well-defined: the guarded body never executes with an out-of-bounds index;
+// only the transient machine reads the secret.
+//
+// The guard condition goes through a mul/div identity (j * 2048 / 2048 == j
+// for these ranges) before the compare. In the real attack the bound is slow
+// to arrive because it misses in the cache; here the toy compiler keeps the
+// constant arithmetic, so the long-latency divide plays that role — the
+// branch resolves tens of cycles after the gadget's address chain is ready,
+// which is exactly the window Spectre v1 needs. Without it the compare (one
+// ALU op) wins the race against the two-op address generation and the
+// wrong-path window on a single-context core never opens.
+func boundsBypass(n, bound, probeSize int) string {
+	return fmt.Sprintf(`
+var idx: [%[1]d]int;
+var pub: [%[2]d]int;
+var secret: [%[2]d]int;
+var probe: [%[3]d]int;
+var scratch: [64]int;
+var out: [%[1]d]int;
+fn main() -> int {
+    var seed: int = 424243;
+    for i in 0..%[2]d {
+        pub[i] = i * 3 + 1;
+        secret[i] = 7777700 + i;
+    }
+    for i in 0..%[1]d {
+        seed = (seed * 1103515245 + 12345) %% 2147483648;
+        idx[i] = seed %% %[2]d;
+        if i %% 97 == 13 {
+            idx[i] = %[2]d + seed %% %[2]d;
+        }
+    }
+    var s: int = 0;
+    @loopfrog
+    for i in 0..%[1]d {
+        var j: int = idx[i];
+        var r: int = 0;
+        if j * 2048 / 2048 < %[2]d {
+            var x: int = pub[j];
+            r = probe[x * 64 %% %[3]d];
+            scratch[x %% 64] = scratch[x %% 64] + 1;
+        }
+        out[i] = r;
+        s = s + r;
+    }
+    return s;
+}`, n, bound, probeSize)
+}
+
+// boundsHardened is the gadget's safe counterpart: the index is recomputed
+// arithmetically in-register, so no load's value ever chooses another
+// access's address — the guarded load's value feeds only arithmetic and
+// store data. There is no second access for a transient secret to steer,
+// statically or dynamically. It anchors the leak-flag-stability gate's
+// negative side.
+func boundsHardened(n, bound int) string {
+	return fmt.Sprintf(`
+var pub: [%[2]d]int;
+var out: [%[1]d]int;
+fn main() -> int {
+    for i in 0..%[2]d {
+        pub[i] = i * 3 + 1;
+    }
+    var s: int = 0;
+    @loopfrog
+    for i in 0..%[1]d {
+        var j: int = (i * 1103515245 + 12345) %% 2147483648 %% %[2]d;
+        var r: int = 0;
+        if j < %[2]d {
+            var x: int = pub[j];
+            r = x * 31 + j;
+        }
+        out[i] = r;
+        s = s + r;
+    }
+    return s;
+}`, n, bound)
+}
+
+// Security returns the seeded speculative-leak suite: one deliberately
+// vulnerable bounds-check-bypass workload and its hardened counterpart. Both
+// are corpus members for lflint and for the leak-flag-stability gate; the
+// suite is deliberately tiny so a -spectre run of it stays fast.
+func Security() []*Benchmark {
+	return []*Benchmark{
+		{Name: "boundsbypass", Suite: "security", Class: ClassGadget, source: boundsBypass(3000, 256, 4096), SeqTimeRatio: 1.0},
+		{Name: "boundshardened", Suite: "security", Class: ClassGadget, source: boundsHardened(3000, 256), SeqTimeRatio: 1.0},
+	}
+}
