@@ -1,0 +1,16 @@
+# Build lfservd as a static binary; the module is stdlib-only so the
+# build stage needs nothing beyond the Go toolchain.
+FROM golang:1.22-alpine AS build
+WORKDIR /src
+COPY go.mod ./
+COPY cmd/ cmd/
+COPY internal/ internal/
+COPY examples/ examples/
+RUN CGO_ENABLED=0 go build -o /out/lfservd ./cmd/lfservd
+
+FROM alpine:3.20
+# wget ships with busybox; used by the compose healthchecks.
+COPY --from=build /out/lfservd /usr/local/bin/lfservd
+COPY --from=build /src/examples /opt/loopfrog/examples
+EXPOSE 8080
+ENTRYPOINT ["lfservd"]

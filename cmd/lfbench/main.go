@@ -79,6 +79,8 @@ func main() {
 	sampledJSON := flag.String("sampledjson", "", "with the accuracy study, sweep the accuracy-vs-speedup curve and write BENCH_sampled.json here")
 	spectre := flag.Bool("spectre", false, "run the speculative-leak mitigation-cost study and exit")
 	spectreJSON := flag.String("spectrejson", "", "with the leak study, write BENCH_spectre.json here")
+	fabricFlag := flag.Bool("fabric", false, "run the distributed-sweep throughput study (3 in-process nodes vs 1) and exit")
+	fabricJSON := flag.String("fabricjson", "BENCH_fabric.json", "with the fabric study, write the comparison here")
 	parallel := flag.Int("parallel", 0, "simulation worker count (0 = all cores)")
 	reportPath := flag.String("report", "", "write the suite-wide per-region speculation profile (lfreport suite JSON) to this file")
 	metricsPath := flag.String("metrics", "", "write harness telemetry JSON to this file on exit")
@@ -123,6 +125,13 @@ func main() {
 
 	if *chaos {
 		if !runChaos(*seed) {
+			os.Exit(1)
+		}
+		return
+	}
+
+	if *fabricFlag {
+		if !runFabric(*fabricJSON, 8, 3) {
 			os.Exit(1)
 		}
 		return

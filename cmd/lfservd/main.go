@@ -15,6 +15,21 @@
 // profiling surface never shares the service port, so the job API can be
 // exposed without also exposing heap and CPU profiles.
 //
+// Fabric mode (see internal/fabric and the "Distributed serving" section of
+// README.md) shards sweeps across nodes:
+//
+//	lfservd -coordinator [-fabric-workers name=url,...] [-chaos-fabric spec]
+//	lfservd -worker -join http://coordinator:8080 [-name w1] [-advertise url]
+//
+// A coordinator routes jobs to registered workers over a consistent-hash
+// ring keyed on the run-cache fingerprint, with health probing, hedged
+// retries, and requeue on worker death; with no live workers it degrades to
+// plain local execution. A worker is a normal daemon that additionally
+// registers with (and heartbeats to) its coordinator. -chaos-fabric injects
+// seeded worker kills/partitions/delays at the coordinator's transport for
+// fault drills ("all" or "kill=P,partition=P,delay=P", seeded by
+// -chaos-seed).
+//
 // SIGINT/SIGTERM starts a graceful drain: admission stops (healthz flips to
 // 503), every admitted job completes, then the process exits. A second
 // signal — or the -drain-timeout budget expiring — aborts the drain by
@@ -45,11 +60,13 @@ import (
 	"os/signal"
 	"runtime"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"syscall"
 	"time"
 
+	"loopfrog/internal/fabric"
 	"loopfrog/internal/serve"
 )
 
@@ -67,6 +84,14 @@ func main() {
 	loadOut := flag.String("load-out", "BENCH_serve.json", "load harness report path")
 	loadProg := flag.String("load-prog", "examples/quickstart/asm/quickstart.s", "assembly file the load harness submits")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this separate address (empty = disabled)")
+	coordinator := flag.Bool("coordinator", false, "run as fabric coordinator: route jobs to registered workers")
+	fabricWorkers := flag.String("fabric-workers", "", "static worker list for -coordinator: comma-separated name=url (or bare urls)")
+	worker := flag.Bool("worker", false, "run as fabric worker: serve jobs and register with -join")
+	join := flag.String("join", "", "coordinator base URL a -worker registers with")
+	name := flag.String("name", "", "this worker's fabric name (default host:port)")
+	advertise := flag.String("advertise", "", "base URL the coordinator reaches this worker at (default http://127.0.0.1<addr>)")
+	chaosFabric := flag.String("chaos-fabric", "", "coordinator chaos spec: \"all\" or kill=P,partition=P,delay=P (empty = off)")
+	chaosSeed := flag.Int64("chaos-seed", 1, "base seed for -chaos-fabric's deterministic streams")
 	flag.Parse()
 
 	cfg := serve.Config{
@@ -84,6 +109,14 @@ func main() {
 			os.Exit(1)
 		}
 		return
+	}
+	if *coordinator && *worker {
+		fmt.Fprintln(os.Stderr, "lfservd: -coordinator and -worker are mutually exclusive")
+		os.Exit(2)
+	}
+	if *worker && *join == "" {
+		fmt.Fprintln(os.Stderr, "lfservd: -worker requires -join")
+		os.Exit(2)
 	}
 
 	if *pprofAddr != "" {
@@ -105,13 +138,67 @@ func main() {
 		}(*pprofAddr)
 	}
 
+	var coord *fabric.Coordinator
+	if *coordinator {
+		fcfg := fabric.Config{}
+		if *chaosFabric != "" {
+			chaos, err := fabric.ParseChaos(*chaosFabric, *chaosSeed)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "lfservd:", err)
+				os.Exit(2)
+			}
+			fcfg.WrapTransport = chaos.WrapTransport
+			fmt.Printf("lfservd: fabric chaos armed: %s seed=%d\n", *chaosFabric, *chaosSeed)
+		}
+		coord = fabric.NewCoordinator(fcfg)
+		for _, entry := range strings.Split(*fabricWorkers, ",") {
+			entry = strings.TrimSpace(entry)
+			if entry == "" {
+				continue
+			}
+			wname, url, ok := strings.Cut(entry, "=")
+			if !ok {
+				url = wname
+				wname = strings.TrimPrefix(strings.TrimPrefix(url, "http://"), "https://")
+			}
+			if err := coord.AddWorker(fabric.JoinInfo{ID: wname, URL: url}); err != nil {
+				fmt.Fprintln(os.Stderr, "lfservd:", err)
+				os.Exit(2)
+			}
+		}
+		cfg.Remote = coord
+	}
+
 	s := serve.New(cfg)
-	httpSrv := &http.Server{Addr: *addr, Handler: s.Handler()}
+	handler := s.Handler()
+	if coord != nil {
+		handler = coord.Mount(handler)
+	}
+	httpSrv := &http.Server{Addr: *addr, Handler: handler}
 	errc := make(chan error, 1)
 	go func() {
 		fmt.Printf("lfservd: serving on %s\n", *addr)
 		errc <- httpSrv.ListenAndServe()
 	}()
+
+	joinCtx, joinCancel := context.WithCancel(context.Background())
+	defer joinCancel()
+	if *worker {
+		info := fabric.JoinInfo{ID: *name, URL: *advertise, Runners: *runners}
+		if info.URL == "" {
+			host := *addr
+			if strings.HasPrefix(host, ":") {
+				host = "127.0.0.1" + host
+			}
+			info.URL = "http://" + host
+		}
+		if info.ID == "" {
+			info.ID = strings.TrimPrefix(strings.TrimPrefix(info.URL, "http://"), "https://")
+		}
+		go fabric.JoinLoop(joinCtx, *join, info, 5*time.Second, func(format string, args ...any) {
+			fmt.Printf("lfservd: "+format+"\n", args...)
+		})
+	}
 
 	sigc := make(chan os.Signal, 2)
 	signal.Notify(sigc, syscall.SIGINT, syscall.SIGTERM)
@@ -128,8 +215,12 @@ func main() {
 		<-sigc
 		cancel()
 	}()
+	joinCancel()
 	if err := s.Shutdown(ctx); err != nil {
 		fmt.Fprintln(os.Stderr, "lfservd:", err)
+	}
+	if coord != nil {
+		coord.Close()
 	}
 	shutdownCtx, cancel2 := context.WithTimeout(context.Background(), 5*time.Second)
 	defer cancel2()

@@ -1,0 +1,69 @@
+package fabric
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"time"
+)
+
+// JoinLoop registers a worker with its coordinator and keeps re-registering
+// on an interval (default 5s), which doubles as the worker-side heartbeat:
+// a coordinator restart loses its member table, and the next beat rebuilds
+// it without operator action. Runs until ctx is cancelled. Transitions
+// between reachable and unreachable are logged once, not per beat.
+func JoinLoop(ctx context.Context, coordinatorURL string, info JoinInfo, interval time.Duration, logf func(string, ...any)) error {
+	if err := info.validate(); err != nil {
+		return err
+	}
+	if interval <= 0 {
+		interval = 5 * time.Second
+	}
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	body, err := json.Marshal(info)
+	if err != nil {
+		return err
+	}
+	client := &http.Client{Timeout: 5 * time.Second}
+	joined := false
+	attempt := func() {
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost, coordinatorURL+"/fabric/join", bytes.NewReader(body))
+		if err != nil {
+			return
+		}
+		req.Header.Set("Content-Type", "application/json")
+		resp, err := client.Do(req)
+		if err != nil {
+			if joined {
+				logf("fabric: lost coordinator %s: %v (will keep retrying)", coordinatorURL, err)
+				joined = false
+			}
+			return
+		}
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<16))
+		resp.Body.Close()
+		ok := resp.StatusCode == http.StatusOK
+		if ok && !joined {
+			logf("fabric: joined coordinator %s as %s", coordinatorURL, info.ID)
+		}
+		if !ok && joined {
+			logf("fabric: coordinator %s rejected heartbeat: HTTP %d", coordinatorURL, resp.StatusCode)
+		}
+		joined = ok
+	}
+	attempt()
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-ticker.C:
+			attempt()
+		}
+	}
+}

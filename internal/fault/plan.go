@@ -168,6 +168,15 @@ func KindNames() []string {
 	return names
 }
 
+// StreamSeed derives an independent stream seed from a base seed and a lane
+// index, using the same splitmix64 mixing as the plan's per-kind streams.
+// Other chaos layers (the fabric's worker kill/partition/delay injection)
+// reuse it so every injected subsystem draws from provably independent
+// deterministic streams of one base seed.
+func StreamSeed(seed int64, lane int) int64 {
+	return mixSeed(seed, Kind(lane))
+}
+
 // mixSeed derives independent per-kind stream seeds (splitmix64 finalizer).
 func mixSeed(seed int64, k Kind) int64 {
 	z := uint64(seed) + (uint64(k)+1)*0x9e3779b97f4a7c15

@@ -85,7 +85,13 @@ type JobSpec struct {
 
 // JobResult is the successful outcome of a job.
 type JobResult struct {
-	Program   string  `json:"program"`
+	Program string `json:"program"`
+	// Worker names the fabric node that executed the job; empty for local
+	// execution (single-node daemons and fabric degradation). Together with
+	// the view's fingerprint it makes routing decisions debuggable end to
+	// end: the fingerprint says where the job should land, Worker says where
+	// it did.
+	Worker    string  `json:"worker,omitempty"`
 	Cycles    int64   `json:"cycles"`
 	ArchInsts uint64  `json:"arch_insts"`
 	IPC       float64 `json:"ipc"`
@@ -138,6 +144,10 @@ type job struct {
 	// lintRep is the admission preflight's report, kept so the result can
 	// join static region provenance into the per-region profile.
 	lintRep *lint.Report
+	// fingerprint is the job's run-cache fingerprint (sim.Fingerprint of the
+	// resolved program and canonicalised config): the fabric routing key,
+	// surfaced in views and SSE events for end-to-end debuggability.
+	fingerprint string
 
 	ctx    context.Context
 	cancel context.CancelFunc
@@ -159,26 +169,31 @@ type job struct {
 
 // view is the externally visible job state, safe to marshal.
 type jobView struct {
-	ID       string     `json:"id"`
-	Name     string     `json:"name"`
-	Status   string     `json:"status"`
-	Priority string     `json:"priority"`
-	Error    string     `json:"error,omitempty"`
-	Result   *JobResult `json:"result,omitempty"`
-	QueuedMS int64      `json:"queued_ms"`
-	RunMS    int64      `json:"run_ms,omitempty"`
+	ID   string `json:"id"`
+	Name string `json:"name"`
+	// Fingerprint is the run-cache fingerprint the fabric routes on,
+	// reported from acceptance onward so a client can follow a job from
+	// submission to the worker that served it.
+	Fingerprint string     `json:"fingerprint,omitempty"`
+	Status      string     `json:"status"`
+	Priority    string     `json:"priority"`
+	Error       string     `json:"error,omitempty"`
+	Result      *JobResult `json:"result,omitempty"`
+	QueuedMS    int64      `json:"queued_ms"`
+	RunMS       int64      `json:"run_ms,omitempty"`
 }
 
 func (j *job) view() jobView {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	v := jobView{
-		ID:       j.ID,
-		Name:     j.Spec.Name,
-		Status:   j.status,
-		Priority: j.Spec.Priority,
-		Error:    j.errText,
-		Result:   j.result,
+		ID:          j.ID,
+		Name:        j.Spec.Name,
+		Fingerprint: j.fingerprint,
+		Status:      j.status,
+		Priority:    j.Spec.Priority,
+		Error:       j.errText,
+		Result:      j.result,
 	}
 	if !j.started.IsZero() {
 		v.QueuedMS = j.started.Sub(j.submitted).Milliseconds()
@@ -364,6 +379,22 @@ func (s *Server) run(j *job) {
 	}
 	j.setStatus(StatusRunning)
 	timeout := s.timeoutFor(&j.Spec)
+	if s.cfg.Remote != nil {
+		// Remote placement first. The forwarded spec is always synchronous
+		// (async is a coordinator-side concern) and carries the resolved
+		// timeout so the worker enforces the same deadline the coordinator
+		// promised. A fabric with no live workers degrades the job to the
+		// local harness below.
+		spec := j.Spec
+		spec.Async = false
+		if spec.TimeoutMS <= 0 {
+			spec.TimeoutMS = timeout.Milliseconds()
+		}
+		if s.runRemote(j, spec) {
+			return
+		}
+		s.m.degraded.Add(1)
+	}
 	if j.Spec.Sampled {
 		s.runSampled(j, timeout)
 		return
@@ -505,18 +536,21 @@ func classifyError(err error) (status string, httpStatus int, text string) {
 }
 
 // progress is one SSE progress sample read from the live machine snapshot.
+// Remote jobs have no local machine, so their samples carry status and
+// fingerprint only.
 type progress struct {
-	Status    string `json:"status"`
-	Cycles    int64  `json:"cycles"`
-	ArchInsts uint64 `json:"arch_insts"`
-	Spawns    uint64 `json:"spawns"`
-	Retires   uint64 `json:"retires"`
-	Squashes  uint64 `json:"squashes"`
+	Status      string `json:"status"`
+	Fingerprint string `json:"fingerprint,omitempty"`
+	Cycles      int64  `json:"cycles"`
+	ArchInsts   uint64 `json:"arch_insts"`
+	Spawns      uint64 `json:"spawns"`
+	Retires     uint64 `json:"retires"`
+	Squashes    uint64 `json:"squashes"`
 }
 
 // sampleProgress reads the job's live machine, if any.
 func (j *job) sampleProgress() progress {
-	p := progress{Status: j.statusNow()}
+	p := progress{Status: j.statusNow(), Fingerprint: j.fingerprint}
 	if m := j.machine.Load(); m != nil {
 		snap := m.SnapshotStats()
 		p.Cycles = snap.CPU.Cycles

@@ -20,6 +20,8 @@ type serveMetrics struct {
 	admitted    atomic.Uint64
 	rejected    atomic.Uint64 // queue-full 429s
 	lintRejects atomic.Uint64 // preflight 422s
+	remoteJobs  atomic.Uint64 // jobs that reached a terminal state on the fabric
+	degraded    atomic.Uint64 // jobs demoted to local execution (fabric unavailable)
 
 	ringMu  sync.Mutex
 	ring    [latencyRingSize]time.Duration
@@ -77,6 +79,14 @@ func (s *Server) registerMetrics() {
 		}
 		return float64(st.CacheHits+st.CacheFlightJoins) / float64(served)
 	})
+	if s.cfg.Remote != nil {
+		reg.RegisterGauge("serve.RemoteJobs", func() float64 { return float64(s.m.remoteJobs.Load()) })
+		reg.RegisterGauge("serve.DegradedLocal", func() float64 { return float64(s.m.degraded.Load()) })
+		// A fabric coordinator contributes its own fabric.* section.
+		if mr, ok := s.cfg.Remote.(interface{ RegisterMetrics(*telemetry.Registry) }); ok {
+			mr.RegisterMetrics(reg)
+		}
+	}
 	// CollectHarness only fails on a non-struct source; HarnessStats is one.
 	_ = telemetry.CollectHarness(reg, s.harness)
 }

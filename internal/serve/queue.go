@@ -12,6 +12,7 @@ import (
 	"loopfrog/internal/asm"
 	"loopfrog/internal/cpu"
 	"loopfrog/internal/lint"
+	"loopfrog/internal/sim"
 )
 
 // handleSubmit admits one job: decode → validate → resolve program → lint
@@ -104,15 +105,16 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 func (s *Server) newJob(spec JobSpec, prog *asm.Program, cfg cpu.Config, lintRep *lint.Report) *job {
 	ctx, cancel := context.WithCancel(s.baseCtx)
 	j := &job{
-		ID:      fmt.Sprintf("job-%08d", s.seq.Add(1)),
-		Spec:    spec,
-		prog:    prog,
-		cfg:     cfg,
-		lintRep: lintRep,
-		ctx:     ctx,
-		cancel:  cancel,
-		done:    make(chan struct{}),
-		status:  StatusQueued,
+		ID:          fmt.Sprintf("job-%08d", s.seq.Add(1)),
+		Spec:        spec,
+		prog:        prog,
+		cfg:         cfg,
+		lintRep:     lintRep,
+		fingerprint: sim.Fingerprint(cfg, prog),
+		ctx:         ctx,
+		cancel:      cancel,
+		done:        make(chan struct{}),
+		status:      StatusQueued,
 	}
 	j.submitted = time.Now()
 	s.mu.Lock()

@@ -14,7 +14,8 @@
 //	GET  /metrics        telemetry registry snapshot (serve.* + harness.*) as
 //	                     JSON; ?format=prom or Accept: text/plain selects the
 //	                     Prometheus text exposition format
-//	GET  /healthz        200 while serving, 503 while draining
+//	GET  /healthz        liveness: 200 while the process is up (drain state in body)
+//	GET  /readyz         readiness: 200 while accepting jobs, 503 while draining
 //	GET  /v1/version     daemon identity and configuration
 //
 // Degradation is explicit: a full admission queue answers 429 with a
@@ -28,6 +29,7 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"math/rand"
 	"net/http"
 	"runtime"
 	"strings"
@@ -69,6 +71,11 @@ type Config struct {
 	MaxBodyBytes int64
 	// ProgressInterval is the SSE progress sampling period; <= 0 means 200ms.
 	ProgressInterval time.Duration
+	// Remote, when non-nil, executes admitted jobs on the distributed fabric
+	// (internal/fabric) instead of the local harness. The local harness stays
+	// as the degradation path: jobs the fabric cannot place (no live workers)
+	// run locally. See RemoteExecutor in remote.go for the contract.
+	Remote RemoteExecutor
 }
 
 func (c Config) withDefaults() Config {
@@ -170,6 +177,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /readyz", s.handleReadyz)
 	mux.HandleFunc("GET /v1/version", s.handleVersion)
 	return mux
 }
@@ -207,12 +215,24 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	return err
 }
 
+// handleHealthz is the liveness probe: 200 for as long as the process can
+// answer HTTP at all, draining or not. The draining flag rides along so a
+// human hitting the endpoint sees the lifecycle state, but orchestrators must
+// not restart a draining daemon — that is what readiness is for.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"status": "ok", "draining": s.draining.Load()})
+}
+
+// handleReadyz is the readiness probe: 200 while the daemon accepts new jobs,
+// 503 during a graceful drain. The fabric's worker health probes key on this
+// endpoint, so a draining worker is routed around (no new jobs) while its
+// admitted jobs finish — distinct from dead, which requeues in-flight work.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 	if s.draining.Load() {
 		writeJSON(w, http.StatusServiceUnavailable, map[string]any{"status": "draining"})
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]any{"status": "ok"})
+	writeJSON(w, http.StatusOK, map[string]any{"status": "ready"})
 }
 
 func (s *Server) handleVersion(w http.ResponseWriter, r *http.Request) {
@@ -254,16 +274,25 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 }
 
 // retryAfterSeconds estimates how long a rejected client should back off:
-// the queued work divided by the service rate, floored at one second.
+// queue depth times the recent p50 job latency, divided by the runner count,
+// with ±20% jitter so a synchronized cohort of rejected clients does not
+// return as a thundering herd at the same instant. The p50 comes from the
+// completed-job latency ring; before any job has completed it falls back to
+// the harness's mean job time, then to one second. Floored at one second.
 func (s *Server) retryAfterSeconds() int {
 	queued := len(s.interactive) + len(s.sweep) + int(s.m.inflight.Load())
-	st := s.harness.Stats()
-	avg := time.Second
-	if st.Jobs > 0 {
-		avg = time.Duration(st.JobNanos / int64(st.Jobs))
+	p50, _ := s.m.percentiles()
+	if p50 <= 0 {
+		if st := s.harness.Stats(); st.Jobs > 0 {
+			p50 = time.Duration(st.JobNanos / int64(st.Jobs)).Seconds()
+		}
 	}
-	est := time.Duration(queued) * avg / time.Duration(s.cfg.Runners)
-	sec := int(est / time.Second)
+	if p50 <= 0 {
+		p50 = 1
+	}
+	est := float64(queued) * p50 / float64(s.cfg.Runners)
+	est *= 0.8 + 0.4*rand.Float64() // ±20% jitter
+	sec := int(est + 0.5)
 	if sec < 1 {
 		sec = 1
 	}

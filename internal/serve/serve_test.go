@@ -92,9 +92,10 @@ func TestSubmitSync(t *testing.T) {
 		t.Fatalf("status = %d, body %s", resp.StatusCode, payload)
 	}
 	var v struct {
-		ID     string `json:"id"`
-		Status string `json:"status"`
-		Result *struct {
+		ID          string `json:"id"`
+		Status      string `json:"status"`
+		Fingerprint string `json:"fingerprint"`
+		Result      *struct {
 			Cycles    int64  `json:"cycles"`
 			ArchInsts uint64 `json:"arch_insts"`
 		} `json:"result"`
@@ -104,6 +105,9 @@ func TestSubmitSync(t *testing.T) {
 	}
 	if v.Status != "done" || v.Result == nil || v.Result.Cycles <= 0 || v.Result.ArchInsts == 0 {
 		t.Errorf("unexpected terminal view: %s", payload)
+	}
+	if len(v.Fingerprint) != 16 {
+		t.Errorf("view fingerprint = %q, want 16 hex chars (the run-cache routing key)", v.Fingerprint)
 	}
 	// The job stays pollable after completion.
 	pollResp, pollBody := get(t, ts, "/v1/jobs/"+v.ID)
@@ -279,6 +283,12 @@ func TestAsyncPoll(t *testing.T) {
 	if loc == "" {
 		t.Fatal("202 without Location")
 	}
+	var accepted struct {
+		Fingerprint string `json:"fingerprint"`
+	}
+	if err := json.Unmarshal(payload, &accepted); err != nil || len(accepted.Fingerprint) != 16 {
+		t.Errorf("202 view missing routing fingerprint: %s", payload)
+	}
 	deadline := time.Now().Add(10 * time.Second)
 	for {
 		resp, payload = get(t, ts, loc)
@@ -345,13 +355,17 @@ func TestSSEStream(t *testing.T) {
 			data := strings.TrimPrefix(line, "data: ")
 			if event == "progress" {
 				var p struct {
-					Cycles int64 `json:"cycles"`
+					Cycles      int64  `json:"cycles"`
+					Fingerprint string `json:"fingerprint"`
 				}
 				if err := json.Unmarshal([]byte(data), &p); err != nil {
 					t.Fatalf("bad progress %q: %v", data, err)
 				}
 				if p.Cycles < lastCycles {
 					t.Errorf("cycles went backwards: %d -> %d", lastCycles, p.Cycles)
+				}
+				if len(p.Fingerprint) != 16 {
+					t.Errorf("progress event missing routing fingerprint: %q", data)
 				}
 				lastCycles = p.Cycles
 				progressSamples++
@@ -514,15 +528,21 @@ func TestMetricsAndVersionEndpoints(t *testing.T) {
 	if resp.StatusCode != http.StatusOK || !bytes.Contains(payload, []byte(`"ok"`)) {
 		t.Errorf("/healthz: %d %s", resp.StatusCode, payload)
 	}
+	resp, payload = get(t, ts, "/readyz")
+	if resp.StatusCode != http.StatusOK || !bytes.Contains(payload, []byte(`"ready"`)) {
+		t.Errorf("/readyz: %d %s", resp.StatusCode, payload)
+	}
 	resp, payload = get(t, ts, "/v1/version")
 	if resp.StatusCode != http.StatusOK || !bytes.Contains(payload, []byte("lfservd")) {
 		t.Errorf("/v1/version: %d %s", resp.StatusCode, payload)
 	}
 }
 
-// TestDrainingRejectsAndHealthzFlips: once Shutdown begins, healthz answers
-// 503 and new submissions are refused while admitted jobs complete.
-func TestDrainingRejectsAndHealthzFlips(t *testing.T) {
+// TestDrainingRejectsAndReadyzFlips: once Shutdown begins, readyz answers 503
+// (the readiness probe takes the node out of rotation) while healthz stays
+// 200 with the draining flag (the process is still alive), and new
+// submissions are refused while admitted jobs complete.
+func TestDrainingRejectsAndReadyzFlips(t *testing.T) {
 	s := serve.New(serve.Config{})
 	ts := httptest.NewServer(s.Handler())
 	defer ts.Close()
@@ -536,7 +556,7 @@ func TestDrainingRejectsAndHealthzFlips(t *testing.T) {
 	// goroutine a beat to be scheduled.
 	var code int
 	for i := 0; i < 100; i++ {
-		resp, _ := get(t, ts, "/healthz")
+		resp, _ := get(t, ts, "/readyz")
 		code = resp.StatusCode
 		if code == http.StatusServiceUnavailable {
 			break
@@ -544,9 +564,16 @@ func TestDrainingRejectsAndHealthzFlips(t *testing.T) {
 		time.Sleep(10 * time.Millisecond)
 	}
 	if code != http.StatusServiceUnavailable {
-		t.Fatalf("healthz while draining = %d, want 503", code)
+		t.Fatalf("readyz while draining = %d, want 503", code)
 	}
-	resp, _ := post(t, ts, map[string]any{"asm": trivialAsm})
+	resp, payload := get(t, ts, "/healthz")
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("healthz while draining = %d, want 200 (liveness)", resp.StatusCode)
+	}
+	if !bytes.Contains(payload, []byte(`"draining": true`)) {
+		t.Errorf("healthz body does not report draining: %s", payload)
+	}
+	resp, _ = post(t, ts, map[string]any{"asm": trivialAsm})
 	if resp.StatusCode != http.StatusServiceUnavailable {
 		t.Errorf("submit while draining = %d, want 503", resp.StatusCode)
 	}

@@ -3,6 +3,8 @@ package sim
 import (
 	"container/list"
 	"context"
+	"crypto/sha256"
+	"encoding/hex"
 	"fmt"
 	"runtime/debug"
 	"sync"
@@ -48,6 +50,16 @@ func CanonicalConfig(cfg cpu.Config) cpu.Config {
 // complete, deterministic fingerprint with no collision risk from hashing.
 func CacheKey(cfg cpu.Config, prog *asm.Program) string {
 	return prog.Fingerprint() + "|" + fmt.Sprintf("%+v", CanonicalConfig(cfg))
+}
+
+// Fingerprint returns a short, stable hex fingerprint of the run-cache key
+// for (cfg, prog). It is the job's routing identity in the distributed fabric
+// — the consistent-hash ring keys on it so identical (program, config) jobs
+// land on the worker that already has the run cached — and the debuggable
+// form surfaced in job-accepted responses and SSE progress events.
+func Fingerprint(cfg cpu.Config, prog *asm.Program) string {
+	sum := sha256.Sum256([]byte(CacheKey(cfg, prog)))
+	return hex.EncodeToString(sum[:8])
 }
 
 // cacheEntry is one singleflight slot: the first arrival runs the simulation
