@@ -28,6 +28,7 @@ import (
 	"sync"
 	"time"
 
+	"loopfrog/internal/experiments"
 	"loopfrog/internal/fabric"
 	"loopfrog/internal/serve"
 )
@@ -123,17 +124,15 @@ type fabricPhase struct {
 }
 
 type fabricReport struct {
-	Schema    string      `json:"schema"`
-	Command   string      `json:"command"`
-	Nodes     int         `json:"nodes"`
-	Cores     int         `json:"cores"`
-	Sweeps    int         `json:"sweep_lanes"`
-	Repeats   int         `json:"repeats"`
-	Jobs      int         `json:"jobs"`
-	Capacity  fabricPhase `json:"capacity"`
-	Affinity  fabricPhase `json:"affinity"`
-	Speedup   float64     `json:"speedup"` // the capacity phase's headline number
-	Generated string      `json:"generated"`
+	Schema   string           `json:"schema"`
+	Meta     experiments.Meta `json:"meta"`
+	Nodes    int              `json:"nodes"`
+	Sweeps   int              `json:"sweep_lanes"`
+	Repeats  int              `json:"repeats"`
+	Jobs     int              `json:"jobs"`
+	Capacity fabricPhase      `json:"capacity"`
+	Affinity fabricPhase      `json:"affinity"`
+	Speedup  float64          `json:"speedup"` // the capacity phase's headline number
 }
 
 func hitRate(hits, misses uint64) float64 {
@@ -263,17 +262,15 @@ func runFabric(jsonPath string, lanes, repeats int) bool {
 	printFabricPhase("affinity", affinity)
 
 	rep := fabricReport{
-		Schema:    "lfbench/fabric/v1",
-		Command:   "lfbench -fabric -fabricjson " + jsonPath,
-		Nodes:     fabricNodes,
-		Cores:     runtime.GOMAXPROCS(0),
-		Sweeps:    lanes,
-		Repeats:   repeats,
-		Jobs:      len(jobs),
-		Capacity:  capacity,
-		Affinity:  affinity,
-		Speedup:   capacity.Speedup,
-		Generated: time.Now().UTC().Format(time.RFC3339),
+		Schema:   "lfbench/fabric/v1",
+		Meta:     experiments.NewMeta("lfbench -fabric -fabricjson " + jsonPath),
+		Nodes:    fabricNodes,
+		Sweeps:   lanes,
+		Repeats:  repeats,
+		Jobs:     len(jobs),
+		Capacity: capacity,
+		Affinity: affinity,
+		Speedup:  capacity.Speedup,
 	}
 	out, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {

@@ -53,7 +53,6 @@ import (
 	"runtime/pprof"
 	"sort"
 	"strings"
-	"time"
 
 	"loopfrog/internal/cpu"
 	"loopfrog/internal/experiments"
@@ -81,6 +80,8 @@ func main() {
 	spectreJSON := flag.String("spectrejson", "", "with the leak study, write BENCH_spectre.json here")
 	fabricFlag := flag.Bool("fabric", false, "run the distributed-sweep throughput study (3 in-process nodes vs 1) and exit")
 	fabricJSON := flag.String("fabricjson", "BENCH_fabric.json", "with the fabric study, write the comparison here")
+	tuneFlag := flag.Bool("tune", false, "run the autotuned-vs-static hint-selection study and exit")
+	tuneJSON := flag.String("tunejson", "BENCH_tune.json", "with the tune study, write the table and search-cost curve here")
 	parallel := flag.Int("parallel", 0, "simulation worker count (0 = all cores)")
 	reportPath := flag.String("report", "", "write the suite-wide per-region speculation profile (lfreport suite JSON) to this file")
 	metricsPath := flag.String("metrics", "", "write harness telemetry JSON to this file on exit")
@@ -132,6 +133,13 @@ func main() {
 
 	if *fabricFlag {
 		if !runFabric(*fabricJSON, 8, 3) {
+			os.Exit(1)
+		}
+		return
+	}
+
+	if *tuneFlag {
+		if !runTuneStudy(*tuneJSON, *quick) {
 			os.Exit(1)
 		}
 		return
@@ -347,12 +355,76 @@ func runSampled(suite []*workloads.Benchmark, jsonPath string) bool {
 	return len(fails) == 0
 }
 
+// runTuneStudy runs the autotuned-vs-static study: the budgeted hint
+// autotuner over the study suite at each budget of the search-cost curve,
+// every winner gated against the static selection. Returns false on any
+// gate breach.
+func runTuneStudy(jsonPath string, quick bool) bool {
+	suite := experiments.TuneSuite()
+	budgets := experiments.DefaultTuneBudgets()
+	if quick {
+		if len(suite) > 3 {
+			suite = suite[:3]
+		}
+		budgets = budgets[:1]
+	}
+	pts, err := experiments.TuneStudy(suite, budgets)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lfbench:", err)
+		return false
+	}
+	fmt.Print(experiments.FormatTune(pts))
+	if jsonPath != "" {
+		if err := writeTuneJSON(jsonPath, budgets, pts); err != nil {
+			fmt.Fprintln(os.Stderr, "lfbench:", err)
+			return false
+		}
+		fmt.Printf("wrote %s\n", jsonPath)
+	}
+	fails := experiments.TuneFailures(pts)
+	for _, f := range fails {
+		fmt.Fprintln(os.Stderr, "lfbench: FAIL:", f)
+	}
+	if len(fails) == 0 {
+		fmt.Println("autotuning gate: PASS")
+	}
+	return len(fails) == 0
+}
+
+// tuneReport is the BENCH_tune.json schema.
+type tuneReport struct {
+	Description string                  `json:"description"`
+	Meta        experiments.Meta        `json:"meta"`
+	Budgets     []int                   `json:"budgets"`
+	BeatsStatic int                     `json:"beats_static"`
+	Curve       []experiments.TunePoint `json:"curve"`
+}
+
+func writeTuneJSON(path string, budgets []int, pts []experiments.TunePoint) error {
+	rep := tuneReport{
+		Description: "Budgeted hint autotuning: per workload and per evaluation budget, the successive-halving search's winning variant against the compiler's static hint selection. Scores are speedups over the shared hints-as-NOPs baseline at the deepest tier each side reached; spent is the search cost actually consumed in rung-0-equivalent units; beats_static counts workloads whose largest-budget winner strictly improves on the static selection.",
+		Meta:        experiments.NewMeta("lfbench -tune -tunejson BENCH_tune.json"),
+		Budgets:     budgets,
+		BeatsStatic: experiments.TuneBeats(pts),
+		Curve:       pts,
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
 // sampledReport is the BENCH_sampled.json schema.
 type sampledReport struct {
 	Description string                     `json:"description"`
-	Date        string                     `json:"date"`
-	Host        string                     `json:"host"`
-	Command     string                     `json:"command"`
+	Meta        experiments.Meta           `json:"meta"`
 	Workloads   []string                   `json:"workloads"`
 	Budgets     map[string]float64         `json:"budgets_pct"`
 	Outliers    []string                   `json:"outliers"`
@@ -371,9 +443,7 @@ func writeSampledJSON(path string, suite []*workloads.Benchmark, points []experi
 	sort.Strings(outliers)
 	rep := sampledReport{
 		Description: "Two-tier sampled simulation: accuracy-vs-speedup curve. Each point estimates every workload's baseline and LoopFrog cycle count from fast-functional tier-1 warming plus detailed windows, compared against full detailed runs. sim_speedup is full-pair wall time over sampled-pair wall time on this host; windows fan out over the worker pool, so multi-core hosts scale it by the core count.",
-		Date:        time.Now().Format("2006-01-02"),
-		Host:        fmt.Sprintf("%s/%s, %d cores", runtime.GOOS, runtime.GOARCH, runtime.NumCPU()),
-		Command:     "lfbench -sampled -sampledjson BENCH_sampled.json",
+		Meta:        experiments.NewMeta("lfbench -sampled -sampledjson BENCH_sampled.json"),
 		Workloads:   names,
 		Budgets:     map[string]float64{"default": 100 * experiments.SampledErrBudget, "outlier": 100 * experiments.SampledOutlierBudget},
 		Outliers:    outliers,
@@ -423,18 +493,14 @@ func runSpectre(suite []*workloads.Benchmark, jsonPath string) bool {
 // spectreReport is the BENCH_spectre.json schema.
 type spectreReport struct {
 	Description string                   `json:"description"`
-	Date        string                   `json:"date"`
-	Host        string                   `json:"host"`
-	Command     string                   `json:"command"`
+	Meta        experiments.Meta         `json:"meta"`
 	Rows        []experiments.SpectreRow `json:"rows"`
 }
 
 func writeSpectreJSON(path string, rows []experiments.SpectreRow) error {
 	rep := spectreReport{
 		Description: "Speculative-leak study: per-workload taint-detection leak profile (candidates = transient loads whose taint-derived address reached the cache; leaks = candidates confirmed by a squash) and the cycle cost of the ShadowBinding-style DelaySpeculativeLoadDeps mitigation, which holds dependents of speculative loads until promotion. Detection is metadata-only, so detect_cycles equals the stock LoopFrog cycle count; cost_pct is the mitigation's price against it.",
-		Date:        time.Now().Format("2006-01-02"),
-		Host:        fmt.Sprintf("%s/%s, %d cores", runtime.GOOS, runtime.GOARCH, runtime.NumCPU()),
-		Command:     "lfbench -spectre -spectrejson BENCH_spectre.json",
+		Meta:        experiments.NewMeta("lfbench -spectre -spectrejson BENCH_spectre.json"),
 		Rows:        rows,
 	}
 	f, err := os.Create(path)

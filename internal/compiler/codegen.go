@@ -240,7 +240,11 @@ func (g *codegen) inst(in irInst) error {
 	meta := isa.OpMeta(in.op)
 	switch {
 	case meta.IsHint:
+		// Hints carry the source line of their loop so lint regions can be
+		// joined back to @loopfrog sites by downstream tooling.
+		g.b.Line(in.line)
 		g.b.Hint(in.op, g.blockLabel(in.target))
+		g.b.Line(0)
 	case in.op == isa.LI && in.sym != "":
 		g.b.La(g.dstReg(in.dst), in.sym)
 		g.flushDst(in.dst)

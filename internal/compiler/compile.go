@@ -17,12 +17,37 @@ type arrayAlloc struct {
 	length int64
 }
 
-// compilation is cross-function state: the float constant pool and static
-// storage for local arrays.
+// compilation is cross-function state: the float constant pool, static
+// storage for local arrays, and the @loopfrog loop sites encountered.
 type compilation struct {
 	floatConsts map[uint64]string
 	floatOrder  []uint64
 	localArrays []arrayAlloc
+	sites       []LoopSite
+}
+
+// Options parameterise one compilation into a hint variant. The zero value
+// is the compiler's static default (every legal @loopfrog loop gets hints).
+type Options struct {
+	// Deselect holds source lines of @loopfrog loops to compile as plain
+	// loops — the hint-placement axis of the autotuner's variant space. Lines
+	// not naming an annotated loop are ignored (the variant is simply the
+	// static default there), so a mask outlives small source edits.
+	Deselect map[int]bool
+}
+
+// LoopSite is one @loopfrog-annotated loop the compiler saw: the unit of the
+// autotuner's per-loop hint mask. Selected reports whether this compilation
+// emitted hints for it; when false, Reason says why (static de-selection or
+// the variant mask).
+type LoopSite struct {
+	// Func is the enclosing function; Line the source line of the `for`.
+	Func string `json:"func"`
+	Line int    `json:"line"`
+	// Selected reports whether hints were emitted for the loop.
+	Selected bool `json:"selected"`
+	// Reason is empty for selected loops; otherwise the de-selection cause.
+	Reason string `json:"reason,omitempty"`
 }
 
 func (c *compilation) floatConst(v float64) string {
@@ -36,25 +61,44 @@ func (c *compilation) floatConst(v float64) string {
 	return s
 }
 
-// Compile compiles LoopLang source into a program image. Diagnostics report
-// loops that asked for @loopfrog but could not be parallelised.
+// Compile compiles LoopLang source into a program image with the static
+// default hint selection. Diagnostics report loops that asked for @loopfrog
+// but could not be parallelised.
 func Compile(name, src string) (*asm.Program, Diagnostics, error) {
+	return CompileOpts(name, src, Options{})
+}
+
+// CompileOpts is Compile parameterised by a hint variant.
+func CompileOpts(name, src string, opts Options) (*asm.Program, Diagnostics, error) {
+	prog, diags, _, err := compile(name, src, opts)
+	return prog, diags, err
+}
+
+// Loops reports every @loopfrog loop site in src under the static default
+// selection, without building an image. The autotuner enumerates its variant
+// space from this list.
+func Loops(src string) ([]LoopSite, error) {
+	_, _, sites, err := compile("loops", src, Options{})
+	return sites, err
+}
+
+func compile(name, src string, opts Options) (*asm.Program, Diagnostics, []LoopSite, error) {
 	file, err := Parse(src)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
 	chk, err := check(file)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
 	ctx := &compilation{floatConsts: make(map[uint64]string)}
 
 	var funcs []*irFunc
 	var diags Diagnostics
 	for _, fn := range file.Funcs {
-		f, err := lowerFunc(chk, ctx, fn)
+		f, err := lowerFunc(chk, ctx, opts, fn)
 		if err != nil {
-			return nil, nil, err
+			return nil, nil, nil, err
 		}
 		diags = append(diags, f.diag...)
 		funcs = append(funcs, f)
@@ -68,7 +112,7 @@ func Compile(name, src string) (*asm.Program, Diagnostics, error) {
 	for _, f := range funcs {
 		al := allocate(f)
 		if err := genFunc(f, al, b); err != nil {
-			return nil, nil, err
+			return nil, nil, nil, err
 		}
 	}
 
@@ -93,9 +137,9 @@ func Compile(name, src string) (*asm.Program, Diagnostics, error) {
 
 	prog, err := b.Build()
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
-	return prog, diags, nil
+	return prog, diags, ctx.sites, nil
 }
 
 // MustCompile is Compile that panics on error; for tests and statically
@@ -121,7 +165,7 @@ func DumpIR(src string) (string, error) {
 	ctx := &compilation{floatConsts: make(map[uint64]string)}
 	out := ""
 	for _, fn := range file.Funcs {
-		f, err := lowerFunc(chk, ctx, fn)
+		f, err := lowerFunc(chk, ctx, Options{}, fn)
 		if err != nil {
 			return "", err
 		}

@@ -39,6 +39,11 @@ type irInst struct {
 	// block that starts the continuation; its first-instruction address is
 	// the region ID).
 	target int
+	// line is the source line the instruction originates from (0 = unknown).
+	// Only hints carry it today: the emitted image then maps every region
+	// back to its source loop, which is how the autotuner joins lint regions
+	// to per-loop variant choices.
+	line int
 }
 
 func (i irInst) String() string {

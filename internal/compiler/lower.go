@@ -24,6 +24,7 @@ type loopCtx struct {
 type lowerer struct {
 	c      *checker
 	ctx    *compilation
+	opts   Options
 	f      *irFunc
 	blocks []*irBlock
 	labels map[labelID]int // labelID -> block index
@@ -32,10 +33,11 @@ type lowerer struct {
 	seq    int
 }
 
-func lowerFunc(c *checker, ctx *compilation, fn *FuncDecl) (*irFunc, error) {
+func lowerFunc(c *checker, ctx *compilation, opts Options, fn *FuncDecl) (*irFunc, error) {
 	lo := &lowerer{
 		c:      c,
 		ctx:    ctx,
+		opts:   opts,
 		f:      &irFunc{name: fn.Name, params: fn.Params, ret: fn.Ret},
 		labels: make(map[labelID]int),
 	}
@@ -123,8 +125,10 @@ func (lo *lowerer) branch(op isa.Opcode, a, b vreg, lb labelID) {
 	lo.newBlock()
 }
 
-func (lo *lowerer) hint(op isa.Opcode, lb labelID) {
-	lo.emit(irInst{op: op, dst: noReg, a: noReg, b: noReg, target: int(lb)})
+// hint emits a LoopFrog hint carrying the source line of the loop it
+// belongs to, so the assembled image can map the region back to the loop.
+func (lo *lowerer) hint(op isa.Opcode, lb labelID, line int) {
+	lo.emit(irInst{op: op, dst: noReg, a: noReg, b: noReg, target: int(lb), line: line})
 }
 
 func (lo *lowerer) block(b *Block) error {
@@ -278,6 +282,18 @@ func (lo *lowerer) forStmt(st *ForStmt) error {
 
 	headLbl, exitLbl := lo.newLabel(), lo.newLabel()
 
+	if st.LoopFrog && lo.opts.Deselect[st.Line] {
+		// Variant deselection: the loop keeps its annotation in the source but
+		// this compilation treats it as a plain loop. Recorded so variant
+		// reports can distinguish "masked off" from "statically rejected".
+		lo.ctx.sites = append(lo.ctx.sites, LoopSite{
+			Func: lo.f.name, Line: st.Line, Selected: false,
+			Reason: "deselected by variant mask",
+		})
+		st.LoopFrog = false // each compilation re-parses, so this is variant-local
+		return lo.forStmt(st)
+	}
+
 	if !st.LoopFrog {
 		contLbl := lo.newLabel()
 		lo.jumpFallthrough(headLbl)
@@ -299,9 +315,15 @@ func (lo *lowerer) forStmt(st *ForStmt) error {
 	if run.len() == 0 {
 		lo.f.diag = append(lo.f.diag,
 			fmt.Sprintf("%s:%d: loop not parallelised: %s", lo.f.name, st.Line, diag))
+		lo.ctx.sites = append(lo.ctx.sites, LoopSite{
+			Func: lo.f.name, Line: st.Line, Selected: false, Reason: diag,
+		})
 		st.LoopFrog = false // static de-selection: compile as a plain loop
 		return lo.forStmt(st)
 	}
+	lo.ctx.sites = append(lo.ctx.sites, LoopSite{
+		Func: lo.f.name, Line: st.Line, Selected: true,
+	})
 
 	contLbl := lo.newLabel()     // continuation block: the region ID
 	reattachLbl := lo.newLabel() // continue target inside the body
@@ -316,7 +338,7 @@ func (lo *lowerer) forStmt(st *ForStmt) error {
 			return err
 		}
 	}
-	lo.hint(isa.DETACH, contLbl)
+	lo.hint(isa.DETACH, contLbl, st.Line)
 	// Body: the parallel run.
 	for _, s := range st.Body.Stmts[run.start:run.end] {
 		if err := lo.stmt(s); err != nil {
@@ -324,7 +346,7 @@ func (lo *lowerer) forStmt(st *ForStmt) error {
 		}
 	}
 	lo.bindLabel(reattachLbl)
-	lo.hint(isa.REATTACH, contLbl)
+	lo.hint(isa.REATTACH, contLbl, st.Line)
 	// Continuation: trailing statements, IV update, backedge.
 	cb := lo.bindLabel(contLbl)
 	lo.blocks[cb].isCont = true
@@ -337,7 +359,7 @@ func (lo *lowerer) forStmt(st *ForStmt) error {
 	lo.opImm(isa.ADDI, iv, iv, 1)
 	lo.jump(headLbl)
 	lo.bindLabel(syncLbl)
-	lo.hint(isa.SYNC, contLbl)
+	lo.hint(isa.SYNC, contLbl, st.Line)
 	lo.bindLabel(exitLbl)
 	return nil
 }

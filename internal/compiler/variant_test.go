@@ -1,0 +1,100 @@
+package compiler
+
+import (
+	"testing"
+
+	"loopfrog/internal/isa"
+)
+
+const twoLoopSrc = `
+var xs: [64]int;
+var ys: [64]int;
+
+fn main() -> int {
+    @loopfrog
+    for i in 0..64 {
+        xs[i] = i * 3 + 1;
+    }
+    var s: int = 0;
+    @loopfrog
+    for i in 0..64 {
+        ys[i] = xs[i] * xs[i];
+    }
+    for i in 0..64 {
+        s = s + ys[i];
+    }
+    return s;
+}`
+
+func TestLoopsReportsSites(t *testing.T) {
+	sites, err := Loops(twoLoopSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sites) != 2 {
+		t.Fatalf("want 2 sites, got %+v", sites)
+	}
+	for _, s := range sites {
+		if !s.Selected || s.Func != "main" || s.Line == 0 {
+			t.Fatalf("bad site %+v", s)
+		}
+	}
+}
+
+func TestDeselectMaskChangesImage(t *testing.T) {
+	sites, err := Loops(twoLoopSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, _, err := CompileOpts("t", twoLoopSrc, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	masked, _, err := CompileOpts("t", twoLoopSrc,
+		Options{Deselect: map[int]bool{sites[0].Line: true}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.Fingerprint() == masked.Fingerprint() {
+		t.Fatal("deselect mask did not change the image")
+	}
+	// A mask naming no annotated loop is the static default.
+	same, _, err := CompileOpts("t", twoLoopSrc,
+		Options{Deselect: map[int]bool{9999: true}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.Fingerprint() != same.Fingerprint() {
+		t.Fatal("no-op mask changed the image")
+	}
+}
+
+func TestHintLineProvenance(t *testing.T) {
+	sites, err := Loops(twoLoopSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, _, err := CompileOpts("t", twoLoopSrc, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[int]bool{}
+	for _, s := range sites {
+		want[s.Line] = false
+	}
+	for i, in := range prog.Insts {
+		if !isa.OpMeta(in.Op).IsHint {
+			continue
+		}
+		line := prog.Lines[i]
+		if _, ok := want[line]; !ok {
+			t.Fatalf("hint at pc %d has line %d, not an @loopfrog site", i, line)
+		}
+		want[line] = true
+	}
+	for line, seen := range want {
+		if !seen {
+			t.Fatalf("no hint carries line %d", line)
+		}
+	}
+}

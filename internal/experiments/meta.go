@@ -1,0 +1,62 @@
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"runtime/debug"
+	"time"
+)
+
+// Meta identifies the environment a benchmark JSON artifact was produced in:
+// the host shape, the Go toolchain, and the repository commit baked into the
+// binary by the Go build system. Every lfbench JSON writer embeds one, so
+// artifacts are comparable across machines and revisions without guessing
+// from file dates.
+type Meta struct {
+	// Date is the generation time (UTC, RFC 3339).
+	Date string `json:"date"`
+	// Host is the GOOS/GOARCH pair; Cores the logical CPU count the
+	// simulations fanned over.
+	Host  string `json:"host"`
+	Cores int    `json:"cores"`
+	// GoVersion is the toolchain that built the generating binary.
+	GoVersion string `json:"go_version"`
+	// Commit is the VCS revision stamped into the binary (12 hex chars,
+	// "-dirty" suffix preserved); empty when the binary was built outside a
+	// checkout (go run, test binaries).
+	Commit string `json:"commit,omitempty"`
+	// Command reproduces the artifact.
+	Command string `json:"command"`
+}
+
+// NewMeta collects the environment for one artifact. command is the lfbench
+// invocation that reproduces it.
+func NewMeta(command string) Meta {
+	m := Meta{
+		Date:      time.Now().UTC().Format(time.RFC3339),
+		Host:      fmt.Sprintf("%s/%s", runtime.GOOS, runtime.GOARCH),
+		Cores:     runtime.NumCPU(),
+		GoVersion: runtime.Version(),
+		Command:   command,
+	}
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		var rev string
+		dirty := false
+		for _, s := range bi.Settings {
+			switch s.Key {
+			case "vcs.revision":
+				rev = s.Value
+			case "vcs.modified":
+				dirty = s.Value == "true"
+			}
+		}
+		if len(rev) > 12 {
+			rev = rev[:12]
+		}
+		if rev != "" && dirty {
+			rev += "-dirty"
+		}
+		m.Commit = rev
+	}
+	return m
+}

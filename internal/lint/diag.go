@@ -122,6 +122,23 @@ const (
 	CodeGadgetInRegion = "LF303"
 )
 
+// DiagData is the machine-readable payload of a profitability note, so
+// tooling (the lftune pruner, dashboards) consumes structured fields instead
+// of parsing message strings. Only the fields relevant to the diagnostic's
+// code are set.
+type DiagData struct {
+	// LF201: the epoch interior size and the spawn/checkpoint threshold it
+	// fell below.
+	EpochInsts    int `json:"epoch_insts,omitempty"`
+	MinEpochInsts int `json:"min_epoch_insts,omitempty"`
+	// LF202: the store base's advance per iteration in bytes (absent when
+	// Invariant), whether the base is loop-invariant, and the SSB granule the
+	// conflict happens within.
+	StrideBytes  int64 `json:"stride_bytes,omitempty"`
+	Invariant    bool  `json:"invariant,omitempty"`
+	GranuleBytes int64 `json:"granule_bytes,omitempty"`
+}
+
 // Diagnostic is one linter finding, positioned on an instruction.
 type Diagnostic struct {
 	Code     string   `json:"code"`
@@ -141,6 +158,9 @@ type Diagnostic struct {
 	// instruction pcs from the speculative source load through the tainting
 	// defs to the sink, in order.
 	Witness []int `json:"witness,omitempty"`
+	// Data, set on LF2xx findings, carries the note's quantities in
+	// machine-readable form.
+	Data *DiagData `json:"data,omitempty"`
 }
 
 // Position renders the human-readable location prefix: "file:line" when line
@@ -177,6 +197,17 @@ type RegionInfo struct {
 	// and sync terminators across all of its detaches.
 	Reattaches int `json:"reattaches"`
 	Syncs      int `json:"syncs"`
+	// EstGranule estimates the fresh SSB granule footprint one iteration
+	// claims, in bytes: the largest per-iteration advance among epoch-body
+	// store bases. 0 means the body has no analysable stores (or every store
+	// base is loop-invariant, the LF202 worst case).
+	EstGranule int64 `json:"est_granule"`
+	// TripBound is a static upper bound on the driving loop's trip count,
+	// derived from a constant-limit exit branch; 0 when not derivable.
+	TripBound int64 `json:"trip_bound,omitempty"`
+	// StoreDensity is the fraction of epoch-body instructions that are
+	// stores (stack traffic excluded).
+	StoreDensity float64 `json:"store_density"`
 }
 
 // Report is the result of linting one program.

@@ -115,7 +115,7 @@ func Run(p *asm.Program, opts Options) *Report {
 	checkLoopCarried(g, regions, rep)
 	checkProfitability(g, regions, opts, rep)
 	checkSpectre(g, regions, rep)
-	rep.Regions = regionTable(p, regions)
+	rep.Regions = regionTable(g, regions)
 	rep.sortAndPosition(p)
 	return rep
 }
@@ -124,7 +124,8 @@ func Run(p *asm.Program, opts Options) *Report {
 // regions, one row per region ID sorted ascending. Several detaches naming
 // the same continuation merge into one row: the first detach provides the
 // provenance anchor and body size, terminator counts accumulate.
-func regionTable(p *asm.Program, regions []*region) []RegionInfo {
+func regionTable(g *cfg, regions []*region) []RegionInfo {
+	p := g.prog
 	idx := make(map[int64]int, len(regions))
 	var out []RegionInfo
 	for _, r := range regions {
@@ -145,6 +146,7 @@ func regionTable(p *asm.Program, regions []*region) []RegionInfo {
 					info.Label = fmt.Sprintf("%s+%d", name, off)
 				}
 			}
+			regionShape(g, r, &info)
 			out = append(out, info)
 		}
 		out[i].Reattaches += len(r.reattaches)

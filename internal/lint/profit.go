@@ -20,35 +20,49 @@ func checkProfitability(g *cfg, regions []*region, opts Options, rep *Report) {
 			rep.add(Diagnostic{
 				Code: CodeShortEpoch, Severity: SevInfo, PC: r.detachPC, Region: r.id,
 				Message: fmt.Sprintf("epoch body of region %d is %d instruction(s), below the ~%d-instruction spawn/checkpoint cost: speculation cannot pay for itself", r.id, n, opts.MinEpochInsts),
+				Data:    &DiagData{EpochInsts: n, MinEpochInsts: opts.MinEpochInsts},
 			})
 		}
 		checkGranuleConflicts(g, r, opts, rep)
 	}
 }
 
-// checkGranuleConflicts flags stores in the epoch body whose address lands in
-// the same SSB granule every iteration: a loop-invariant base register, or a
-// base advanced by a stride smaller than the granule.
-func checkGranuleConflicts(g *cfg, r *region, opts Options, rep *Report) {
+// loopShape summarises the iteration behaviour of the natural loop driving a
+// region: which registers change across an iteration, the constant
+// self-increment of single-def induction registers, and a static trip-count
+// bound when one exit branch compares an induction register against a
+// constant limit.
+type loopShape struct {
+	loopDefs regSet
+	selfInc  map[isa.Reg]int64
+	multiDef map[isa.Reg]bool
+	body     map[int]bool // block indices of the driving natural loop
+	trip     int64        // static trip-count upper bound, 0 = unknown
+}
+
+// regionLoopShape computes the loopShape of the innermost natural loop
+// containing both a region's detach and its continuation; nil when the
+// region is not loop-driven (nothing to leapfrog, LF103 territory).
+func regionLoopShape(g *cfg, r *region) *loopShape {
 	cont := int(r.id)
 	if cont < 0 || cont >= len(g.prog.Insts) {
-		return
+		return nil
 	}
 	dbi, cbi := g.blockOf[r.detachPC], g.blockOf[cont]
 	f := g.funcContaining(dbi)
 	if f == nil || !f.inSet[cbi] {
-		return
+		return nil
 	}
 	lp := innermostLoopWith(g.naturalLoops(f), dbi, cbi)
 	if lp == nil {
-		return
+		return nil
 	}
 
-	// Registers that change across an iteration, and for each register the
-	// constant self-increment if `addi r, r, c` is its only def in the loop.
-	var loopDefs regSet
-	selfInc := make(map[isa.Reg]int64)
-	multiDef := make(map[isa.Reg]bool)
+	sh := &loopShape{
+		selfInc:  make(map[isa.Reg]int64),
+		multiDef: make(map[isa.Reg]bool),
+		body:     lp.body,
+	}
 	for bi := range lp.body {
 		b := &g.blocks[bi]
 		for pc := b.Start; pc < b.End; pc++ {
@@ -60,17 +74,120 @@ func checkGranuleConflicts(g *cfg, r *region, opts Options, rep *Report) {
 				}
 			}
 			for _, reg := range defs.regs() {
-				if loopDefs.has(reg) {
-					multiDef[reg] = true
+				if sh.loopDefs.has(reg) {
+					sh.multiDef[reg] = true
 				}
-				loopDefs.add(reg)
+				sh.loopDefs.add(reg)
 			}
 			if in.Op == isa.ADDI && in.Rd == in.Rs1 && in.Rd != regZero {
-				selfInc[in.Rd] = in.Imm
+				sh.selfInc[in.Rd] = in.Imm
 			}
 		}
 	}
+	sh.trip = tripBound(g, f, lp, sh)
+	return sh
+}
 
+// induction reports the per-iteration stride of reg: it must be written
+// exactly once in the loop, by a constant self-increment.
+func (sh *loopShape) induction(reg isa.Reg) (int64, bool) {
+	if sh.multiDef[reg] {
+		return 0, false
+	}
+	c, ok := sh.selfInc[reg]
+	return c, ok
+}
+
+// tripBound derives a static upper bound on the loop's trip count from an
+// exit branch of the compiler's counted-loop shape: a conditional comparing
+// an induction register (stride s > 0) against a loop-invariant register
+// whose only definition in the function is `li limit, c`. Assuming a
+// non-negative start, the loop runs at most ceil(c/s) iterations. Returns 0
+// when no exit branch matches.
+func tripBound(g *cfg, f *fn, lp *natLoop, sh *loopShape) int64 {
+	for bi := range lp.body {
+		b := &g.blocks[bi]
+		if b.End <= b.Start {
+			continue
+		}
+		pc := b.End - 1
+		in := g.prog.Insts[pc]
+		if classify(in) != kindBranch {
+			continue
+		}
+		exits := false
+		for _, s := range b.Succs {
+			if !lp.body[s] {
+				exits = true
+			}
+		}
+		if !exits {
+			continue
+		}
+		for _, pair := range [2][2]isa.Reg{{in.Rs1, in.Rs2}, {in.Rs2, in.Rs1}} {
+			iv, lim := pair[0], pair[1]
+			s, ok := sh.induction(iv)
+			if !ok || s <= 0 || sh.loopDefs.has(lim) {
+				continue
+			}
+			if c, ok := constAt(g, pc, lim, 0); ok && c > 0 {
+				return (c + s - 1) / s
+			}
+		}
+	}
+	return 0
+}
+
+// constAt resolves reg's value at pc by walking the straight-line code
+// leading up to it (register reuse defeats any whole-function map), following
+// LI / ADDI / ADD chains. The caller guarantees reg is loop-invariant, so
+// resolving through the textually preceding defs is sound for the loop
+// header's limit register.
+func constAt(g *cfg, pc int, reg isa.Reg, depth int) (int64, bool) {
+	if reg == regZero {
+		return 0, true
+	}
+	if depth > 6 {
+		return 0, false
+	}
+	for q := pc - 1; q >= 0; q-- {
+		in := g.prog.Insts[q]
+		if classify(in) != kindPlain {
+			return 0, false
+		}
+		if !instDefs(in).has(reg) {
+			continue
+		}
+		switch in.Op {
+		case isa.LI:
+			return in.Imm, true
+		case isa.ADDI:
+			if c, ok := constAt(g, q, in.Rs1, depth+1); ok {
+				return c + in.Imm, true
+			}
+			return 0, false
+		case isa.ADD:
+			a, aok := constAt(g, q, in.Rs1, depth+1)
+			b, bok := constAt(g, q, in.Rs2, depth+1)
+			if aok && bok {
+				return a + b, true
+			}
+			return 0, false
+		default:
+			return 0, false
+		}
+	}
+	return 0, false
+}
+
+// checkGranuleConflicts flags stores in the epoch body whose address lands in
+// the same SSB granule every iteration: a loop-invariant base register, or a
+// base advanced by a stride smaller than the granule.
+func checkGranuleConflicts(g *cfg, r *region, opts Options, rep *Report) {
+	sh := regionLoopShape(g, r)
+	if sh == nil {
+		return
+	}
 	gb := int64(opts.GranuleBytes)
 	for pc := range r.interior {
 		in := g.prog.Insts[pc]
@@ -79,20 +196,100 @@ func checkGranuleConflicts(g *cfg, r *region, opts Options, rep *Report) {
 		}
 		base := in.Rs1
 		switch {
-		case !loopDefs.has(base):
+		case !sh.loopDefs.has(base):
 			rep.add(Diagnostic{
 				Code: CodeInvariantStore, Severity: SevInfo, PC: pc, Region: r.id,
 				Message: fmt.Sprintf("store base %s is loop-invariant: every iteration writes the same %d-byte granule, so consecutive epochs always conflict", base, gb),
+				Data:    &DiagData{Invariant: true, GranuleBytes: gb},
 			})
-		case !multiDef[base]:
-			if c, ok := selfInc[base]; ok && c != 0 && abs64(c) < gb {
+		default:
+			if c, ok := sh.induction(base); ok && c != 0 && abs64(c) < gb {
 				rep.add(Diagnostic{
 					Code: CodeInvariantStore, Severity: SevInfo, PC: pc, Region: r.id,
 					Message: fmt.Sprintf("store base %s advances by %d byte(s) per iteration, below the %d-byte granule: consecutive epochs often share a granule and conflict", base, c, gb),
+					Data:    &DiagData{StrideBytes: c, GranuleBytes: gb},
 				})
 			}
 		}
 	}
+}
+
+// regionShape fills the machine-readable shape columns of one region-table
+// row: estimated per-iteration granule footprint, static trip bound, and
+// store density. These are what the lftune pruner consumes.
+func regionShape(g *cfg, r *region, info *RegionInfo) {
+	sh := regionLoopShape(g, r)
+	stores := 0
+	for pc := range r.interior {
+		in := g.prog.Insts[pc]
+		if !isa.OpMeta(in.Op).IsStore || in.Rs1 == regSP {
+			continue
+		}
+		stores++
+		if sh != nil {
+			if c, ok := strideAt(g, sh, pc, in.Rs1, 0); ok && abs64(c) > info.EstGranule {
+				info.EstGranule = abs64(c)
+			}
+		}
+	}
+	if n := len(r.interior); n > 0 {
+		info.StoreDensity = float64(stores) / float64(n)
+	}
+	if sh != nil {
+		info.TripBound = sh.trip
+	}
+}
+
+// strideAt estimates how many bytes reg's value advances per iteration at
+// pc, by walking the straight-line code leading up to pc: the compiler
+// addresses array stores as ptr + (iv << k), so the stride is the induction
+// stride scaled through shifts and adds. Loop-invariant inputs contribute 0;
+// a constant self-increment is its own stride.
+func strideAt(g *cfg, sh *loopShape, pc int, reg isa.Reg, depth int) (int64, bool) {
+	if depth > 6 {
+		return 0, false
+	}
+	if reg == regZero {
+		return 0, true
+	}
+	for q := pc - 1; q >= 0; q-- {
+		in := g.prog.Insts[q]
+		if !sh.body[g.blockOf[q]] || classify(in) != kindPlain {
+			// Leaving the loop body, or a control transfer, ends the
+			// straight-line window; fall through to the loop-level summary.
+			break
+		}
+		if !instDefs(in).has(reg) {
+			continue
+		}
+		switch {
+		case in.Op == isa.ADDI && in.Rd == in.Rs1:
+			return in.Imm, true // self-increment: per-iteration bump
+		case in.Op == isa.LI:
+			return 0, true // re-materialised constant
+		case in.Op == isa.ADDI:
+			return strideAt(g, sh, q, in.Rs1, depth+1)
+		case in.Op == isa.SLLI:
+			s, ok := strideAt(g, sh, q, in.Rs1, depth+1)
+			if !ok || in.Imm < 0 || in.Imm > 32 {
+				return 0, false
+			}
+			return s << uint(in.Imm), true
+		case in.Op == isa.ADD:
+			a, aok := strideAt(g, sh, q, in.Rs1, depth+1)
+			b, bok := strideAt(g, sh, q, in.Rs2, depth+1)
+			if !aok || !bok {
+				return 0, false
+			}
+			return a + b, true
+		default:
+			return 0, false
+		}
+	}
+	if !sh.loopDefs.has(reg) {
+		return 0, true // loop-invariant
+	}
+	return sh.induction(reg)
 }
 
 func abs64(v int64) int64 {

@@ -1,0 +1,65 @@
+package lint_test
+
+import (
+	"testing"
+
+	"loopfrog/internal/lint"
+)
+
+// TestRegionShapeFields checks the machine-readable columns of the region
+// table on the canonical clean loop: 16 iterations, 8-byte strided store.
+func TestRegionShapeFields(t *testing.T) {
+	rep := mustLint(t, cleanLoop)
+	if len(rep.Regions) != 1 {
+		t.Fatalf("want 1 region, got %+v", rep.Regions)
+	}
+	r := rep.Regions[0]
+	if r.TripBound != 16 {
+		t.Errorf("TripBound = %d, want 16", r.TripBound)
+	}
+	if r.EstGranule != 8 {
+		t.Errorf("EstGranule = %d, want 8", r.EstGranule)
+	}
+	if r.StoreDensity <= 0 || r.StoreDensity > 1 {
+		t.Errorf("StoreDensity = %v, want in (0,1]", r.StoreDensity)
+	}
+}
+
+// TestProfitabilityData checks LF201/LF202 carry structured payloads.
+func TestProfitabilityData(t *testing.T) {
+	const src = `
+        .data
+buf:    .zero 64
+        .text
+main:   la   a0, buf
+        li   t0, 0
+        li   t1, 8
+loop:   detach cont
+        sd   t0, 0(a0)
+        reattach cont
+cont:   addi t0, t0, 1
+        blt  t0, t1, loop
+        sync cont
+        halt
+`
+	rep := mustLint(t, src)
+	var saw201, saw202 bool
+	for i := range rep.Diags {
+		d := &rep.Diags[i]
+		switch d.Code {
+		case lint.CodeShortEpoch:
+			saw201 = true
+			if d.Data == nil || d.Data.EpochInsts == 0 || d.Data.MinEpochInsts == 0 {
+				t.Errorf("LF201 missing data payload: %+v", d.Data)
+			}
+		case lint.CodeInvariantStore:
+			saw202 = true
+			if d.Data == nil || !d.Data.Invariant || d.Data.GranuleBytes == 0 {
+				t.Errorf("LF202 missing data payload: %+v", d.Data)
+			}
+		}
+	}
+	if !saw201 || !saw202 {
+		t.Fatalf("want LF201 and LF202, got 201=%v 202=%v", saw201, saw202)
+	}
+}

@@ -17,6 +17,7 @@ import (
 	"loopfrog/internal/lint"
 	"loopfrog/internal/report"
 	"loopfrog/internal/sim"
+	"loopfrog/internal/tune"
 	"loopfrog/internal/workloads"
 )
 
@@ -27,9 +28,25 @@ const (
 	PrioritySweep       = "sweep"
 )
 
+// Job kinds. A sim job runs one simulation of one image; a tune job runs the
+// budgeted hint autotuner (internal/tune) over the submitted source, fanning
+// its rung evaluations over the fabric when one is configured.
+const (
+	KindSim  = "sim"
+	KindTune = "tune"
+)
+
+// AllowedKinds lists every job kind the daemon accepts, in the order the
+// 400 reject for an unknown kind enumerates them.
+func AllowedKinds() []string { return []string{KindSim, KindTune} }
+
 // JobSpec is the POST /v1/jobs request body. Exactly one program source —
 // asm, source, or bench — must be set.
 type JobSpec struct {
+	// Kind selects the job's engine: "sim" (default) runs one simulation,
+	// "tune" runs the budgeted hint autotuner over the source. Unknown kinds
+	// are rejected with 400 listing AllowedKinds.
+	Kind string `json:"kind,omitempty"`
 	// Name labels the job (defaults to the bench name or "submitted").
 	Name string `json:"name,omitempty"`
 	// Asm is LFISA assembly text (what lfsim accepts as a .s file).
@@ -72,6 +89,23 @@ type JobSpec struct {
 	SampleInterval uint64 `json:"sample_interval,omitempty"`
 	SampleWindow   uint64 `json:"sample_window,omitempty"`
 	SampleWarmup   uint64 `json:"sample_warmup,omitempty"`
+
+	// Variant knobs (source jobs only): the tuner's fabric fan-out ships each
+	// rung evaluation as a plain sim job carrying the variant to rebuild.
+	// Deselect masks @loopfrog loops off by source line; PackFactor caps
+	// epoch packing (1 disables it); GranuleBytes overrides the SSB conflict
+	// granule; PackTarget overrides the packed-epoch target size.
+	Deselect     []int `json:"deselect,omitempty"`
+	PackFactor   int   `json:"pack_factor,omitempty"`
+	GranuleBytes int   `json:"granule_bytes,omitempty"`
+	PackTarget   int   `json:"pack_target,omitempty"`
+
+	// Tune jobs only: search-shaping knobs, defaulted by internal/tune.
+	// Budget is the evaluation budget in rung-0-equivalent units, Eta the
+	// successive-halving fraction, MaxVariants the post-pruning space cap.
+	Budget      int `json:"budget,omitempty"`
+	Eta         int `json:"eta,omitempty"`
+	MaxVariants int `json:"max_variants,omitempty"`
 
 	// TimeoutMS bounds the job's wall-clock time (capped by the server's
 	// MaxTimeout; 0 = server default).
@@ -123,6 +157,10 @@ type JobResult struct {
 	// commit-slot attribution of the outside-any-region remainder.
 	Regions      []report.Row      `json:"regions,omitempty"`
 	OutsideSlots map[string]uint64 `json:"outside_slots,omitempty"`
+	// Tune jobs only: the full search report — rungs with their per-rung
+	// promotion/elimination tables, the final ranking, winner and static
+	// control arm. Cycles above echo the winner's deepest measurement.
+	Tune *tune.Report `json:"tune,omitempty"`
 }
 
 // Job statuses.
@@ -156,6 +194,9 @@ type job struct {
 	// machine holds the most recently observed live simulation, for
 	// progress streaming; nil before the first attempt or on a cache hit.
 	machine atomic.Pointer[cpu.Machine]
+	// tuneRung holds the tuner's current rung, for SSE progress on tune
+	// jobs; nil otherwise.
+	tuneRung atomic.Pointer[tuneRungProgress]
 
 	mu         sync.Mutex
 	status     string
@@ -271,15 +312,14 @@ func resolveProgram(spec *JobSpec) (*asm.Program, error) {
 	}
 	switch {
 	case spec.Bench != "":
-		for _, suite := range [][]*workloads.Benchmark{workloads.CPU2017(), workloads.CPU2006(), workloads.Security()} {
-			if b := workloads.ByName(suite, spec.Bench); b != nil {
-				if spec.Name == "" {
-					spec.Name = b.Name
-				}
-				return b.Program()
-			}
+		b := findBench(spec.Bench)
+		if b == nil {
+			return nil, fmt.Errorf("unknown benchmark %q", spec.Bench)
 		}
-		return nil, fmt.Errorf("unknown benchmark %q", spec.Bench)
+		if spec.Name == "" {
+			spec.Name = b.Name
+		}
+		return b.Program()
 	case spec.Asm != "":
 		if spec.Name == "" {
 			spec.Name = "submitted"
@@ -289,9 +329,28 @@ func resolveProgram(spec *JobSpec) (*asm.Program, error) {
 		if spec.Name == "" {
 			spec.Name = "submitted"
 		}
-		prog, _, err := compiler.Compile(spec.Name, spec.Source)
+		v := spec.variant()
+		prog, _, err := compiler.CompileOpts(spec.Name, spec.Source, v.CompilerOpts())
 		return prog, err
 	}
+}
+
+// variant reconstructs the spec's tune variant. The zero spec yields the
+// static selection with default knobs untouched (hasVariant is false).
+func (spec *JobSpec) variant() tune.Variant {
+	return tune.Variant{
+		Deselect:     spec.Deselect,
+		PackFactor:   spec.PackFactor,
+		GranuleBytes: spec.GranuleBytes,
+		PackTarget:   spec.PackTarget,
+	}
+}
+
+// hasVariant reports whether any tune-variant knob is set. The tuner always
+// sets PackFactor explicitly (>= 1), so a fan-out spec always trips this.
+func (spec *JobSpec) hasVariant() bool {
+	return len(spec.Deselect) > 0 || spec.PackFactor != 0 ||
+		spec.GranuleBytes != 0 || spec.PackTarget != 0
 }
 
 // buildConfig derives the machine configuration from the spec.
@@ -305,6 +364,13 @@ func buildConfig(spec *JobSpec) (cpu.Config, error) {
 	}
 	cfg := cpu.DefaultConfig()
 	cfg.Threadlets = threadlets
+	if spec.hasVariant() {
+		// Derive the engine knobs exactly the way the tuner's in-process
+		// evaluator does, so a fanned-out rung evaluation fingerprints (and
+		// run-caches) identically on the worker.
+		v := spec.variant()
+		cfg = v.Config(cfg)
+	}
 	if spec.NoPack {
 		cfg.Pack.Enabled = false
 	}
@@ -321,12 +387,50 @@ func buildConfig(spec *JobSpec) (cpu.Config, error) {
 
 // validateSpec normalises and checks the submission-shaping fields.
 func (s *Server) validateSpec(spec *JobSpec) error {
+	switch spec.Kind {
+	case "":
+		spec.Kind = KindSim
+	case KindSim, KindTune:
+	default:
+		quoted := make([]string, 0, len(AllowedKinds()))
+		for _, k := range AllowedKinds() {
+			quoted = append(quoted, fmt.Sprintf("%q", k))
+		}
+		return fmt.Errorf("unknown kind %q; allowed kinds: %s", spec.Kind, strings.Join(quoted, ", "))
+	}
+	if spec.Kind == KindTune {
+		if err := normalizeTuneSpec(spec); err != nil {
+			return err
+		}
+	} else if spec.Budget != 0 || spec.Eta != 0 || spec.MaxVariants != 0 {
+		return fmt.Errorf("budget/eta/max_variants require kind %q", KindTune)
+	}
+	if spec.hasVariant() {
+		if spec.Kind != KindSim {
+			return fmt.Errorf("variant knobs (deselect/pack_factor/granule_bytes/pack_target) apply to kind %q jobs only", KindSim)
+		}
+		if spec.Source == "" {
+			return fmt.Errorf("variant knobs require source: the variant is rebuilt by recompilation")
+		}
+		if spec.PackFactor < 0 || spec.GranuleBytes < 0 || spec.PackTarget < 0 {
+			return fmt.Errorf("variant knobs must be non-negative")
+		}
+		if spec.NoPack {
+			return fmt.Errorf("nopack and pack_factor are mutually exclusive (pack_factor: 1 disables packing)")
+		}
+	}
 	switch spec.Priority {
 	case "":
 		spec.Priority = PriorityInteractive
+		if spec.Kind == KindTune {
+			spec.Priority = PrioritySweep
+		}
 	case PriorityInteractive, PrioritySweep:
 	default:
 		return fmt.Errorf("priority must be %q or %q (got %q)", PriorityInteractive, PrioritySweep, spec.Priority)
+	}
+	if spec.Kind == KindTune && spec.Priority != PrioritySweep {
+		return fmt.Errorf("tune jobs run on the sweep lane; priority must be %q or unset", PrioritySweep)
 	}
 	if spec.TimeoutMS < 0 {
 		return fmt.Errorf("timeout_ms must be non-negative (got %d)", spec.TimeoutMS)
@@ -356,6 +460,60 @@ func (s *Server) validateSpec(spec *JobSpec) error {
 	return nil
 }
 
+// normalizeTuneSpec checks the tune-specific surface and resolves a bench
+// submission to its LoopLang source (the search recompiles per variant, so
+// prebuilt-asm programs cannot be tuned).
+func normalizeTuneSpec(spec *JobSpec) error {
+	if spec.Asm != "" {
+		return fmt.Errorf("tune jobs need source (or a source-backed bench): asm images cannot be recompiled per variant")
+	}
+	if spec.Bench != "" {
+		if spec.Source != "" {
+			return fmt.Errorf("exactly one of source or bench must be set for a tune job")
+		}
+		b := findBench(spec.Bench)
+		if b == nil {
+			return fmt.Errorf("unknown benchmark %q", spec.Bench)
+		}
+		if b.Source() == "" {
+			return fmt.Errorf("%s is a prebuilt asm workload; only LoopLang workloads can be retuned", spec.Bench)
+		}
+		if spec.Name == "" {
+			spec.Name = b.Name
+		}
+		spec.Source, spec.Bench = b.Source(), ""
+	}
+	if spec.Source == "" {
+		return fmt.Errorf("tune jobs need source (or a source-backed bench)")
+	}
+	if spec.Baseline || spec.AB {
+		return fmt.Errorf("baseline/ab do not apply to tune jobs: every rung scores variants against a shared hints-as-NOPs baseline")
+	}
+	if spec.Faults != "" || spec.Spectre || spec.Mitigate {
+		return fmt.Errorf("faults/spectre/mitigate do not apply to tune jobs")
+	}
+	if spec.Sampled || spec.SampleInterval != 0 || spec.SampleWindow != 0 || spec.SampleWarmup != 0 {
+		return fmt.Errorf("sampled knobs do not apply to tune jobs: the rung schedule fixes each tier's sampling shape")
+	}
+	if spec.hasVariant() {
+		return fmt.Errorf("variant knobs do not apply to tune jobs: the search enumerates variants itself")
+	}
+	if spec.Budget < 0 || spec.Eta < 0 || spec.MaxVariants < 0 {
+		return fmt.Errorf("budget, eta and max_variants must be non-negative")
+	}
+	return nil
+}
+
+// findBench looks a benchmark up across every suite the daemon serves.
+func findBench(name string) *workloads.Benchmark {
+	for _, suite := range [][]*workloads.Benchmark{workloads.CPU2017(), workloads.CPU2006(), workloads.Security()} {
+		if b := workloads.ByName(suite, name); b != nil {
+			return b
+		}
+	}
+	return nil
+}
+
 // timeoutFor clamps the requested timeout to the server's policy.
 func (s *Server) timeoutFor(spec *JobSpec) time.Duration {
 	d := s.cfg.DefaultTimeout
@@ -379,6 +537,13 @@ func (s *Server) run(j *job) {
 	}
 	j.setStatus(StatusRunning)
 	timeout := s.timeoutFor(&j.Spec)
+	if j.Spec.Kind == KindTune {
+		// Tune jobs never forward whole: the coordinator owns the search and
+		// fans individual rung evaluations over the fabric (or the local
+		// harness) instead.
+		s.runTune(j, timeout)
+		return
+	}
 	if s.cfg.Remote != nil {
 		// Remote placement first. The forwarded spec is always synchronous
 		// (async is a coordinator-side concern) and carries the resolved
@@ -537,7 +702,8 @@ func classifyError(err error) (status string, httpStatus int, text string) {
 
 // progress is one SSE progress sample read from the live machine snapshot.
 // Remote jobs have no local machine, so their samples carry status and
-// fingerprint only.
+// fingerprint only. Tune jobs carry the search's rung state instead of
+// machine counters.
 type progress struct {
 	Status      string `json:"status"`
 	Fingerprint string `json:"fingerprint,omitempty"`
@@ -546,11 +712,24 @@ type progress struct {
 	Spawns      uint64 `json:"spawns"`
 	Retires     uint64 `json:"retires"`
 	Squashes    uint64 `json:"squashes"`
+	// Tune is the autotuner's current rung (tune jobs only).
+	Tune *tuneRungProgress `json:"tune,omitempty"`
+}
+
+// tuneRungProgress is the SSE-visible state of a running search: which rung
+// the successive halving is on and how many variants it is evaluating.
+type tuneRungProgress struct {
+	Rung     int    `json:"rung"`
+	Tier     string `json:"tier"`
+	Variants int    `json:"variants"`
+	// Spent is the budget consumed before this rung started.
+	Spent int `json:"spent"`
 }
 
 // sampleProgress reads the job's live machine, if any.
 func (j *job) sampleProgress() progress {
 	p := progress{Status: j.statusNow(), Fingerprint: j.fingerprint}
+	p.Tune = j.tuneRung.Load()
 	if m := j.machine.Load(); m != nil {
 		snap := m.SnapshotStats()
 		p.Cycles = snap.CPU.Cycles

@@ -19,9 +19,19 @@ import (
 // preflight → lane enqueue. Sync submissions wait for the terminal state;
 // async submissions return 202 with a Location to poll or stream.
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	spec, ok := s.decodeSpec(w, r)
+	if !ok {
+		return
+	}
+	s.admit(w, r, spec)
+}
+
+// decodeSpec reads and decodes one JobSpec body, answering the error itself
+// when the body is unreadable or the server is draining.
+func (s *Server) decodeSpec(w http.ResponseWriter, r *http.Request) (JobSpec, bool) {
 	if s.draining.Load() {
 		writeJSON(w, http.StatusServiceUnavailable, apiError{Error: "server is draining"})
-		return
+		return JobSpec{}, false
 	}
 	var spec JobSpec
 	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
@@ -34,8 +44,13 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 			status = http.StatusRequestEntityTooLarge
 		}
 		writeJSON(w, status, apiError{Error: "bad request body: " + err.Error()})
-		return
+		return JobSpec{}, false
 	}
+	return spec, true
+}
+
+// admit validates, preflights, and enqueues one decoded submission.
+func (s *Server) admit(w http.ResponseWriter, r *http.Request, spec JobSpec) {
 	spec.Name = truncatedName(spec.Name)
 	if err := s.validateSpec(&spec); err != nil {
 		writeJSON(w, http.StatusBadRequest, apiError{Error: err.Error()})

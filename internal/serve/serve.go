@@ -8,9 +8,13 @@
 //
 // Endpoints:
 //
-//	POST /v1/jobs        submit a job (sync by default, "async": true for 202+poll)
+//	POST /v1/jobs        submit a job (sync by default, "async": true for 202+poll);
+//	                     "kind" selects the engine: "sim" (default) or "tune"
+//	                     (the budgeted hint autotuner, always on the sweep lane)
+//	POST /v1/tune        submit an autotuning search (kind "tune" sugar)
 //	GET  /v1/jobs/{id}   job status/result; ?stream=1 or Accept: text/event-stream
 //	                     streams queued→running→progress→done as server-sent events
+//	                     (tune jobs report the live rung instead of machine counters)
 //	GET  /metrics        telemetry registry snapshot (serve.* + harness.*) as
 //	                     JSON; ?format=prom or Accept: text/plain selects the
 //	                     Prometheus text exposition format
@@ -174,6 +178,7 @@ func (s *Server) Harness() *sim.Harness { return s.harness }
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	mux.HandleFunc("POST /v1/tune", s.handleTune)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)

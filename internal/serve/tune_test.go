@@ -1,0 +1,216 @@
+package serve_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"loopfrog/internal/serve"
+)
+
+func TestUnknownKindRejected(t *testing.T) {
+	_, ts := newTestServer(t, serve.Config{})
+	resp, payload := post(t, ts, map[string]any{"kind": "fuzz", "asm": trivialAsm})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status = %d, want 400; body %s", resp.StatusCode, payload)
+	}
+	body := string(payload)
+	if !strings.Contains(body, "unknown kind") {
+		t.Errorf("reject does not name the problem: %s", body)
+	}
+	for _, kind := range serve.AllowedKinds() {
+		if !strings.Contains(body, `\"`+kind+`\"`) && !strings.Contains(body, `"`+kind+`"`) {
+			t.Errorf("reject does not list allowed kind %q: %s", kind, body)
+		}
+	}
+}
+
+func TestTuneKnobsRequireTuneKind(t *testing.T) {
+	_, ts := newTestServer(t, serve.Config{})
+	resp, payload := post(t, ts, map[string]any{"asm": trivialAsm, "budget": 32})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("budget on a sim job: status = %d, want 400; body %s", resp.StatusCode, payload)
+	}
+	resp, payload = post(t, ts, map[string]any{"kind": "tune", "asm": trivialAsm})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("tune of an asm image: status = %d, want 400; body %s", resp.StatusCode, payload)
+	}
+	resp, payload = post(t, ts, map[string]any{"kind": "tune", "bench": "leela", "priority": "interactive"})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("tune on the interactive lane: status = %d, want 400; body %s", resp.StatusCode, payload)
+	}
+}
+
+// tuneView decodes the terminal job view of a tune submission.
+type tuneView struct {
+	Status   string           `json:"status"`
+	Priority string           `json:"priority"`
+	Error    string           `json:"error"`
+	Result   *serve.JobResult `json:"result"`
+}
+
+func postTune(t *testing.T, ts *serve.Server, url string, spec map[string]any) (int, tuneView) {
+	t.Helper()
+	body, err := json.Marshal(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url+"/v1/tune", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var v tuneView
+	if err := json.Unmarshal(payload, &v); err != nil {
+		t.Fatalf("bad body %s: %v", payload, err)
+	}
+	return resp.StatusCode, v
+}
+
+func TestTuneRoundTrip(t *testing.T) {
+	s, ts := newTestServer(t, serve.Config{})
+	code, v := postTune(t, s, ts.URL, map[string]any{"bench": "leela", "budget": 16})
+	if code != http.StatusOK || v.Status != "done" {
+		t.Fatalf("tune round-trip: %d %s %s", code, v.Status, v.Error)
+	}
+	if v.Priority != serve.PrioritySweep {
+		t.Errorf("tune job priority = %q, want sweep lane", v.Priority)
+	}
+	rep := v.Result.Tune
+	if rep == nil {
+		t.Fatal("tune result carries no search report")
+	}
+	if rep.Program != "leela" || rep.SpaceSize == 0 || len(rep.Rungs) == 0 {
+		t.Fatalf("hollow report: program=%q space=%d rungs=%d", rep.Program, rep.SpaceSize, len(rep.Rungs))
+	}
+	for _, r := range rep.Rungs {
+		// The per-rung elimination table must partition the rung's field.
+		if len(r.Promoted)+len(r.Eliminated) != len(r.Evaluated) {
+			t.Errorf("rung %d: %d promoted + %d eliminated != %d evaluated",
+				r.Tier, len(r.Promoted), len(r.Eliminated), len(r.Evaluated))
+		}
+	}
+	if rep.Winner.Score <= 0 || rep.Winner.Score < rep.Static.Score {
+		t.Errorf("winner score %.4f (static %.4f): anchor should bound the winner from below",
+			rep.Winner.Score, rep.Static.Score)
+	}
+	if rep.Spent > rep.Budget {
+		t.Errorf("spent %d exceeds budget %d", rep.Spent, rep.Budget)
+	}
+}
+
+// loopbackExec is a RemoteExecutor that forwards each spec to a second,
+// worker-role daemon over real HTTP — the fabric fan-out path minus the ring.
+type loopbackExec struct {
+	url   string
+	calls atomic.Int64
+
+	mu   sync.Mutex
+	keys map[string]int
+}
+
+func (e *loopbackExec) ExecuteRemote(ctx context.Context, fp string, spec serve.JobSpec) (*serve.RemoteResult, error) {
+	e.calls.Add(1)
+	e.mu.Lock()
+	if e.keys == nil {
+		e.keys = make(map[string]int)
+	}
+	e.keys[fp]++
+	e.mu.Unlock()
+	body, err := json.Marshal(spec)
+	if err != nil {
+		return nil, err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, e.url+"/v1/jobs", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	payload, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		return nil, err
+	}
+	var view struct {
+		Status string           `json:"status"`
+		Error  string           `json:"error"`
+		Result *serve.JobResult `json:"result"`
+	}
+	if err := json.Unmarshal(payload, &view); err != nil {
+		return nil, err
+	}
+	return &serve.RemoteResult{
+		Worker:     "loopback",
+		Status:     view.Status,
+		HTTPStatus: resp.StatusCode,
+		Error:      view.Error,
+		Result:     view.Result,
+	}, nil
+}
+
+func TestTuneFabricFanOut(t *testing.T) {
+	_, worker := newTestServer(t, serve.Config{})
+	exec := &loopbackExec{url: worker.URL}
+	s, ts := newTestServer(t, serve.Config{Remote: exec})
+	code, v := postTune(t, s, ts.URL, map[string]any{"bench": "leela", "budget": 16})
+	if code != http.StatusOK || v.Status != "done" {
+		t.Fatalf("fanned-out tune: %d %s %s", code, v.Status, v.Error)
+	}
+	rep := v.Result.Tune
+	if rep == nil || len(rep.Rungs) == 0 {
+		t.Fatal("fanned-out tune returned no report")
+	}
+	want := int64(0)
+	for _, r := range rep.Rungs {
+		want += int64(len(r.Evaluated)) + 1 // the shared baseline rides each rung
+	}
+	if got := exec.calls.Load(); got != want {
+		t.Errorf("remote dispatches = %d, want %d (every rung evaluation remote)", got, want)
+	}
+	exec.mu.Lock()
+	defer exec.mu.Unlock()
+	for fp := range exec.keys {
+		if len(fp) != 16 {
+			t.Errorf("dispatch routed on malformed fingerprint %q", fp)
+		}
+	}
+}
+
+// failingExec reports an empty fabric on every placement, forcing the
+// degradation path: every rung evaluation must fall back to the local
+// harness and the search still completes.
+type failingExec struct{ calls atomic.Int64 }
+
+func (e *failingExec) ExecuteRemote(ctx context.Context, fp string, spec serve.JobSpec) (*serve.RemoteResult, error) {
+	e.calls.Add(1)
+	return nil, serve.ErrRemoteUnavailable
+}
+
+func TestTuneFabricDegradesToLocal(t *testing.T) {
+	exec := &failingExec{}
+	s, ts := newTestServer(t, serve.Config{Remote: exec})
+	code, v := postTune(t, s, ts.URL, map[string]any{"bench": "leela", "budget": 8})
+	if code != http.StatusOK || v.Status != "done" {
+		t.Fatalf("degraded tune: %d %s %s", code, v.Status, v.Error)
+	}
+	if exec.calls.Load() == 0 {
+		t.Error("degradation test never touched the fabric")
+	}
+	if v.Result.Tune == nil || v.Result.Tune.Winner.Score <= 0 {
+		t.Error("degraded tune returned no usable winner")
+	}
+}

@@ -1,0 +1,112 @@
+package tune_test
+
+import (
+	"context"
+	"testing"
+
+	"loopfrog/internal/sim"
+	"loopfrog/internal/tune"
+)
+
+// twoLoopSrc has two @loopfrog loops with different characters: a clean
+// parallel map (hint worth keeping) and a serial reduction whose
+// cross-iteration dependency makes the hint a candidate for de-selection.
+// Two sites give the mask axis four points, so the enumerated space is wide
+// enough that rungs actually eliminate variants.
+const twoLoopSrc = `
+var xs: [256]int;
+var ys: [256]int;
+var acc: [1]int;
+
+fn main() -> int {
+    for i in 0..256 {
+        xs[i] = i * 5 + 3;
+    }
+    @loopfrog
+    for i in 0..256 {
+        var t: int = xs[i];
+        t = t * t + 11;
+        ys[i] = t;
+    }
+    @loopfrog
+    for i in 0..256 {
+        acc[0] = acc[0] + ys[i];
+    }
+    return acc[0];
+}
+`
+
+func runTune(t *testing.T, h *sim.Harness, budget int) *tune.Report {
+	t.Helper()
+	rep, err := tune.Tune(context.Background(),
+		tune.Spec{Program: "tunetest", Source: twoLoopSrc, Budget: budget, Seed: 42},
+		tune.Local{H: h})
+	if err != nil {
+		t.Fatalf("tune: %v", err)
+	}
+	return rep
+}
+
+// TestRankingDeterministicAcrossWorkers is the reproducibility contract:
+// the same seed and budget produce the identical ranking — IDs, tiers,
+// cycles, scores — whether the harness runs one worker or many. Scheduling
+// order must never leak into the search.
+func TestRankingDeterministicAcrossWorkers(t *testing.T) {
+	r1 := runTune(t, &sim.Harness{Workers: 1, Cache: sim.NewRunCache()}, 96)
+	rN := runTune(t, &sim.Harness{Workers: 8, Cache: sim.NewRunCache()}, 96)
+
+	if len(r1.Ranking) != len(rN.Ranking) {
+		t.Fatalf("ranking length differs: 1 worker %d, 8 workers %d", len(r1.Ranking), len(rN.Ranking))
+	}
+	for i := range r1.Ranking {
+		a, b := r1.Ranking[i], rN.Ranking[i]
+		if a.Variant.ID != b.Variant.ID || a.Tier != b.Tier || a.Cycles != b.Cycles || a.Score != b.Score {
+			t.Errorf("ranking[%d] differs: 1 worker {id %d tier %d cycles %.0f score %.6f}, 8 workers {id %d tier %d cycles %.0f score %.6f}",
+				i, a.Variant.ID, a.Tier, a.Cycles, a.Score, b.Variant.ID, b.Tier, b.Cycles, b.Score)
+		}
+	}
+	if r1.Winner.Variant.ID != rN.Winner.Variant.ID {
+		t.Errorf("winner differs: 1 worker id %d, 8 workers id %d", r1.Winner.Variant.ID, rN.Winner.Variant.ID)
+	}
+	if len(r1.Rungs) != len(rN.Rungs) {
+		t.Fatalf("rung count differs: %d vs %d", len(r1.Rungs), len(rN.Rungs))
+	}
+	for i := range r1.Rungs {
+		a, b := r1.Rungs[i], rN.Rungs[i]
+		if a.BaseCycles != b.BaseCycles || a.CostUnits != b.CostUnits {
+			t.Errorf("rung %d differs: base %.0f/%.0f cost %d/%d", i, a.BaseCycles, b.BaseCycles, a.CostUnits, b.CostUnits)
+		}
+	}
+}
+
+// TestRetuneCacheDedup is the run-cache dedup proof: re-tuning an unchanged
+// program on the same harness executes zero new simulations — every
+// evaluation, detailed runs included, is served from the cache, so the
+// misses counter does not move.
+func TestRetuneCacheDedup(t *testing.T) {
+	h := &sim.Harness{Cache: sim.NewRunCache()}
+	r1 := runTune(t, h, 256)
+
+	// The proof must cover full-detail runs, not just sampled windows.
+	last := r1.Rungs[len(r1.Rungs)-1]
+	if last.TierName != "detailed" {
+		t.Fatalf("budget 256 stopped at tier %q; raise it so the search reaches detailed runs", last.TierName)
+	}
+	misses := h.Cache.Misses()
+	if misses == 0 {
+		t.Fatal("first search executed no simulations — cache not wired through")
+	}
+
+	r2 := runTune(t, h, 256)
+	if d := h.Cache.Misses() - misses; d != 0 {
+		t.Errorf("re-tuning an unchanged program executed %d new simulations, want 0", d)
+	}
+	if r2.Winner.Variant.ID != r1.Winner.Variant.ID || r2.Winner.Score != r1.Winner.Score {
+		t.Errorf("re-tune winner differs: {id %d score %.6f} vs {id %d score %.6f}",
+			r2.Winner.Variant.ID, r2.Winner.Score, r1.Winner.Variant.ID, r1.Winner.Score)
+	}
+	if r2.Spent != r1.Spent || len(r2.Ranking) != len(r1.Ranking) {
+		t.Errorf("re-tune shape differs: spent %d/%d, ranking %d/%d",
+			r2.Spent, r1.Spent, len(r2.Ranking), len(r1.Ranking))
+	}
+}

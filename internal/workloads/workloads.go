@@ -83,6 +83,11 @@ func (b *Benchmark) Program() (*asm.Program, error) {
 	return b.prog, b.err
 }
 
+// Source returns the benchmark's LoopLang source, or "" for prebuilt asm
+// programs. Tooling that searches per-loop hint variants (lftune) recompiles
+// from this.
+func (b *Benchmark) Source() string { return b.source }
+
 // MustProgram is Program that panics on error.
 func (b *Benchmark) MustProgram() *asm.Program {
 	p, err := b.Program()
